@@ -1,0 +1,69 @@
+// Command corona-client is a minimal subscriber for a live Corona node's
+// IM port: it logs in, subscribes to the given URLs, and prints
+// notifications as they arrive — the "feed reader" end of the system.
+//
+// Usage:
+//
+//	corona-client -node 127.0.0.1:9101 -handle alice \
+//	    http://127.0.0.1:8080/feed/0.xml http://127.0.0.1:8080/feed/1.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	nodeAddr := flag.String("node", "127.0.0.1:9101", "corona-node IM address")
+	handle := flag.String("handle", "reader", "IM handle to log in as")
+	flag.Parse()
+	urls := flag.Args()
+	if len(urls) == 0 {
+		log.Fatal("usage: corona-client -node <addr> -handle <name> <url>...")
+	}
+
+	conn, err := net.Dial("tcp", *nodeAddr)
+	if err != nil {
+		log.Fatalf("connecting to node: %v", err)
+	}
+	defer conn.Close()
+	out := bufio.NewWriter(conn)
+	send := func(line string) {
+		fmt.Fprintln(out, line)
+		out.Flush()
+	}
+	send("LOGIN " + *handle)
+	for _, u := range urls {
+		send("SUBSCRIBE " + u)
+	}
+	log.Printf("corona-client: logged in as %s, watching %d channels", *handle, len(urls))
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "MSG "):
+			rest := strings.TrimPrefix(line, "MSG ")
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				continue
+			}
+			body, err := strconv.Unquote(rest[sp+1:])
+			if err != nil {
+				body = rest[sp+1:]
+			}
+			fmt.Printf("--- from %s ---\n%s\n", rest[:sp], body)
+		case strings.HasPrefix(line, "ERR "):
+			log.Printf("node error: %s", strings.TrimPrefix(line, "ERR "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("connection lost: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+// Command corona-feedserver serves synthetic RSS feeds over HTTP — the
+// legacy content servers of a live Corona deployment. Feeds update on
+// periodic schedules, support conditional GET via ETag, and optionally
+// enforce the blunt per-IP rate limit the paper criticizes (§1).
+//
+// Usage:
+//
+//	corona-feedserver -bind :8080 -feeds 50 -update 5m -ratelimit 0
+//
+// Feeds are served at /feed/<n>.xml.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"corona/internal/feed"
+	"corona/internal/webserver"
+)
+
+func main() {
+	bind := flag.String("bind", "127.0.0.1:8080", "listen address")
+	feeds := flag.Int("feeds", 20, "number of feeds to host")
+	update := flag.Duration("update", 5*time.Minute, "update interval of every feed")
+	rateLimit := flag.Int("ratelimit", 0, "max requests per client IP per minute (0 = unlimited)")
+	seed := flag.Int64("seed", 1, "content seed")
+	flag.Parse()
+
+	origin := webserver.NewOrigin()
+	now := time.Now()
+	for i := 0; i < *feeds; i++ {
+		url := fmt.Sprintf("/feed/%d.xml", i)
+		origin.Host(webserver.ChannelConfig{
+			URL:       url,
+			Process:   webserver.PeriodicProcess{Origin: now, Interval: *update},
+			Generator: feed.NewGenerator(url, *seed+int64(i)),
+		})
+	}
+	h := webserver.NewHTTPOrigin(origin, time.Now)
+	if *rateLimit > 0 {
+		h.SetRateLimit(*rateLimit)
+	}
+	log.Printf("corona-feedserver: %d feeds at http://%s/feed/<n>.xml, updating every %v", *feeds, *bind, *update)
+	log.Fatal(http.ListenAndServe(*bind, h))
+}

@@ -1,0 +1,147 @@
+// Command corona-node runs one live Corona overlay node: it joins (or
+// bootstraps) a TCP ring, polls real HTTP feeds, and serves clients over a
+// line-oriented IM protocol on a separate port.
+//
+// Usage:
+//
+//	corona-node -bind 127.0.0.1:9001 -im 127.0.0.1:9101                  # bootstrap
+//	corona-node -bind 127.0.0.1:9002 -im 127.0.0.1:9102 -seed-node 127.0.0.1:9001
+//
+// IM protocol (one command per line):
+//
+//	LOGIN <handle>          register/login; notifications follow as MSG lines
+//	SUBSCRIBE <url>         subscribe to a channel
+//	UNSUBSCRIBE <url>       unsubscribe
+//	QUIT                    disconnect (handle goes offline; messages buffer)
+//
+// Server lines:
+//
+//	OK <info> | ERR <reason> | MSG <from> <quoted-body>
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"corona"
+	"corona/internal/im"
+)
+
+func main() {
+	bind := flag.String("bind", "127.0.0.1:9001", "overlay TCP listen address")
+	imBind := flag.String("im", "127.0.0.1:9101", "IM line-protocol listen address")
+	seedNode := flag.String("seed-node", "", "existing member to join through (empty = bootstrap)")
+	scheme := flag.String("scheme", "lite", "lite, fast, fair, fair-sqrt, fair-log")
+	fastTarget := flag.Duration("fast-target", 30*time.Second, "Corona-Fast detection target")
+	poll := flag.Duration("poll", 30*time.Minute, "polling interval τ")
+	maintenance := flag.Duration("maintenance", 0, "maintenance interval (default = τ)")
+	nodes := flag.Int("n", 0, "node count hint for the optimizer (0 = estimate)")
+	flag.Parse()
+
+	cfg := corona.LiveConfig{
+		Bind:                *bind,
+		Scheme:              parseScheme(*scheme),
+		FastTarget:          *fastTarget,
+		PollInterval:        *poll,
+		MaintenanceInterval: *maintenance,
+		NodeCountHint:       *nodes,
+	}
+	if *seedNode != "" {
+		cfg.Seeds = []string{*seedNode}
+	}
+	node, err := corona.StartLiveNode(cfg)
+	if err != nil {
+		log.Fatalf("starting node: %v", err)
+	}
+	defer node.Close()
+	log.Printf("corona-node: overlay at %s, IM at %s, scheme %s", node.Addr(), *imBind, cfg.Scheme)
+
+	ln, err := net.Listen("tcp", *imBind)
+	if err != nil {
+		log.Fatalf("IM listener: %v", err)
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		go serveIM(conn, node)
+	}
+}
+
+func parseScheme(s string) corona.Scheme {
+	switch strings.ToLower(s) {
+	case "fast":
+		return corona.Fast
+	case "fair":
+		return corona.Fair
+	case "fair-sqrt":
+		return corona.FairSqrt
+	case "fair-log":
+		return corona.FairLog
+	default:
+		return corona.Lite
+	}
+}
+
+// serveIM bridges one TCP client to the node's IM service.
+func serveIM(conn net.Conn, node *corona.LiveNode) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	out := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(out, format+"\n", args...)
+		out.Flush()
+	}
+	var handle string
+	service := node.IM()
+	gateway := node.Gateway()
+	defer func() {
+		if handle != "" {
+			service.Logout(handle)
+		}
+	}()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToUpper(fields[0])
+		switch {
+		case cmd == "LOGIN" && len(fields) == 2:
+			if handle != "" {
+				reply("ERR already logged in as %s", handle)
+				continue
+			}
+			h := fields[1]
+			service.Register(h)
+			err := service.Login(h, func(m im.Message) {
+				// Quote the body so multi-line diffs survive the line
+				// protocol.
+				reply("MSG %s %s", m.From, strconv.Quote(m.Body))
+			})
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			handle = h
+			reply("OK logged in as %s", h)
+		case cmd == "SUBSCRIBE" && len(fields) == 2 && handle != "":
+			service.Send(handle, gateway.Handle(), "subscribe "+fields[1])
+		case cmd == "UNSUBSCRIBE" && len(fields) == 2 && handle != "":
+			service.Send(handle, gateway.Handle(), "unsubscribe "+fields[1])
+		case cmd == "QUIT":
+			reply("OK bye")
+			return
+		default:
+			reply("ERR expected LOGIN <handle> | SUBSCRIBE <url> | UNSUBSCRIBE <url> | QUIT")
+		}
+	}
+}

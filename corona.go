@@ -1,0 +1,156 @@
+// Package corona is the public API of the Corona publish-subscribe system
+// (Ramasubramanian, Peterson & Sirer, NSDI 2006).
+//
+// Corona delivers asynchronous update notifications for ordinary web
+// content: clients subscribe to URLs, a cloud of cooperating nodes polls
+// the content servers, and detected changes are delta-encoded and pushed
+// to subscribers. The polling effort per channel is set by a decentralized
+// optimizer that resolves the bandwidth/latency tradeoff globally — the
+// paper's central contribution.
+//
+// Three entry points cover the common uses:
+//
+//   - Cluster: an in-process, real-time cluster — the quickest way to
+//     embed Corona or experiment with the API.
+//   - Simulation: the same cluster under a virtual clock, for running
+//     hours of protocol time in milliseconds (how the paper's figures are
+//     regenerated; see internal/experiments).
+//   - LiveNode: one overlay node speaking TCP, for actual deployments.
+package corona
+
+import (
+	"fmt"
+	"time"
+
+	"corona/internal/core"
+)
+
+// Scheme selects the optimization policy (paper Table 1).
+type Scheme int
+
+// The five schemes the paper evaluates.
+const (
+	// Lite minimizes average update detection time holding total
+	// content-server load to what uncoordinated clients would impose.
+	Lite Scheme = iota
+	// Fast meets a target average detection time with minimal load.
+	Fast
+	// Fair weighs detection time by each channel's update rate.
+	Fair
+	// FairSqrt dampens Fair's bias against rarely-updating channels
+	// with a square-root weight.
+	FairSqrt
+	// FairLog uses a logarithmic weight instead.
+	FairLog
+)
+
+// String names the scheme as the paper does.
+func (s Scheme) String() string { return s.coreScheme().String() }
+
+func (s Scheme) coreScheme() core.Scheme {
+	switch s {
+	case Fast:
+		return core.SchemeFast
+	case Fair:
+		return core.SchemeFair
+	case FairSqrt:
+		return core.SchemeFairSqrt
+	case FairLog:
+		return core.SchemeFairLog
+	default:
+		return core.SchemeLite
+	}
+}
+
+// Notification is one update delivered to a subscriber.
+type Notification struct {
+	// Client is the subscriber handle the notification was addressed to.
+	Client string
+	// Channel is the subscribed URL.
+	Channel string
+	// Version is the content version detected.
+	Version uint64
+	// Diff is the delta-encoded change (Corona's wire format; see
+	// internal/diffengine). Empty in version-only mode.
+	Diff string
+	// At is the delivery time.
+	At time.Time
+}
+
+// Options configures a Cluster or Simulation.
+type Options struct {
+	// Nodes is the cloud size (default 16).
+	Nodes int
+	// Scheme is the optimization policy (default Lite).
+	Scheme Scheme
+	// FastTarget is the detection target for the Fast scheme (default
+	// 30 s, the paper's example).
+	FastTarget time.Duration
+	// PollInterval is τ (default 30 min; set seconds for demos).
+	PollInterval time.Duration
+	// MaintenanceInterval is the protocol period (default 2·τ).
+	MaintenanceInterval time.Duration
+	// ContentMode fetches real documents and runs the difference engine
+	// (default true for Cluster, where feeds are generator-backed).
+	ContentMode bool
+	// Replicas is f, the owner replication factor (default 2).
+	Replicas int
+	// Seed drives deterministic randomness (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Nodes == 0 {
+		o.Nodes = 16
+	}
+	if o.Nodes < 1 {
+		return o, fmt.Errorf("corona: Nodes must be positive, got %d", o.Nodes)
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = 30 * time.Minute
+	}
+	if o.PollInterval < 0 {
+		return o, fmt.Errorf("corona: PollInterval must be positive")
+	}
+	if o.MaintenanceInterval == 0 {
+		o.MaintenanceInterval = 2 * o.PollInterval
+	}
+	if o.FastTarget == 0 {
+		o.FastTarget = 30 * time.Second
+	}
+	if o.Replicas == 0 {
+		o.Replicas = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, nil
+}
+
+// ChannelStatus reports the cloud's view of one channel.
+type ChannelStatus struct {
+	// URL is the channel identity.
+	URL string
+	// Subscribers is the owner's subscriber count.
+	Subscribers int
+	// Level is the current polling level (lower = more pollers).
+	Level int
+	// Pollers is the number of nodes currently polling the channel.
+	Pollers int
+	// Orphan marks channels pinned at owner-only polling (paper §4).
+	Orphan bool
+}
+
+// Stats summarizes cloud activity.
+type Stats struct {
+	// Nodes is the cloud size.
+	Nodes int
+	// Polls is the total polls issued to content servers.
+	Polls uint64
+	// BytesServed is the total origin bytes transferred.
+	BytesServed uint64
+	// UpdatesDetected counts first-hand update detections.
+	UpdatesDetected uint64
+	// Notifications counts client notifications delivered.
+	Notifications uint64
+}

@@ -1,0 +1,76 @@
+// Flashcrowd: Corona as a buffer between clients and servers.
+//
+// The paper argues Corona "shields legacy web servers from sudden
+// increases in load": when a channel's popularity spikes (a flash crowd),
+// legacy polling multiplies the origin's load by the subscriber count,
+// and the load persists as users forget to unsubscribe ("sticky"
+// traffic, §1, §3.1). Under Corona, the origin sees at most the polling
+// of the assigned wedge — diminishing returns cap it — no matter how many
+// clients pile on.
+//
+// This example subscribes 20 clients to a feed, then 2000 more (the flash
+// crowd), and compares the origin's measured polls against what the same
+// population of legacy readers would have generated.
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"corona"
+)
+
+func main() {
+	sim, err := corona.NewSimulation(corona.Options{
+		Nodes:        64,
+		Scheme:       corona.Fast, // stable target; immune to popularity spikes (§3.1)
+		FastTarget:   time.Minute,
+		PollInterval: 30 * time.Minute,
+		Seed:         7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	const url = "http://viral.example.com/story.xml"
+	if err := sim.HostFeed(url, 20*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	subscribe := func(from, to int) {
+		for i := from; i < to; i++ {
+			sim.Subscribe(fmt.Sprintf("user%04d", i), url, func(corona.Notification) {})
+		}
+	}
+
+	const tau = 30 * time.Minute
+	measure := func(label string, d time.Duration, clients int) uint64 {
+		before := sim.Stats().Polls
+		sim.RunFor(d)
+		polls := sim.Stats().Polls - before
+		intervals := float64(d) / float64(tau)
+		legacyPolls := uint64(float64(clients) * intervals)
+		fmt.Printf("%-28s %6d clients | origin polls: corona %5d vs legacy-equivalent %6d\n",
+			label, clients, polls, legacyPolls)
+		return polls
+	}
+
+	subscribe(0, 20)
+	sim.RunFor(2 * time.Hour) // let levels settle
+	quiet := measure("steady state", 3*time.Hour, 20)
+
+	// The story goes viral: 2000 new subscribers in minutes.
+	subscribe(20, 2020)
+	sim.RunFor(2 * time.Hour) // re-optimization absorbs the spike
+	crowd := measure("after flash crowd", 3*time.Hour, 2020)
+
+	ratioCorona := float64(crowd) / float64(quiet)
+	fmt.Printf("\npopularity grew 101x; Corona's origin load grew %.1fx (legacy: 101x)\n", ratioCorona)
+	fmt.Println("the wedge stops growing once cooperative polling hits diminishing")
+	fmt.Println("returns, so the origin never meets the crowd — and when the crowd")
+	fmt.Println("forgets to unsubscribe, the sticky traffic costs the origin nothing.")
+}

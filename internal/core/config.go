@@ -1,0 +1,98 @@
+// Package core implements Corona itself: the cooperative-polling
+// publish-subscribe system layered on the Pastry overlay (paper §3).
+//
+// Each Node participates in the overlay, owns the channels whose
+// identifiers it is numerically closest to, manages their subscriptions
+// and tradeoff factors, polls the channels assigned to wedges it belongs
+// to, detects updates, disseminates delta-encoded diffs along the overlay
+// DAG, and notifies subscribers through an instant-messaging gateway.
+// Polling levels are set by the Honeycomb optimizer running over
+// fine-grained local factors and coarse-grained aggregated clusters
+// (paper §3.2-§3.3).
+//
+// The same Node runs under the discrete-event simulator and over real TCP:
+// time comes from a clock.Clock, messages from a pastry.Transport, and
+// content from a Fetcher.
+package core
+
+import (
+	"time"
+
+	"corona/internal/pastry"
+)
+
+// Config parameterizes a Corona node.
+type Config struct {
+	// Pastry configures the underlying overlay.
+	Pastry pastry.Config
+
+	// Policy selects the optimization scheme (Table 1) and its target.
+	Policy PolicyConfig
+
+	// PollInterval is τ, the per-node polling period (30 min in the
+	// paper's simulations, §5.1).
+	PollInterval time.Duration
+
+	// MaintenanceInterval is the period of the optimize/maintain/
+	// aggregate protocol (1 h in the simulations, 30 min in the
+	// deployment).
+	MaintenanceInterval time.Duration
+
+	// OwnerReplicas is f, the number of additional owners (closest ring
+	// neighbors of the primary owner) holding subscription state for
+	// failure tolerance (§3.3).
+	OwnerReplicas int
+
+	// TradeoffBins is the number of aggregation clusters per polling
+	// level (16 in the prototype, §4).
+	TradeoffBins int
+
+	// NodeCount, when positive, fixes N for the tradeoff formulas.
+	// When zero, nodes estimate N from leaf-set density, the way a
+	// deployment must (§5.3 "dynamically learns the parameters").
+	NodeCount int
+
+	// CountSubscribersOnly, when set, keeps only subscriber counts
+	// instead of per-client identities, and reports notifications to the
+	// sink without delivering IM payloads. Paper-scale simulations
+	// (1,000,000 subscriptions) use this; deployment-scale runs track
+	// full identities.
+	CountSubscribersOnly bool
+
+	// ContentMode, when set, fetches real documents and runs the
+	// difference engine on every detected change. Version-only mode
+	// trusts the Fetcher's version counter (the simulator's fast path).
+	ContentMode bool
+
+	// Seed drives the node's local randomness (poll phases).
+	Seed int64
+}
+
+// DefaultConfig returns the simulation defaults from §5.1.
+func DefaultConfig() Config {
+	return Config{
+		Pastry:               pastry.DefaultConfig(),
+		Policy:               PolicyConfig{Scheme: SchemeLite},
+		PollInterval:         30 * time.Minute,
+		MaintenanceInterval:  time.Hour,
+		OwnerReplicas:        2,
+		TradeoffBins:         16,
+		CountSubscribersOnly: true,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 30 * time.Minute
+	}
+	if c.MaintenanceInterval <= 0 {
+		c.MaintenanceInterval = time.Hour
+	}
+	if c.TradeoffBins <= 0 {
+		c.TradeoffBins = 16
+	}
+	if c.OwnerReplicas < 0 {
+		c.OwnerReplicas = 0
+	}
+	return c
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+// intervalEstimator tracks a channel's update interval from observed
+// update times (paper §3.3: "The latter is estimated based on time between
+// updates detected by Corona"). It keeps an exponentially weighted moving
+// average of inter-update gaps, bootstrapped pessimistically so a channel
+// that has never updated is treated as slow-changing rather than hot.
+type intervalEstimator struct {
+	// lastUpdate is the most recent observed update instant.
+	lastUpdate time.Time
+	// ewma is the smoothed gap estimate in seconds; zero means no gap
+	// observed yet.
+	ewma float64
+	// observed counts update gaps folded in.
+	observed int
+}
+
+// estimatorAlpha is the EWMA smoothing factor: new gaps move the estimate
+// by 25%, balancing responsiveness against poll-phase noise.
+const estimatorAlpha = 0.25
+
+// defaultInterval is the prior for channels with no observed updates: the
+// one-week cap the paper applies to channels that never changed (§5.1).
+const defaultInterval = 7 * 24 * time.Hour
+
+// observe folds in an update seen at t. Multiple versions arriving at the
+// same poll count as one observation of the enclosing gap.
+func (e *intervalEstimator) observe(t time.Time) {
+	if e.lastUpdate.IsZero() {
+		e.lastUpdate = t
+		return
+	}
+	gap := t.Sub(e.lastUpdate).Seconds()
+	if gap <= 0 {
+		return
+	}
+	e.lastUpdate = t
+	if e.ewma == 0 {
+		e.ewma = gap
+	} else {
+		e.ewma = estimatorAlpha*gap + (1-estimatorAlpha)*e.ewma
+	}
+	e.observed++
+}
+
+// interval returns the current estimate.
+func (e *intervalEstimator) interval() time.Duration {
+	if e.ewma == 0 {
+		return defaultInterval
+	}
+	return time.Duration(e.ewma * float64(time.Second))
+}
+
+// estimateNodeCount infers the overlay size from leaf-set density: if the
+// k nearest neighbors span an arc of length d on a ring of circumference
+// C, the population is about k·C/d. This is how a deployed node learns N
+// without central coordination (§5.3).
+func estimateNodeCount(self ids.ID, leaves []pastry.Addr) int {
+	if len(leaves) == 0 {
+		return 1
+	}
+	// Find the maximum ring distance from self to a leaf; the leaf set
+	// holds the nearest members on both sides, so that arc (twice, for
+	// both sides) contains len(leaves) nodes.
+	var maxDist ids.ID
+	for _, a := range leaves {
+		if d := self.Distance(a.ID); d.Cmp(maxDist) > 0 {
+			maxDist = d
+		}
+	}
+	if maxDist.IsZero() {
+		return 1
+	}
+	// Estimate using the leading 64 bits of distance vs the full ring.
+	distHi := float64(beUint64(maxDist))
+	if distHi == 0 {
+		distHi = 1
+	}
+	ringHi := math.Pow(2, 64)
+	density := float64(len(leaves)) / (2 * distHi) // nodes per unit arc (one side avg)
+	n := int(density * 2 * ringHi)
+	if n < len(leaves)+1 {
+		n = len(leaves) + 1
+	}
+	return n
+}
+
+// beUint64 reads the top 8 bytes of an ID as a big-endian integer.
+func beUint64(id ids.ID) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(id[i])
+	}
+	return v
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"corona/internal/honeycomb"
+	"corona/internal/pastry"
+)
+
+// RegisterPayloadTypes hands Corona's message payload constructors to a
+// wire codec (netwire) so typed payloads survive serialization in live
+// deployments.
+func RegisterPayloadTypes(register func(msgType string, factory func() any)) {
+	register(msgSubscribe, func() any { return &subscribeMsg{} })
+	register(msgUnsubscribe, func() any { return &subscribeMsg{} })
+	register(msgReplicate, func() any { return &replicateMsg{} })
+	register(msgPollCtl, func() any { return &pollCtlMsg{} })
+	register(msgUpdate, func() any { return &updateMsg{} })
+	register(msgReport, func() any { return &reportMsg{} })
+	register(msgMaintain, func() any { return &maintainMsg{} })
+	register(msgWedgeFwd, func() any { return &wedgeFwdMsg{} })
+	register(msgNotify, func() any { return &notifyMsg{} })
+}
+
+// Corona application message types carried over the overlay.
+const (
+	msgSubscribe   = "corona.subscribe"
+	msgUnsubscribe = "corona.unsubscribe"
+	msgReplicate   = "corona.replicate"
+	msgPollCtl     = "corona.pollctl"
+	msgUpdate      = "corona.update"
+	msgReport      = "corona.report"
+	msgMaintain    = "corona.maintain"
+	msgWedgeFwd    = "corona.wedgefwd"
+	msgNotify      = "corona.notify"
+)
+
+// subscribeMsg is routed through the overlay to the channel's owner
+// (paper §3.3: "owners receive subscriptions through the underlying
+// overlay, which routes all subscription requests of a channel
+// automatically to the node with the closest identifier").
+type subscribeMsg struct {
+	URL    string `json:"url"`
+	Client string `json:"client"`
+	// Entry is the node the client is attached to (its IM access
+	// point); the owner sends this client's notifications back through
+	// it, the role the paper's centralized IM intermediary plays (§4).
+	Entry pastry.Addr `json:"entry"`
+	// Remove distinguishes unsubscribe requests sharing the route path.
+	Remove bool `json:"remove,omitempty"`
+}
+
+// replicatedSub is one subscriber record inside a replicateMsg.
+type replicatedSub struct {
+	Client string      `json:"client"`
+	Entry  pastry.Addr `json:"entry"`
+}
+
+// notifyMsg carries one client's update notification from the channel
+// owner to the client's entry node, whose IM gateway delivers it.
+type notifyMsg struct {
+	Client  string `json:"client"`
+	URL     string `json:"url"`
+	Version uint64 `json:"version"`
+	Diff    string `json:"diff,omitempty"`
+}
+
+// replicateMsg carries owner state to the f closest neighbors so channel
+// ownership survives failures (§3.3).
+type replicateMsg struct {
+	URL string `json:"url"`
+	// Subscribers lists client identities with their entry nodes, or is
+	// nil in counting mode.
+	Subscribers []replicatedSub `json:"subscribers,omitempty"`
+	// Count is the subscriber count (authoritative in counting mode).
+	Count int `json:"count"`
+	// SizeBytes and IntervalSec replicate the tradeoff factors.
+	SizeBytes   int     `json:"size_bytes"`
+	IntervalSec float64 `json:"interval_sec"`
+	LastVersion uint64  `json:"last_version"`
+	Level       int     `json:"level"`
+	Epoch       uint64  `json:"epoch"`
+}
+
+// pollCtlMsg adjusts a channel's polling level across its wedge. It is
+// broadcast along the DAG; receivers poll iff they share Level prefix
+// digits with the channel (§3.3).
+type pollCtlMsg struct {
+	URL   string `json:"url"`
+	Level int    `json:"level"`
+	// Epoch orders level changes; stale control messages are ignored.
+	Epoch uint64 `json:"epoch"`
+	// Factors piggy-backs the owner's current estimates so wedge members
+	// and aggregation stay fresh (§3.3: estimates are carried on
+	// maintenance messages through the DAG).
+	Q           int     `json:"q"`
+	SizeBytes   int     `json:"size_bytes"`
+	IntervalSec float64 `json:"interval_sec"`
+}
+
+// updateMsg disseminates a detected update through the channel's wedge
+// (§3.4). In content mode Diff carries the encoded delta; in version mode
+// only version metadata travels.
+type updateMsg struct {
+	URL     string `json:"url"`
+	Version uint64 `json:"version"`
+	// Diff is the encoded delta (empty in version-only mode).
+	Diff string `json:"diff,omitempty"`
+	// Bytes is the transfer size for load accounting.
+	Bytes int `json:"bytes"`
+}
+
+// reportMsg is sent by a detecting node to the primary owner for channels
+// without reliable server timestamps: the owner assigns the version number
+// and initiates dissemination, discarding redundant simultaneous reports
+// (§3.4).
+type reportMsg struct {
+	URL string `json:"url"`
+	// ObservedVersion is the version the detector polled.
+	ObservedVersion uint64 `json:"observed_version"`
+	Diff            string `json:"diff,omitempty"`
+	Bytes           int    `json:"bytes"`
+}
+
+// wedgeFwdMsg delegates a wedge broadcast to a node closer (in prefix
+// digits) to the channel than the sender. The owner is the numerically
+// closest node to the channel identifier, but near digit boundaries it may
+// share fewer prefix digits than other nodes; wedge operations then hop
+// along routing-table prefix contacts until a true wedge member performs
+// the broadcast. A channel for which no such contact exists has an empty
+// wedge — the paper's orphan (§4).
+type wedgeFwdMsg struct {
+	URL   string `json:"url"`
+	Level int    `json:"level"`
+	// InnerType and one of the payloads carry the wrapped operation.
+	InnerType string      `json:"inner_type"`
+	PollCtl   *pollCtlMsg `json:"poll_ctl,omitempty"`
+	Update    *updateMsg  `json:"update,omitempty"`
+}
+
+// maintainMsg is the periodic exchange with routing-table contacts: the
+// sender's aggregate of tradeoff clusters for its prefix subtree
+// (§3.2-§3.3). Row tells the receiver which subtree depth the aggregate
+// summarizes.
+type maintainMsg struct {
+	// Row is the routing-table row this message was sent along: the
+	// aggregate summarizes channels owned by nodes sharing Row+1 prefix
+	// digits with the sender.
+	Row int `json:"row"`
+	// Clusters is the subtree aggregate.
+	Clusters *honeycomb.ClusterSet `json:"clusters"`
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"corona/internal/clock"
+	"corona/internal/honeycomb"
+	"corona/internal/ids"
+	"corona/internal/pastry"
+	"corona/internal/webserver"
+)
+
+// Fetcher polls a channel's content server. Simulations back it with
+// webserver.Origin under virtual time; live nodes use an HTTP client.
+type Fetcher interface {
+	// Fetch polls url. haveVersion is the validator: when the server's
+	// content still matches, the result reports Modified=false and costs
+	// only a probe. Version 0 forces a full fetch.
+	Fetch(url string, haveVersion uint64) (webserver.FetchResult, error)
+}
+
+// Notifier delivers update notifications to subscribers; the IM gateway
+// implements it (paper §3.5). In counting mode the node calls
+// NotifyCount instead of per-client Notify.
+type Notifier interface {
+	// Notify sends one client the diff for a channel update.
+	Notify(client, channelURL string, version uint64, diff string)
+	// NotifyCount reports that count subscribers of a channel were
+	// notified of version (counting mode, used at simulation scale).
+	NotifyCount(channelURL string, version uint64, count int)
+}
+
+// DetectionSink receives update-detection events for measurement. The
+// experiment harness implements it; a nil sink disables measurement.
+type DetectionSink interface {
+	// UpdateDetected fires when a node first learns (by its own poll)
+	// that a channel moved to version. The sink deduplicates across
+	// nodes: only the earliest report per (channel, version) counts.
+	UpdateDetected(channelURL string, version uint64, at time.Time)
+}
+
+// subscriberSet tracks subscribers either by identity (with the entry
+// node that delivers their notifications) or by count alone.
+type subscriberSet struct {
+	count int
+	ids   map[string]pastry.Addr // client -> entry node; nil in counting mode
+}
+
+func (s *subscriberSet) add(client string, entry pastry.Addr, countOnly bool) bool {
+	if countOnly {
+		s.count++
+		return true
+	}
+	if s.ids == nil {
+		s.ids = make(map[string]pastry.Addr)
+	}
+	if _, dup := s.ids[client]; dup {
+		s.ids[client] = entry // refresh the entry point
+		return false
+	}
+	s.ids[client] = entry
+	s.count = len(s.ids)
+	return true
+}
+
+func (s *subscriberSet) remove(client string, countOnly bool) bool {
+	if countOnly {
+		if s.count > 0 {
+			s.count--
+			return true
+		}
+		return false
+	}
+	if _, ok := s.ids[client]; !ok {
+		return false
+	}
+	delete(s.ids, client)
+	s.count = len(s.ids)
+	return true
+}
+
+// channelState is everything one node knows about one channel. Owners
+// populate the subscription and estimator fields; every polling wedge
+// member tracks level and version.
+type channelState struct {
+	url     string
+	id      ids.ID
+	level   int    // current polling level of the channel (this node's belief)
+	epoch   uint64 // owner's level-change counter, suppresses stale pollctl
+	polling bool
+	orphan  bool
+
+	isOwner     bool // primary owner (root of the channel ID)
+	isReplica   bool // one of the f additional owners
+	ownerPrefix int  // prefix digits the owner shares with the channel
+
+	subs subscriberSet
+
+	sizeBytes   int
+	est         intervalEstimator
+	lastVersion uint64
+	content     []string // extracted core content (content mode)
+
+	pollTimer clock.Timer
+}
+
+// Stats counts a node's Corona-level activity.
+type Stats struct {
+	PollsIssued       uint64
+	UpdatesDetected   uint64
+	UpdatesReceived   uint64 // learned via dissemination
+	NotificationsSent uint64
+	MaintenanceRounds uint64
+	LevelChanges      uint64
+	SubscriptionsHeld int
+	ChannelsOwned     int
+	ChannelsPolled    int
+}
+
+// Node is one Corona overlay participant.
+type Node struct {
+	cfg     Config
+	overlay *pastry.Node
+	clk     clock.Clock
+	fetcher Fetcher
+	notify  Notifier
+	sink    DetectionSink
+	rng     *rand.Rand
+
+	mu       sync.Mutex
+	channels map[ids.ID]*channelState
+	// clusterIn[row] holds the most recent aggregate received from each
+	// row contact (keyed by column digit): that contact's summary of
+	// channels owned by nodes sharing row+1 prefix digits with it.
+	clusterIn []map[int]*honeycomb.ClusterSet
+
+	maintTimer clock.Timer
+	started    bool
+	stopped    bool
+
+	stats Stats
+}
+
+// NewNode builds a Corona node over an existing overlay node. The overlay
+// node must not have had Corona handlers registered before.
+func NewNode(cfg Config, overlay *pastry.Node, clk clock.Clock, fetcher Fetcher, notify Notifier, sink DetectionSink) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:      cfg,
+		overlay:  overlay,
+		clk:      clk,
+		fetcher:  fetcher,
+		notify:   notify,
+		sink:     sink,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(beUint64(overlay.Self().ID)))),
+		channels: make(map[ids.ID]*channelState),
+	}
+	maxRows := overlay.Config().MaxTableRows
+	n.clusterIn = make([]map[int]*honeycomb.ClusterSet, maxRows)
+	n.registerHandlers()
+	overlay.OnFault(n.handlePeerFault)
+	return n
+}
+
+// Overlay returns the underlying overlay node.
+func (n *Node) Overlay() *pastry.Node { return n.overlay }
+
+// SetNotifier replaces the node's notification sink. Live deployments use
+// it to wire the IM gateway, which cannot exist before the node (the
+// gateway needs the node as its subscription target).
+func (n *Node) SetNotifier(notify Notifier) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.notify = notify
+}
+
+// Self returns the node's overlay address.
+func (n *Node) Self() pastry.Addr { return n.overlay.Self() }
+
+// Stats returns a snapshot of activity counters and state sizes.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	for _, ch := range n.channels {
+		if ch.isOwner {
+			s.ChannelsOwned++
+			s.SubscriptionsHeld += ch.subs.count
+		}
+		if ch.polling {
+			s.ChannelsPolled++
+		}
+	}
+	return s
+}
+
+// ChannelLevel reports the node's current belief of a channel's polling
+// level and whether this node polls it (for the evaluation harness).
+func (n *Node) ChannelLevel(url string) (level int, polling bool, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch, exists := n.channels[ids.HashString(url)]
+	if !exists {
+		return 0, false, false
+	}
+	return ch.level, ch.polling, true
+}
+
+// EachPolled visits every channel this node currently polls, passing the
+// URL and the node's level belief. The evaluation harness uses it to count
+// pollers per channel (Figure 5).
+func (n *Node) EachPolled(visit func(url string, level int)) {
+	n.mu.Lock()
+	type entry struct {
+		url   string
+		level int
+	}
+	polled := make([]entry, 0, len(n.channels))
+	for _, ch := range n.channels {
+		if ch.polling {
+			polled = append(polled, entry{ch.url, ch.level})
+		}
+	}
+	n.mu.Unlock()
+	for _, e := range polled {
+		visit(e.url, e.level)
+	}
+}
+
+// Start begins the periodic maintenance protocol. Polling for a channel
+// begins when the node becomes its owner (via subscription) or is
+// instructed by a poll-control message.
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	// Desynchronize maintenance across nodes with a random initial phase,
+	// like the polling protocol (paper §3.3).
+	phase := time.Duration(n.rng.Int63n(int64(n.cfg.MaintenanceInterval)))
+	n.maintTimer = n.clk.AfterFunc(phase, n.maintenanceTick)
+}
+
+// Stop cancels timers and halts polling; the node stops participating.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopped = true
+	if n.maintTimer != nil {
+		n.maintTimer.Stop()
+	}
+	for _, ch := range n.channels {
+		if ch.pollTimer != nil {
+			ch.pollTimer.Stop()
+		}
+		ch.polling = false
+	}
+}
+
+// env builds the tradeoff environment from configuration or runtime
+// estimates.
+func (n *Node) env() TradeoffEnv {
+	nodes := n.cfg.NodeCount
+	if nodes <= 0 {
+		nodes = estimateNodeCount(n.overlay.Self().ID, n.overlay.Leaves())
+	}
+	base := n.overlay.Base()
+	return TradeoffEnv{
+		Nodes:        nodes,
+		Radix:        base.Radix(),
+		PollInterval: n.cfg.PollInterval,
+		MaxLevel:     base.MaxLevel(nodes),
+	}
+}
+
+// getChannel returns existing state or creates it.
+func (n *Node) getChannel(url string) *channelState {
+	id := ids.HashString(url)
+	if ch, ok := n.channels[id]; ok {
+		return ch
+	}
+	ch := &channelState{url: url, id: id, level: -1}
+	n.channels[id] = ch
+	return ch
+}

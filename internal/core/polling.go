@@ -1,0 +1,234 @@
+package core
+
+import (
+	"time"
+
+	"corona/internal/diffengine"
+	"corona/internal/pastry"
+)
+
+// rssExtractor is the shared difference-engine profile for micronews
+// documents; extraction is stateless so one instance serves all channels.
+var rssExtractor = diffengine.RSSProfile()
+
+// startPollingLocked begins the periodic poll loop for a channel with a
+// random initial phase, so polls by different wedge members spread evenly
+// over the polling interval (paper §3.3: "it waits for a random interval
+// of time between 0 and the polling interval").
+func (n *Node) startPollingLocked(ch *channelState) {
+	if ch.polling || n.stopped {
+		return
+	}
+	ch.polling = true
+	phase := time.Duration(n.rng.Int63n(int64(n.cfg.PollInterval)))
+	ch.pollTimer = n.clk.AfterFunc(phase, func() { n.pollChannel(ch) })
+}
+
+// stopPollingLocked halts the poll loop.
+func (n *Node) stopPollingLocked(ch *channelState) {
+	if !ch.polling {
+		return
+	}
+	ch.polling = false
+	if ch.pollTimer != nil {
+		ch.pollTimer.Stop()
+		ch.pollTimer = nil
+	}
+}
+
+// pollChannel performs one poll and reschedules the next.
+func (n *Node) pollChannel(ch *channelState) {
+	n.mu.Lock()
+	if !ch.polling || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	// Reschedule first so a panic in handling cannot silently stop the
+	// loop, and so poll cadence is independent of processing time.
+	ch.pollTimer = n.clk.AfterFunc(n.cfg.PollInterval, func() { n.pollChannel(ch) })
+	n.stats.PollsIssued++
+	have := ch.lastVersion
+	url := ch.url
+	n.mu.Unlock()
+
+	res, err := n.fetcher.Fetch(url, have)
+	if err != nil {
+		// Origin unreachable this round; keep polling.
+		return
+	}
+	if !res.Modified || res.Version <= have {
+		return
+	}
+	n.updateDetected(ch, fetchedUpdate{
+		Version:      res.Version,
+		Bytes:        res.Bytes,
+		Body:         res.Body,
+		HasTimestamp: true, // simulated origins expose modification versions
+	})
+}
+
+// updateDetected runs when this node's own poll observed a fresh version.
+func (n *Node) updateDetected(ch *channelState, res fetchedUpdate) {
+	now := n.now()
+
+	var diffText string
+	var diffBytes int
+	if n.cfg.ContentMode && res.Body != nil {
+		// Run the difference engine over extracted core content; only
+		// germane changes disseminate (§3.4).
+		newContent := rssExtractor.Extract(string(res.Body))
+		n.mu.Lock()
+		old := ch.content
+		oldVersion := ch.lastVersion
+		ch.content = newContent
+		n.mu.Unlock()
+		d := diffengine.Compute(old, newContent, oldVersion, res.Version)
+		if d.Empty() && oldVersion > 0 {
+			// Superficial churn only: remember the version, no dissemination.
+			n.mu.Lock()
+			if res.Version > ch.lastVersion {
+				ch.lastVersion = res.Version
+			}
+			n.mu.Unlock()
+			return
+		}
+		diffText = diffengine.Encode(d)
+		diffBytes = d.WireSize()
+	} else {
+		diffBytes = res.Bytes / 15 // delta ≈ 6.8% of content (survey [19])
+	}
+
+	n.mu.Lock()
+	if res.Version <= ch.lastVersion {
+		n.mu.Unlock()
+		return // raced with dissemination
+	}
+	ch.lastVersion = res.Version
+	ch.est.observe(now)
+	level := ch.level
+	if level < 0 {
+		level = n.env().MaxLevel
+	}
+	isOwner := ch.isOwner
+	n.stats.UpdatesDetected++
+	n.mu.Unlock()
+
+	if n.sink != nil {
+		n.sink.UpdateDetected(ch.url, res.Version, now)
+	}
+
+	// Share the diff with the rest of the wedge along the DAG (§3.4).
+	update := &updateMsg{
+		URL:     ch.url,
+		Version: res.Version,
+		Diff:    diffText,
+		Bytes:   diffBytes,
+	}
+	n.sendToWedge(ch.id, ch.url, level, msgUpdate, nil, update)
+
+	switch {
+	case isOwner:
+		n.notifySubscribers(ch, res.Version, diffText)
+	case !res.HasTimestamp:
+		// Channels without reliable server timestamps get their version
+		// assigned by the primary owner; report the observation (§3.4).
+		n.overlay.Route(ch.id, msgReport, &reportMsg{
+			URL:             ch.url,
+			ObservedVersion: res.Version,
+			Diff:            diffText,
+			Bytes:           diffBytes,
+		})
+	default:
+		// The owner may lie across a digit boundary outside the wedge;
+		// route it a copy so subscribers are notified. Owners
+		// deduplicate by version, so the common case (owner already in
+		// the wedge) costs one redundant message at most.
+		n.overlay.Route(ch.id, msgUpdate, update)
+	}
+}
+
+// fetchedUpdate narrows webserver.FetchResult plus timestamp provenance.
+type fetchedUpdate struct {
+	Version      uint64
+	Bytes        int
+	Body         []byte
+	HasTimestamp bool
+}
+
+// handleUpdate processes a diff disseminated by another wedge member.
+func (n *Node) handleUpdate(msg pastry.Message) {
+	p, ok := msg.Payload.(*updateMsg)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	ch := n.getChannel(p.URL)
+	fresh := p.Version > ch.lastVersion
+	if fresh {
+		ch.lastVersion = p.Version
+		ch.est.observe(n.now())
+		n.stats.UpdatesReceived++
+	}
+	isOwner := ch.isOwner
+	n.mu.Unlock()
+	if !fresh {
+		return
+	}
+	if n.cfg.ContentMode && p.Diff != "" {
+		n.applyDiff(ch, p.Diff)
+	}
+	// Owners notify their subscribers when the update reaches them via
+	// dissemination rather than their own poll.
+	if isOwner && msg.From.ID != n.Self().ID {
+		n.notifySubscribers(ch, p.Version, p.Diff)
+	}
+}
+
+// applyDiff patches the locally cached core content so this node can
+// generate future diffs against the newest version (§3.1: every polling
+// node keeps a copy of the latest version).
+func (n *Node) applyDiff(ch *channelState, encoded string) {
+	d, err := diffengine.Decode(encoded)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	patched, err := d.Apply(ch.content)
+	if err != nil {
+		// Base mismatch: drop the cache; the next poll refetches whole
+		// content.
+		ch.content = nil
+		return
+	}
+	ch.content = patched
+}
+
+// handleReport runs at the primary owner for channels whose versions it
+// assigns: redundant simultaneous reports are discarded, fresh ones get a
+// version and are re-disseminated (§3.4).
+func (n *Node) handleReport(msg pastry.Message) {
+	p, ok := msg.Payload.(*reportMsg)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	ch := n.getChannel(p.URL)
+	if !ch.isOwner {
+		n.mu.Unlock()
+		return
+	}
+	if p.ObservedVersion <= ch.lastVersion {
+		n.mu.Unlock()
+		return // redundant report
+	}
+	ch.lastVersion = p.ObservedVersion
+	ch.est.observe(n.now())
+	level := ch.level
+	n.mu.Unlock()
+
+	n.overlay.Broadcast(level, msgUpdate, &updateMsg{
+		URL: p.URL, Version: p.ObservedVersion, Diff: p.Diff, Bytes: p.Bytes,
+	})
+	n.notifySubscribers(ch, p.ObservedVersion, p.Diff)
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"time"
+
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+// Subscribe registers a client's interest in a channel URL. The request is
+// routed through the overlay to the channel's primary owner, which may be
+// this node itself (paper §3.3, §3.5).
+func (n *Node) Subscribe(client, url string) error {
+	return n.overlay.Route(ids.HashString(url), msgSubscribe, &subscribeMsg{URL: url, Client: client, Entry: n.Self()})
+}
+
+// Unsubscribe removes a client's interest in a channel.
+func (n *Node) Unsubscribe(client, url string) error {
+	return n.overlay.Route(ids.HashString(url), msgSubscribe, &subscribeMsg{URL: url, Client: client, Entry: n.Self(), Remove: true})
+}
+
+// handleSubscribe runs at the channel's primary owner.
+func (n *Node) handleSubscribe(msg pastry.Message) {
+	p, ok := msg.Payload.(*subscribeMsg)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	ch := n.getChannel(p.URL)
+	changed := false
+	if p.Remove {
+		changed = ch.subs.remove(p.Client, n.cfg.CountSubscribersOnly)
+	} else {
+		changed = ch.subs.add(p.Client, p.Entry, n.cfg.CountSubscribersOnly)
+	}
+	n.becomeOwnerLocked(ch)
+	n.mu.Unlock()
+	if changed {
+		n.replicateChannel(ch)
+	}
+}
+
+// becomeOwnerLocked promotes this node to primary owner of the channel if
+// it is the overlay root for the channel's identifier, starting owner-side
+// polling at the base level K (§3.3: "Initially, only the owner nodes at
+// level K = ceil(log N) poll for the channels").
+func (n *Node) becomeOwnerLocked(ch *channelState) {
+	if !n.overlay.IsRoot(ch.id) {
+		return
+	}
+	if ch.isOwner {
+		return
+	}
+	ch.isOwner = true
+	env := n.env()
+	if ch.level < 0 {
+		ch.level = env.MaxLevel
+	}
+	if ch.sizeBytes == 0 {
+		ch.sizeBytes = 4096
+	}
+	// Orphan classification (§4): a channel is an orphan when its
+	// level-(K-1) wedge cannot be reached — no node carries enough
+	// matching prefix digits. Orphans stay pinned at owner-only polling;
+	// their tradeoff factors flow into the slack cluster that corrects
+	// the optimization target before solving.
+	base := n.overlay.Base()
+	ch.ownerPrefix = base.CommonPrefix(n.Self().ID, ch.id)
+	ch.orphan = !n.wedgeReachable(ch.id, env.MaxLevel-1)
+	n.startPollingLocked(ch)
+}
+
+// replicateChannel pushes owner state to the f closest ring neighbors.
+func (n *Node) replicateChannel(ch *channelState) {
+	if n.cfg.OwnerReplicas == 0 {
+		return
+	}
+	n.mu.Lock()
+	if !ch.isOwner {
+		n.mu.Unlock()
+		return
+	}
+	rep := &replicateMsg{
+		URL:         ch.url,
+		Count:       ch.subs.count,
+		SizeBytes:   ch.sizeBytes,
+		IntervalSec: ch.est.interval().Seconds(),
+		LastVersion: ch.lastVersion,
+		Level:       ch.level,
+		Epoch:       ch.epoch,
+	}
+	if !n.cfg.CountSubscribersOnly {
+		for c, entry := range ch.subs.ids {
+			rep.Subscribers = append(rep.Subscribers, replicatedSub{Client: c, Entry: entry})
+		}
+	}
+	n.mu.Unlock()
+	for _, neighbor := range n.overlay.Neighbors(n.cfg.OwnerReplicas) {
+		n.overlay.SendDirect(neighbor, msgReplicate, rep)
+	}
+}
+
+// handleReplicate stores replica state at a backup owner.
+func (n *Node) handleReplicate(msg pastry.Message) {
+	p, ok := msg.Payload.(*replicateMsg)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch := n.getChannel(p.URL)
+	if ch.isOwner {
+		// A replica push from a stale owner; ignore — we are primary.
+		return
+	}
+	ch.isReplica = true
+	ch.subs.count = p.Count
+	if p.Subscribers != nil {
+		ch.subs.ids = make(map[string]pastry.Addr, len(p.Subscribers))
+		for _, sub := range p.Subscribers {
+			ch.subs.ids[sub.Client] = sub.Entry
+		}
+	}
+	ch.sizeBytes = p.SizeBytes
+	if p.IntervalSec > 0 && ch.est.ewma == 0 {
+		ch.est.ewma = p.IntervalSec
+	}
+	if p.LastVersion > ch.lastVersion {
+		ch.lastVersion = p.LastVersion
+	}
+	if p.Level >= 0 && p.Epoch >= ch.epoch {
+		ch.level = p.Level
+		ch.epoch = p.Epoch
+	}
+}
+
+// handlePeerFault runs when the overlay detects a dead peer: replicas
+// whose primary owner failed promote themselves if they are now the root
+// (§3.3: "In the event an owner fails, a new neighbor automatically
+// replaces it ... a node that becomes a new owner receives the state from
+// other owners of the channel").
+func (n *Node) handlePeerFault(dead pastry.Addr) {
+	n.mu.Lock()
+	var promoted []*channelState
+	for _, ch := range n.channels {
+		if !ch.isOwner && ch.isReplica && n.overlay.IsRoot(ch.id) {
+			promoted = append(promoted, ch)
+		}
+	}
+	for _, ch := range promoted {
+		n.becomeOwnerLocked(ch)
+		n.stats.LevelChanges++ // ownership transfer shows up in churn stats
+	}
+	n.mu.Unlock()
+	for _, ch := range promoted {
+		n.replicateChannel(ch)
+	}
+}
+
+// notifySubscribers delivers an update to every subscriber of an owned
+// channel through the IM gateway (§3.5). Counting mode reports the batch
+// size to the sink without materializing per-client sends.
+func (n *Node) notifySubscribers(ch *channelState, version uint64, diff string) {
+	n.mu.Lock()
+	notify := n.notify
+	if notify == nil {
+		n.mu.Unlock()
+		return
+	}
+	count := ch.subs.count
+	type target struct {
+		client string
+		entry  pastry.Addr
+	}
+	var targets []target
+	if !n.cfg.CountSubscribersOnly {
+		targets = make([]target, 0, len(ch.subs.ids))
+		for c, entry := range ch.subs.ids {
+			targets = append(targets, target{client: c, entry: entry})
+		}
+	}
+	n.stats.NotificationsSent += uint64(count)
+	n.mu.Unlock()
+	if n.cfg.CountSubscribersOnly {
+		if count > 0 {
+			notify.NotifyCount(ch.url, version, count)
+		}
+		return
+	}
+	self := n.Self().ID
+	for _, t := range targets {
+		if t.entry.IsZero() || t.entry.ID == self {
+			notify.Notify(t.client, ch.url, version, diff)
+			continue
+		}
+		// The client entered through another node: hand the
+		// notification to that node's gateway, the paper's centralized
+		// IM intermediary generalized to the overlay (§4).
+		n.overlay.SendDirect(t.entry, msgNotify, &notifyMsg{
+			Client: t.client, URL: ch.url, Version: version, Diff: diff,
+		})
+	}
+}
+
+// handleNotify delivers a notification that was routed through this node
+// because the subscriber entered the system here.
+func (n *Node) handleNotify(msg pastry.Message) {
+	p, ok := msg.Payload.(*notifyMsg)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	notify := n.notify
+	n.mu.Unlock()
+	if notify != nil {
+		notify.Notify(p.Client, p.URL, p.Version, p.Diff)
+	}
+}
+
+// now returns the node's clock time; extracted for brevity.
+func (n *Node) now() time.Time { return n.clk.Now() }

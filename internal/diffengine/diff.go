@@ -1,0 +1,301 @@
+// Package diffengine implements Corona's feed-specific difference engine
+// (paper §3.4).
+//
+// The engine determines whether a freshly polled copy of a channel carries
+// germane new information: it extracts the core content (filtering out
+// superficial, frequently changing elements such as timestamps, hit
+// counters, and advertisements), compares it with the previous version
+// line by line, and emits a compact delta. Deltas resemble POSIX diff
+// output: each hunk carries the line numbers where the change occurs, the
+// changed content, whether it is an addition, omission, or replacement,
+// and the version number of the old content to apply against.
+package diffengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind classifies a diff hunk.
+type OpKind byte
+
+const (
+	// OpAdd inserts NewLines after line Old of the old document.
+	OpAdd OpKind = 'a'
+	// OpDelete removes OldCount lines starting at line Old (1-based).
+	OpDelete OpKind = 'd'
+	// OpReplace substitutes OldCount lines starting at line Old with
+	// NewLines.
+	OpReplace OpKind = 'c'
+)
+
+// Op is one contiguous change hunk.
+type Op struct {
+	// Kind is the hunk type: addition, omission, or replacement.
+	Kind OpKind `json:"kind"`
+	// Old is the 1-based line number in the old document where the hunk
+	// applies. For OpAdd it is the line after which text is inserted
+	// (0 inserts at the beginning).
+	Old int `json:"old"`
+	// OldCount is the number of old lines removed (OpDelete, OpReplace).
+	OldCount int `json:"old_count,omitempty"`
+	// NewLines is the inserted text (OpAdd, OpReplace).
+	NewLines []string `json:"new_lines,omitempty"`
+}
+
+// Diff is a complete delta between two versions of a channel's content.
+type Diff struct {
+	// OldVersion identifies the version this delta applies against
+	// (paper §3.4: monotonically increasing version numbers).
+	OldVersion uint64 `json:"old_version"`
+	// NewVersion identifies the version that results from applying the
+	// delta.
+	NewVersion uint64 `json:"new_version"`
+	// Ops are the hunks in ascending line order.
+	Ops []Op `json:"ops"`
+}
+
+// Empty reports whether the diff carries no changes.
+func (d *Diff) Empty() bool { return len(d.Ops) == 0 }
+
+// LineCount returns the total number of changed lines (added plus
+// removed), the measure the Cornell survey reports (≈17 lines per update).
+func (d *Diff) LineCount() int {
+	n := 0
+	for _, op := range d.Ops {
+		n += op.OldCount + len(op.NewLines)
+	}
+	return n
+}
+
+// WireSize estimates the bytes needed to transmit the diff, used by the
+// bandwidth accounting in the evaluation (delta encoding saves ≈93% of
+// content size per the survey's 6.8% average change).
+func (d *Diff) WireSize() int {
+	size := 16 // version pair
+	for _, op := range d.Ops {
+		size += 12 // op header
+		for _, l := range op.NewLines {
+			size += len(l) + 1
+		}
+	}
+	return size
+}
+
+// Compute produces the delta from old to new using Myers' O(ND) algorithm
+// on lines. Version numbers are the caller's concern.
+func Compute(old, new []string, oldVersion, newVersion uint64) *Diff {
+	d := &Diff{OldVersion: oldVersion, NewVersion: newVersion}
+	d.Ops = myersOps(old, new)
+	return d
+}
+
+// ComputeStrings is Compute on newline-joined documents.
+func ComputeStrings(old, new string, oldVersion, newVersion uint64) *Diff {
+	return Compute(SplitLines(old), SplitLines(new), oldVersion, newVersion)
+}
+
+// SplitLines splits a document into lines without the trailing newline
+// artifacts that would make diffs unstable.
+func SplitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}
+
+// Apply reconstructs the new document from the old one. It returns an
+// error if the diff does not fit the document (wrong base version).
+func (d *Diff) Apply(old []string) ([]string, error) {
+	out := make([]string, 0, len(old)+d.LineCount())
+	cursor := 0 // index into old of the next unconsumed line
+	for i, op := range d.Ops {
+		// Copy unchanged prefix. Op line numbers are 1-based.
+		var upTo int
+		switch op.Kind {
+		case OpAdd:
+			upTo = op.Old
+		case OpDelete, OpReplace:
+			upTo = op.Old - 1
+		default:
+			return nil, fmt.Errorf("diffengine: op %d has unknown kind %q", i, op.Kind)
+		}
+		if upTo < cursor || upTo > len(old) {
+			return nil, fmt.Errorf("diffengine: op %d at line %d out of range (cursor %d, len %d)", i, op.Old, cursor, len(old))
+		}
+		out = append(out, old[cursor:upTo]...)
+		cursor = upTo
+		switch op.Kind {
+		case OpAdd:
+			out = append(out, op.NewLines...)
+		case OpDelete:
+			if cursor+op.OldCount > len(old) {
+				return nil, fmt.Errorf("diffengine: op %d deletes past end", i)
+			}
+			cursor += op.OldCount
+		case OpReplace:
+			if cursor+op.OldCount > len(old) {
+				return nil, fmt.Errorf("diffengine: op %d replaces past end", i)
+			}
+			cursor += op.OldCount
+			out = append(out, op.NewLines...)
+		}
+	}
+	out = append(out, old[cursor:]...)
+	return out, nil
+}
+
+// myersOps computes the ops via Myers' greedy O(ND) shortest-edit-script
+// algorithm, then coalesces adjacent delete+insert runs into replace ops.
+func myersOps(a, b []string) []Op {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return nil
+	}
+	// Trim common prefix and suffix; the edit region shrinks and line
+	// numbers offset accordingly.
+	prefix := 0
+	for prefix < n && prefix < m && a[prefix] == b[prefix] {
+		prefix++
+	}
+	suffix := 0
+	for suffix < n-prefix && suffix < m-prefix && a[n-1-suffix] == b[m-1-suffix] {
+		suffix++
+	}
+	a = a[prefix : n-suffix]
+	b = b[prefix : m-suffix]
+	n, m = len(a), len(b)
+
+	var script []edits
+	switch {
+	case n == 0 && m == 0:
+		// identical after trimming
+	case n == 0:
+		for j := 0; j < m; j++ {
+			script = append(script, edits{del: false, ai: 0, bi: j})
+		}
+	case m == 0:
+		for i := 0; i < n; i++ {
+			script = append(script, edits{del: true, ai: i})
+		}
+	default:
+		script = myersScript(a, b)
+	}
+	if len(script) == 0 {
+		return nil
+	}
+
+	// Group consecutive edits into hunks. Edits belong to the same hunk
+	// while they touch a contiguous region of the old document: deletes
+	// consume old lines (advancing pos), inserts attach at pos.
+	var ops []Op
+	i := 0
+	for i < len(script) {
+		hunkStart := script[i].ai
+		pos := hunkStart
+		firstDel := -1
+		delCount := 0
+		var inserted []string
+		for i < len(script) && script[i].ai == pos {
+			e := script[i]
+			if e.del {
+				if firstDel == -1 {
+					firstDel = e.ai
+				}
+				delCount++
+				pos++
+			} else {
+				inserted = append(inserted, b[e.bi])
+			}
+			i++
+		}
+		// Emit the hunk with 1-based line numbers in the untrimmed old doc.
+		switch {
+		case delCount > 0 && len(inserted) > 0:
+			ops = append(ops, Op{Kind: OpReplace, Old: prefix + firstDel + 1, OldCount: delCount, NewLines: inserted})
+		case delCount > 0:
+			ops = append(ops, Op{Kind: OpDelete, Old: prefix + firstDel + 1, OldCount: delCount})
+		case len(inserted) > 0:
+			ops = append(ops, Op{Kind: OpAdd, Old: prefix + hunkStart, NewLines: inserted})
+		}
+	}
+	return ops
+}
+
+// myersScript runs the classic greedy forward O(ND) algorithm and
+// backtracks the edit script.
+func myersScript(a, b []string) []edits {
+	n, m := len(a), len(b)
+	max := n + m
+	// v[k+max] = furthest x on diagonal k.
+	v := make([]int, 2*max+1)
+	// trace saves v per step for backtracking.
+	var trace [][]int
+	var dFound = -1
+outer:
+	for d := 0; d <= max; d++ {
+		cp := make([]int, len(v))
+		copy(cp, v)
+		trace = append(trace, cp)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[k-1+max] < v[k+1+max]) {
+				x = v[k+1+max] // down: insert
+			} else {
+				x = v[k-1+max] + 1 // right: delete
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[k+max] = x
+			if x >= n && y >= m {
+				dFound = d
+				break outer
+			}
+		}
+	}
+	// Backtrack.
+	var script []edits
+	x, y := n, m
+	for d := dFound; d > 0; d-- {
+		vPrev := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vPrev[k-1+len(v)/2] < vPrev[k+1+len(v)/2]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vPrev[prevK+len(v)/2]
+		prevY := prevX - prevK
+		// Walk back through the snake.
+		for x > prevX && y > prevY {
+			x--
+			y--
+		}
+		if x == prevX {
+			// Down move: insert b[prevY].
+			script = append(script, edits{del: false, ai: x, bi: prevY})
+		} else {
+			// Right move: delete a[prevX].
+			script = append(script, edits{del: true, ai: prevX})
+		}
+		x, y = prevX, prevY
+	}
+	// Reverse to forward order.
+	for i, j := 0, len(script)-1; i < j; i, j = i+1, j-1 {
+		script[i], script[j] = script[j], script[i]
+	}
+	return script
+}
+
+// edits mirrors the edit type used by myersOps; declared at package scope
+// so both functions share it.
+type edits struct {
+	del bool
+	ai  int
+	bi  int
+}

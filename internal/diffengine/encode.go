@@ -1,0 +1,128 @@
+package diffengine
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Encode renders the diff in a compact, line-oriented text format modeled
+// on POSIX diff output, prefixed with the version pair. It is the wire
+// representation disseminated between Corona nodes and relayed to IM
+// clients (paper §3.4).
+//
+// Format:
+//
+//	CORONA-DIFF v<old> <new>
+//	<old>a                      (addition after line <old>)
+//	> inserted line
+//	<old>,<count>d              (omission of <count> lines at <old>)
+//	<old>,<count>c              (replacement)
+//	> replacement line
+//	.
+//
+// Each hunk's inserted lines are terminated by a lone "." line; lines that
+// begin with "." are dot-stuffed, as in SMTP.
+func Encode(d *Diff) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CORONA-DIFF v%d %d\n", d.OldVersion, d.NewVersion)
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case OpAdd:
+			fmt.Fprintf(&sb, "%da\n", op.Old)
+			writeLines(&sb, op.NewLines)
+		case OpDelete:
+			fmt.Fprintf(&sb, "%d,%dd\n", op.Old, op.OldCount)
+		case OpReplace:
+			fmt.Fprintf(&sb, "%d,%dc\n", op.Old, op.OldCount)
+			writeLines(&sb, op.NewLines)
+		}
+	}
+	return sb.String()
+}
+
+func writeLines(sb *strings.Builder, lines []string) {
+	for _, l := range lines {
+		if strings.HasPrefix(l, ".") {
+			sb.WriteString(".")
+		}
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	sb.WriteString(".\n")
+}
+
+// Decode parses the textual representation produced by Encode.
+func Decode(s string) (*Diff, error) {
+	sc := bufio.NewScanner(strings.NewReader(s))
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("diffengine: empty diff")
+	}
+	header := sc.Text()
+	var oldV, newV uint64
+	if _, err := fmt.Sscanf(header, "CORONA-DIFF v%d %d", &oldV, &newV); err != nil {
+		return nil, fmt.Errorf("diffengine: bad header %q: %w", header, err)
+	}
+	d := &Diff{OldVersion: oldV, NewVersion: newV}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		op, needsBody, err := parseOpHeader(line)
+		if err != nil {
+			return nil, err
+		}
+		if needsBody {
+			body, err := readBody(sc)
+			if err != nil {
+				return nil, err
+			}
+			op.NewLines = body
+		}
+		d.Ops = append(d.Ops, op)
+	}
+	return d, sc.Err()
+}
+
+func parseOpHeader(line string) (Op, bool, error) {
+	kind := line[len(line)-1]
+	spec := line[:len(line)-1]
+	switch OpKind(kind) {
+	case OpAdd:
+		n, err := strconv.Atoi(spec)
+		if err != nil {
+			return Op{}, false, fmt.Errorf("diffengine: bad add hunk %q", line)
+		}
+		return Op{Kind: OpAdd, Old: n}, true, nil
+	case OpDelete, OpReplace:
+		parts := strings.SplitN(spec, ",", 2)
+		if len(parts) != 2 {
+			return Op{}, false, fmt.Errorf("diffengine: bad hunk %q", line)
+		}
+		old, err1 := strconv.Atoi(parts[0])
+		count, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || count < 1 {
+			return Op{}, false, fmt.Errorf("diffengine: bad hunk %q", line)
+		}
+		return Op{Kind: OpKind(kind), Old: old, OldCount: count}, OpKind(kind) == OpReplace, nil
+	}
+	return Op{}, false, fmt.Errorf("diffengine: unknown hunk kind in %q", line)
+}
+
+func readBody(sc *bufio.Scanner) ([]string, error) {
+	var lines []string
+	for sc.Scan() {
+		l := sc.Text()
+		if l == "." {
+			return lines, nil
+		}
+		if strings.HasPrefix(l, ".") {
+			l = l[1:]
+		}
+		lines = append(lines, l)
+	}
+	return nil, fmt.Errorf("diffengine: unterminated hunk body")
+}

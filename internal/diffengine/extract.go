@@ -1,0 +1,224 @@
+package diffengine
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Extractor isolates the core content of a polled document before
+// comparison, so that superficial differences — timestamps, hit counters,
+// advertisements, generator banners — do not register as updates
+// (paper §3.4).
+//
+// The zero value is not usable; construct with NewExtractor.
+type Extractor struct {
+	volatileTags  []string
+	volatileAttrs []*regexp.Regexp
+	volatileLine  []*regexp.Regexp
+	inlinePatches []*regexp.Regexp
+}
+
+// Option customizes an Extractor.
+type Option func(*Extractor)
+
+// WithVolatileTag adds an element name whose entire content is dropped
+// (beyond the built-in script/style/comment handling). Feed-specific
+// profiles add, for example, RSS's lastBuildDate.
+func WithVolatileTag(tag string) Option {
+	return func(e *Extractor) { e.volatileTags = append(e.volatileTags, strings.ToLower(tag)) }
+}
+
+// WithVolatileLinePattern drops whole lines matching the pattern.
+func WithVolatileLinePattern(re *regexp.Regexp) Option {
+	return func(e *Extractor) { e.volatileLine = append(e.volatileLine, re) }
+}
+
+// NewExtractor builds an extractor with the built-in heuristics:
+//
+//   - HTML/XML comments, <script> and <style> blocks are removed;
+//   - elements whose class or id mentions advertising are removed;
+//   - elements that only carry clock readings or hit counters are removed;
+//   - inline timestamps (RFC1123-ish dates, HH:MM:SS clocks) and
+//     "generated in N ms"-style counters are blanked in place, so a line
+//     differing only in those is not an update.
+func NewExtractor(opts ...Option) *Extractor {
+	e := &Extractor{
+		volatileTags: []string{"script", "style"},
+		volatileAttrs: []*regexp.Regexp{
+			regexp.MustCompile(`(?i)(class|id)\s*=\s*"[^"]*\b(ad|ads|advert|banner|sponsor|promo)\b`),
+		},
+		volatileLine: []*regexp.Regexp{
+			regexp.MustCompile(`(?i)^\s*<!--.*-->\s*$`),
+		},
+		inlinePatches: []*regexp.Regexp{
+			// RFC 1123 / RFC 822 style dates: Mon, 02 Jan 2006 15:04:05 GMT
+			regexp.MustCompile(`(?i)\b(mon|tue|wed|thu|fri|sat|sun)[a-z]*,?\s+\d{1,2}\s+(jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*\s+\d{2,4}(\s+\d{1,2}:\d{2}(:\d{2})?)?(\s+[a-z]{2,4}|\s+[+-]\d{4})?`),
+			// ISO 8601 timestamps.
+			regexp.MustCompile(`\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}(:\d{2})?(\.\d+)?(Z|[+-]\d{2}:?\d{2})?`),
+			// Bare clocks.
+			regexp.MustCompile(`\b\d{1,2}:\d{2}:\d{2}\b`),
+			// Hit counters and render-time banners.
+			regexp.MustCompile(`(?i)\b(page )?(generated|rendered|served) in \d+(\.\d+)?\s*(ms|s|seconds|milliseconds)\b`),
+			regexp.MustCompile(`(?i)\b\d+\s+(visitors?|hits|views)( so far| today)?\b`),
+		},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// RSSProfile returns an extractor tuned for RSS/Atom micronews documents:
+// in addition to the built-in heuristics it drops the per-poll bookkeeping
+// elements the standards define (lastBuildDate, ttl, skipHours, skipDays,
+// cloud) which change or reorder without the feed carrying news.
+func RSSProfile() *Extractor {
+	return NewExtractor(
+		WithVolatileTag("lastBuildDate"),
+		WithVolatileTag("ttl"),
+		WithVolatileTag("skipHours"),
+		WithVolatileTag("skipDays"),
+		WithVolatileTag("cloud"),
+		WithVolatileTag("generator"),
+	)
+}
+
+// Extract returns the core-content lines of a document. The output is the
+// canonical form handed to Compute; two documents with equal extractions
+// carry no germane update.
+func (e *Extractor) Extract(doc string) []string {
+	doc = stripBlocks(doc, "<!--", "-->")
+	for _, tag := range e.volatileTags {
+		doc = stripTag(doc, tag)
+	}
+	lines := SplitLines(doc)
+	out := make([]string, 0, len(lines))
+	for _, line := range lines {
+		skip := false
+		for _, re := range e.volatileLine {
+			if re.MatchString(line) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			for _, re := range e.volatileAttrs {
+				if re.MatchString(line) {
+					skip = true
+					break
+				}
+			}
+		}
+		if skip {
+			continue
+		}
+		for _, re := range e.inlinePatches {
+			line = re.ReplaceAllString(line, "")
+		}
+		line = strings.TrimRight(line, " \t")
+		if line == "" {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// Changed reports whether two documents differ in core content.
+func (e *Extractor) Changed(old, new string) bool {
+	a, b := e.Extract(old), e.Extract(new)
+	if len(a) != len(b) {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// DiffDocuments extracts both documents and computes the delta between
+// their core contents.
+func (e *Extractor) DiffDocuments(old, new string, oldVersion, newVersion uint64) *Diff {
+	return Compute(e.Extract(old), e.Extract(new), oldVersion, newVersion)
+}
+
+// stripBlocks removes every region delimited by open/close markers,
+// tolerating unterminated blocks (dropped to end of input).
+func stripBlocks(doc, open, close string) string {
+	if !strings.Contains(doc, open) {
+		return doc
+	}
+	var sb strings.Builder
+	for {
+		i := strings.Index(doc, open)
+		if i < 0 {
+			sb.WriteString(doc)
+			return sb.String()
+		}
+		sb.WriteString(doc[:i])
+		rest := doc[i+len(open):]
+		j := strings.Index(rest, close)
+		if j < 0 {
+			return sb.String()
+		}
+		doc = rest[j+len(close):]
+	}
+}
+
+// stripTag removes <tag ...>...</tag> regions (case-insensitive), as well
+// as self-closing <tag ... /> forms.
+func stripTag(doc, tag string) string {
+	lower := strings.ToLower(doc)
+	openTag := "<" + tag
+	closeTag := "</" + tag + ">"
+	var sb strings.Builder
+	for {
+		i := indexTagStart(lower, openTag)
+		if i < 0 {
+			sb.WriteString(doc)
+			return sb.String()
+		}
+		sb.WriteString(doc[:i])
+		// Find the end of the opening tag.
+		gt := strings.Index(lower[i:], ">")
+		if gt < 0 {
+			return sb.String()
+		}
+		if gt >= 1 && lower[i+gt-1] == '/' {
+			// Self-closing.
+			doc = doc[i+gt+1:]
+			lower = lower[i+gt+1:]
+			continue
+		}
+		j := strings.Index(lower[i:], closeTag)
+		if j < 0 {
+			return sb.String()
+		}
+		doc = doc[i+j+len(closeTag):]
+		lower = lower[i+j+len(closeTag):]
+	}
+}
+
+// indexTagStart finds an occurrence of openTag that is a real tag start
+// (followed by whitespace, '>', or '/'), so "<a" does not match "<article".
+func indexTagStart(lower, openTag string) int {
+	from := 0
+	for {
+		i := strings.Index(lower[from:], openTag)
+		if i < 0 {
+			return -1
+		}
+		i += from
+		end := i + len(openTag)
+		if end >= len(lower) {
+			return -1
+		}
+		switch lower[end] {
+		case ' ', '\t', '\n', '\r', '>', '/':
+			return i
+		}
+		from = i + 1
+	}
+}

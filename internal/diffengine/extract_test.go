@@ -1,0 +1,158 @@
+package diffengine
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestExtractStripsComments(t *testing.T) {
+	e := NewExtractor()
+	doc := "<html>\n<!-- cache key 8231 -->\n<p>news</p>\n</html>"
+	got := e.Extract(doc)
+	for _, l := range got {
+		if strings.Contains(l, "cache key") {
+			t.Fatalf("comment survived extraction: %q", got)
+		}
+	}
+}
+
+func TestExtractStripsScriptAndStyle(t *testing.T) {
+	e := NewExtractor()
+	doc := "<p>before</p>\n<script>var t = Date.now();</script>\n<style>.x{color:red}</style>\n<p>after</p>"
+	got := strings.Join(e.Extract(doc), "\n")
+	if strings.Contains(got, "Date.now") || strings.Contains(got, "color:red") {
+		t.Fatalf("script/style survived: %q", got)
+	}
+	if !strings.Contains(got, "before") || !strings.Contains(got, "after") {
+		t.Fatalf("real content lost: %q", got)
+	}
+}
+
+func TestExtractStripsAdElements(t *testing.T) {
+	e := NewExtractor()
+	doc := `<div class="story">headline</div>` + "\n" +
+		`<div class="ad banner">BUY NOW $9.99 offer 1234</div>` + "\n" +
+		`<div id="sponsor-box">sponsored</div>`
+	got := strings.Join(e.Extract(doc), "\n")
+	if strings.Contains(got, "BUY NOW") || strings.Contains(got, "sponsored") {
+		t.Fatalf("advertisement survived: %q", got)
+	}
+	if !strings.Contains(got, "headline") {
+		t.Fatalf("story content lost: %q", got)
+	}
+}
+
+func TestExtractBlanksTimestamps(t *testing.T) {
+	e := NewExtractor()
+	v1 := "<p>Served at Tue, 02 May 2006 15:04:05 GMT</p>\n<p>story</p>"
+	v2 := "<p>Served at Tue, 02 May 2006 16:11:32 GMT</p>\n<p>story</p>"
+	if e.Changed(v1, v2) {
+		t.Fatal("timestamp-only difference reported as update")
+	}
+	v3 := "<p>Served at 2006-05-02T15:04:05Z</p>\n<p>story</p>"
+	v4 := "<p>Served at 2006-05-02T16:11:32Z</p>\n<p>story</p>"
+	if e.Changed(v3, v4) {
+		t.Fatal("ISO timestamp-only difference reported as update")
+	}
+}
+
+func TestExtractBlanksCounters(t *testing.T) {
+	e := NewExtractor()
+	v1 := "<p>8241 visitors so far</p>\n<p>page generated in 12 ms</p>\n<p>story</p>"
+	v2 := "<p>8250 visitors so far</p>\n<p>page generated in 48 ms</p>\n<p>story</p>"
+	if e.Changed(v1, v2) {
+		t.Fatal("counter-only difference reported as update")
+	}
+}
+
+func TestExtractDetectsRealChanges(t *testing.T) {
+	e := NewExtractor()
+	v1 := "<p>old headline</p>\n<p>posted Tue, 02 May 2006 15:04:05 GMT</p>"
+	v2 := "<p>new headline</p>\n<p>posted Tue, 02 May 2006 16:00:00 GMT</p>"
+	if !e.Changed(v1, v2) {
+		t.Fatal("germane change not detected")
+	}
+}
+
+func TestRSSProfileIgnoresBookkeeping(t *testing.T) {
+	e := RSSProfile()
+	v1 := `<rss><channel><title>t</title>
+<lastBuildDate>Tue, 02 May 2006 15:00:00 GMT</lastBuildDate>
+<ttl>30</ttl>
+<item><title>story</title></item>
+</channel></rss>`
+	v2 := strings.ReplaceAll(v1, "15:00:00", "15:30:00")
+	v2 = strings.ReplaceAll(v2, "<ttl>30</ttl>", "<ttl>60</ttl>")
+	if e.Changed(v1, v2) {
+		t.Fatal("RSS bookkeeping churn reported as update")
+	}
+	v3 := strings.ReplaceAll(v1, "<item><title>story</title></item>",
+		"<item><title>breaking</title></item><item><title>story</title></item>")
+	if !e.Changed(v1, v3) {
+		t.Fatal("new item not detected")
+	}
+}
+
+func TestRSSProfileDiffIsNewItemSized(t *testing.T) {
+	// The survey finds updates average ~17 XML lines; the diff of adding
+	// one item to a 100-item feed must be item-sized, not feed-sized.
+	e := RSSProfile()
+	var items []string
+	for i := 0; i < 100; i++ {
+		items = append(items, "<item>", "<title>story about topic</title>", "<link>http://example.com/"+string(rune('a'+i%26))+"</link>", "</item>")
+	}
+	old := "<rss><channel>\n" + strings.Join(items, "\n") + "\n</channel></rss>"
+	new := "<rss><channel>\n<item>\n<title>breaking news</title>\n<link>http://example.com/fresh</link>\n</item>\n" + strings.Join(items, "\n") + "\n</channel></rss>"
+	d := e.DiffDocuments(old, new, 1, 2)
+	if d.Empty() {
+		t.Fatal("new item produced empty diff")
+	}
+	if got := d.LineCount(); got > 10 {
+		t.Fatalf("diff of one new item touches %d lines", got)
+	}
+}
+
+func TestStripTagSelfClosing(t *testing.T) {
+	e := NewExtractor(WithVolatileTag("cloud"))
+	doc := `<channel><cloud domain="x" port="80"/><title>keep</title></channel>`
+	got := strings.Join(e.Extract(doc), "\n")
+	if strings.Contains(got, "cloud") {
+		t.Fatalf("self-closing tag survived: %q", got)
+	}
+	if !strings.Contains(got, "keep") {
+		t.Fatalf("content lost: %q", got)
+	}
+}
+
+func TestStripTagDoesNotOvermatchPrefix(t *testing.T) {
+	e := NewExtractor(WithVolatileTag("a"))
+	doc := "<article>long form</article>\n<a href=\"x\">link</a>"
+	got := strings.Join(e.Extract(doc), "\n")
+	if !strings.Contains(got, "long form") {
+		t.Fatalf("<article> wrongly stripped as <a>: %q", got)
+	}
+	if strings.Contains(got, "link") {
+		t.Fatalf("<a> not stripped: %q", got)
+	}
+}
+
+func TestExtractUnterminatedBlocks(t *testing.T) {
+	e := NewExtractor()
+	// Must not panic or hang on malformed input.
+	for _, doc := range []string{
+		"<p>x</p><!-- unterminated",
+		"<script>while(true){}",
+		"<p>ok</p><style>",
+	} {
+		_ = e.Extract(doc)
+	}
+}
+
+func TestWithVolatileLinePattern(t *testing.T) {
+	e := NewExtractor(WithVolatileLinePattern(regexp.MustCompile(`^noise:`)))
+	got := e.Extract("noise: 123\nsignal")
+	if len(got) != 1 || got[0] != "signal" {
+		t.Fatalf("custom line pattern not applied: %q", got)
+	}
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"corona/internal/core"
+)
+
+// tinyScale shrinks the tiny preset further for fast unit runs.
+func tinyScale() Scale {
+	s := TinySimulation()
+	s.Channels = 300
+	s.Subscriptions = 15000
+	return s
+}
+
+func lastValid(vals []float64) float64 {
+	for i := len(vals) - 1; i >= 0; i-- {
+		if !math.IsNaN(vals[i]) && vals[i] > 0 {
+			return vals[i]
+		}
+	}
+	return math.NaN()
+}
+
+func meanTail(vals []float64, skip int) float64 {
+	total, n := 0.0, 0
+	for i := skip; i < len(vals); i++ {
+		if !math.IsNaN(vals[i]) {
+			total += vals[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return total / float64(n)
+}
+
+func TestFigure34Shapes(t *testing.T) {
+	res := RunFigure34(tinyScale())
+	if len(res.Load) != 3 || len(res.Detect) != 3 {
+		t.Fatalf("series missing: %d load, %d detect", len(res.Load), len(res.Detect))
+	}
+	byName := func(series []Series, name string) Series {
+		for _, s := range series {
+			if s.Name == name {
+				return s
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return Series{}
+	}
+	skip := int(res.Scale.WarmUp / res.Scale.Bucket)
+
+	// Figure 3 shape: Corona-Lite load settles close to the legacy load;
+	// Corona-Fast is allowed to differ (it trades load for its target).
+	legacyLoad := meanTail(byName(res.Load, "Legacy RSS").Values, skip)
+	liteLoad := meanTail(byName(res.Load, "Corona Lite").Values, skip)
+	if legacyLoad <= 0 {
+		t.Fatalf("legacy load %v", legacyLoad)
+	}
+	if ratio := liteLoad / legacyLoad; ratio > 1.6 || ratio < 0.25 {
+		t.Fatalf("Corona-Lite load %.3f kbps/channel vs legacy %.3f: ratio %.2f outside [0.25,1.6]",
+			liteLoad, legacyLoad, ratio)
+	}
+
+	// Figure 4 shape: legacy detection ≈ τ/2 = 15 min; Corona-Lite an
+	// order of magnitude better; Corona-Fast near its 30 s target.
+	legacyDetect := meanTail(byName(res.Detect, "Legacy RSS").Values, skip)
+	liteDetect := meanTail(byName(res.Detect, "Corona Lite").Values, skip)
+	fastDetect := meanTail(byName(res.Detect, "Corona Fast").Values, skip)
+	if legacyDetect < 12 || legacyDetect > 18 {
+		t.Fatalf("legacy detection %.1f min, want ≈15", legacyDetect)
+	}
+	if liteDetect > legacyDetect/4 {
+		t.Fatalf("Corona-Lite detection %.1f min not clearly better than legacy %.1f", liteDetect, legacyDetect)
+	}
+	if fastDetect*60 > 120 {
+		t.Fatalf("Corona-Fast detection %.1f min, want near its 30s target", fastDetect)
+	}
+}
+
+func TestFigure56Shapes(t *testing.T) {
+	res := RunFigure56(tinyScale())
+	if len(res.CoronaPollers) == 0 || len(res.CoronaDetect) == 0 {
+		t.Fatal("no per-channel data")
+	}
+	// Popularity-ordered: poller counts must trend downward — compare
+	// the top decile's mean against the bottom decile's.
+	n := len(res.CoronaPollers)
+	top, bottom := 0.0, 0.0
+	k := n / 10
+	if k == 0 {
+		k = 1
+	}
+	for i := 0; i < k; i++ {
+		top += res.CoronaPollers[i].Value
+		bottom += res.CoronaPollers[n-1-i].Value
+	}
+	if top <= bottom {
+		t.Fatalf("pollers not decreasing with rank: top %.1f bottom %.1f", top/float64(k), bottom/float64(k))
+	}
+	// Every subscribed channel keeps at least its owner polling.
+	for _, p := range res.CoronaPollers {
+		if p.Value < 1 {
+			t.Fatalf("channel rank %d has no poller", p.Rank)
+		}
+	}
+	// Figure 6: popular channels detect faster than unpopular ones.
+	dn := len(res.CoronaDetect)
+	if dn > 10 {
+		topD, botD := 0.0, 0.0
+		dk := dn / 5
+		for i := 0; i < dk; i++ {
+			topD += res.CoronaDetect[i].Value
+			botD += res.CoronaDetect[dn-1-i].Value
+		}
+		if topD >= botD {
+			t.Fatalf("popular channels not faster: top %.0f s vs bottom %.0f s", topD/float64(dk), botD/float64(dk))
+		}
+	}
+}
+
+func TestFigure78Shapes(t *testing.T) {
+	res := RunFigure78(tinyScale())
+	for _, scheme := range []string{"Corona-Lite", "Corona-Fair", "Corona-Fair-Sqrt", "Corona-Fair-Log"} {
+		if len(res.ByScheme[scheme]) == 0 {
+			t.Fatalf("no data for %s", scheme)
+		}
+	}
+	// Fair must align detection with update interval better than Lite:
+	// rank correlation between update-interval rank and detection time
+	// should be higher under Fair.
+	corr := func(pts []RankPoint) float64 {
+		// Spearman-ish: correlation of rank vs value.
+		n := float64(len(pts))
+		var sumR, sumV, sumRV, sumR2, sumV2 float64
+		for _, p := range pts {
+			r, v := float64(p.Rank), p.Value
+			sumR += r
+			sumV += v
+			sumRV += r * v
+			sumR2 += r * r
+			sumV2 += v * v
+		}
+		num := n*sumRV - sumR*sumV
+		den := math.Sqrt(n*sumR2-sumR*sumR) * math.Sqrt(n*sumV2-sumV*sumV)
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
+	liteCorr := corr(res.ByScheme["Corona-Lite"])
+	fairCorr := corr(res.ByScheme["Corona-Fair"])
+	if fairCorr <= liteCorr {
+		t.Fatalf("Fair does not align detection with update interval: corr fair=%.2f lite=%.2f", fairCorr, liteCorr)
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	res := RunTable2(tinyScale())
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range res.Rows {
+		byName[r.Scheme] = r
+	}
+	legacy := byName["Legacy-RSS"]
+	lite := byName["Corona-Lite"]
+	fast := byName["Corona-Fast"]
+	fair := byName["Corona-Fair"]
+
+	// Paper shape: legacy ≈ 900 s; Lite an order of magnitude better at
+	// similar load; Fast fastest with more load; Fair between.
+	if legacy.DetectionSec < 800 || legacy.DetectionSec > 1000 {
+		t.Fatalf("legacy detection %.0f s, want ≈900", legacy.DetectionSec)
+	}
+	if lite.DetectionSec > legacy.DetectionSec/4 {
+		t.Fatalf("Lite detection %.0f s not ≪ legacy %.0f", lite.DetectionSec, legacy.DetectionSec)
+	}
+	if fast.DetectionSec >= lite.DetectionSec*2 {
+		t.Fatalf("Fast detection %.0f s should be at or below Lite-ish levels (lite %.0f)", fast.DetectionSec, lite.DetectionSec)
+	}
+	if lite.LoadPollsPerIntervalPerChannel > 1.6*legacy.LoadPollsPerIntervalPerChannel {
+		t.Fatalf("Lite load %.1f exceeds legacy %.1f", lite.LoadPollsPerIntervalPerChannel, legacy.LoadPollsPerIntervalPerChannel)
+	}
+	if fair.DetectionSec < lite.DetectionSec {
+		t.Logf("note: Fair %.0f s faster than Lite %.0f s (paper has Fair slower)", fair.DetectionSec, lite.DetectionSec)
+	}
+}
+
+func TestTable2FairInversionUnderScarcity(t *testing.T) {
+	// The paper's Table 2 ordering — Fair slower than Lite overall, the
+	// Sqrt/Log variants repairing most of the gap — emerges when the
+	// poll budget is scarce relative to wedge costs (q̄/N at the paper's
+	// ratio). This scale preserves that scarcity at unit-test size.
+	scale := Scale{
+		Nodes:               128,
+		Channels:            1000,
+		Subscriptions:       6250, // q̄ = 6.25 = 50·(128/1024)
+		PollInterval:        30 * time.Minute,
+		MaintenanceInterval: time.Hour,
+		Duration:            6 * time.Hour,
+		WarmUp:              2 * time.Hour,
+		Bucket:              15 * time.Minute,
+		Seed:                1,
+	}
+	res := RunTable2(scale)
+	byName := map[string]Table2Row{}
+	for _, r := range res.Rows {
+		byName[r.Scheme] = r
+	}
+	legacy := byName["Legacy-RSS"]
+	lite := byName["Corona-Lite"]
+	fair := byName["Corona-Fair"]
+	sqrt := byName["Corona-Fair-Sqrt"]
+	logv := byName["Corona-Fair-Log"]
+
+	if !(lite.ModelDetectionSec < legacy.ModelDetectionSec/2) {
+		t.Fatalf("Lite model detection %.0f not ≪ legacy %.0f", lite.ModelDetectionSec, legacy.ModelDetectionSec)
+	}
+	if !(fair.ModelDetectionSec > lite.ModelDetectionSec) {
+		t.Fatalf("Fair (%.0f) should be slower than Lite (%.0f) overall — the paper's Table 2 inversion",
+			fair.ModelDetectionSec, lite.ModelDetectionSec)
+	}
+	if !(sqrt.ModelDetectionSec < fair.ModelDetectionSec && logv.ModelDetectionSec < fair.ModelDetectionSec) {
+		t.Fatalf("Sqrt (%.0f) / Log (%.0f) variants should repair Fair's penalty (%.0f)",
+			sqrt.ModelDetectionSec, logv.ModelDetectionSec, fair.ModelDetectionSec)
+	}
+	if lite.LoadPollsPerIntervalPerChannel > 1.5*legacy.LoadPollsPerIntervalPerChannel {
+		t.Fatalf("Lite load %.1f exceeds legacy budget %.1f",
+			lite.LoadPollsPerIntervalPerChannel, legacy.LoadPollsPerIntervalPerChannel)
+	}
+}
+
+func TestFigure910Shapes(t *testing.T) {
+	scale := BenchDeployment()
+	scale.Channels = 300
+	scale.Subscriptions = 3000
+	res := RunFigure910(scale)
+	skip := int(scale.WarmUp / scale.Bucket)
+	legacyDetect := meanTail(res.Detect[0].Values, skip)
+	coronaDetect := meanTail(res.Detect[1].Values, skip)
+	// Shape check: Corona clearly beats legacy. The paper reports a 14x
+	// gap at this node count; the paper's own analytical model
+	// (τ/2·bˡ/N ≈ 170 s at level 1 with N=80) bounds what cooperative
+	// polling can deliver here, so we assert the defensible 2.5x (see
+	// EXPERIMENTS.md fig9 notes).
+	if coronaDetect >= legacyDetect/2.5 {
+		t.Fatalf("deployment Corona detection %.0f s not ≪ legacy %.0f s", coronaDetect, legacyDetect)
+	}
+	legacyPolls := meanTail(res.Polls[0].Values, skip)
+	coronaPolls := meanTail(res.Polls[1].Values, skip)
+	if coronaPolls > legacyPolls*1.6 {
+		t.Fatalf("deployment Corona polls/min %.1f exceed legacy %.1f", coronaPolls, legacyPolls)
+	}
+	_ = lastValid
+}
+
+func TestRendersProduceOutput(t *testing.T) {
+	scale := tinyScale()
+	scale.Duration = 3 * time.Hour
+	scale.WarmUp = time.Hour
+	res := RunFigure34(scale)
+	if out := res.Render(); len(out) < 100 {
+		t.Fatalf("Figure34 render too small:\n%s", out)
+	}
+	_ = core.SchemeLite
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"corona/internal/core"
+	"corona/internal/eventsim"
+	"corona/internal/ids"
+	"corona/internal/legacy"
+	"corona/internal/pastry"
+	"corona/internal/simnet"
+	"corona/internal/webserver"
+	"corona/internal/workload"
+)
+
+// Harness assembles the full simulated stack for one experiment run.
+type Harness struct {
+	Scale    Scale
+	Sim      *eventsim.Sim
+	Net      *simnet.Network
+	Origin   *webserver.Origin
+	Work     *workload.Workload
+	Nodes    []*core.Node
+	Recorder *Recorder
+	Loads    *LoadSampler
+	Baseline *legacy.Baseline
+}
+
+// Options tunes harness construction beyond the scale parameters.
+type Options struct {
+	// Scheme selects the Corona policy; ignored when CoronaOff.
+	Scheme core.Scheme
+	// FastTarget sets Corona-Fast's detection target.
+	FastTarget time.Duration
+	// CoronaOff builds only the origin + legacy baseline (pure-legacy
+	// runs for the comparison series).
+	CoronaOff bool
+	// LegacyOn additionally runs the legacy baseline alongside Corona on
+	// a second, identical origin so both see the same update processes
+	// without sharing load accounting.
+	LegacyOn bool
+	// WANLatency uses the wide-area latency model (deployment
+	// experiments); default is a LAN-like fixed latency.
+	WANLatency bool
+	// RampSubscriptions spreads subscription issue times uniformly over
+	// the first hour (deployment, §5.2) instead of issuing all at once
+	// (simulation, §5.1).
+	RampSubscriptions bool
+	// ContentMode turns on real document fetching and the difference
+	// engine inside Corona nodes.
+	ContentMode bool
+	// Notifier receives client notifications; nil counts them silently.
+	Notifier core.Notifier
+}
+
+// countingNotifier is the default sink for notifications.
+type countingNotifier struct{ count uint64 }
+
+func (c *countingNotifier) Notify(client, url string, version uint64, diff string) { c.count++ }
+func (c *countingNotifier) NotifyCount(url string, version uint64, n int)          { c.count += uint64(n) }
+
+// legacyOrigin mirrors a workload onto a second origin with identical
+// update processes, so Corona and legacy load accounting stay separate
+// while updates coincide.
+func buildOrigin(w *workload.Workload, start time.Time, seed int64) *webserver.Origin {
+	origin := webserver.NewOrigin()
+	for i, ch := range w.Channels {
+		origin.Host(webserver.ChannelConfig{
+			URL:       ch.URL,
+			SizeBytes: ch.SizeBytes,
+			Process: webserver.PeriodicProcess{
+				// Deterministic per-channel phase decorrelates updates
+				// across channels without coupling them to the seed of
+				// any other component.
+				Origin:   start.Add(time.Duration(uint64(seed*1000003+int64(i)*6700417) % uint64(ch.UpdateInterval))),
+				Interval: ch.UpdateInterval,
+			},
+		})
+	}
+	return origin
+}
+
+// NewHarness builds a run. Call Run to execute it.
+func NewHarness(scale Scale, opts Options) *Harness {
+	h := &Harness{Scale: scale}
+	h.Sim = eventsim.New(scale.Seed)
+	var latency simnet.LatencyModel = simnet.FixedLatency(10 * time.Millisecond)
+	if opts.WANLatency {
+		latency = simnet.DefaultWAN()
+	}
+	h.Net = simnet.New(h.Sim, latency)
+
+	h.Work = workload.Generate(workload.Config{
+		Channels:      scale.Channels,
+		Subscriptions: scale.Subscriptions,
+		ZipfExponent:  0.5,
+		Seed:          scale.Seed,
+	})
+	h.Origin = buildOrigin(h.Work, h.Sim.Now(), scale.Seed)
+	h.Recorder = NewRecorder(h.Work, h.Origin, h.Sim.Now(), scale.WarmUp, scale.Bucket)
+	h.Loads = NewLoadSampler(h.Origin, h.Sim.Now(), scale.Bucket)
+
+	if opts.CoronaOff {
+		h.Baseline = legacy.New(h.Sim, h.Origin, h.Work, h.Recorder, legacy.Config{
+			PollInterval: scale.PollInterval,
+			Seed:         scale.Seed + 17,
+		})
+		return h
+	}
+
+	notifier := opts.Notifier
+	if notifier == nil {
+		notifier = &countingNotifier{}
+	}
+	fetcher := &core.OriginFetcher{Origin: h.Origin, Clock: h.Sim}
+	rng := h.Sim.RNG("harness-node-ids")
+	overlays := make([]*pastry.Node, scale.Nodes)
+	for i := range overlays {
+		ep := fmt.Sprintf("sim://%d", i)
+		var node *pastry.Node
+		endpoint := h.Net.Attach(ep, func(m pastry.Message) {
+			if node != nil {
+				node.Deliver(m)
+			}
+		})
+		node = pastry.NewNode(pastry.DefaultConfig(), pastry.Addr{ID: ids.Random(rng), Endpoint: ep}, endpoint, h.Sim)
+		overlays[i] = node
+	}
+	pastry.BuildStaticOverlay(overlays)
+	for i, overlay := range overlays {
+		cfg := core.DefaultConfig()
+		cfg.Policy = core.PolicyConfig{Scheme: opts.Scheme, FastTarget: opts.FastTarget}
+		cfg.PollInterval = scale.PollInterval
+		cfg.MaintenanceInterval = scale.MaintenanceInterval
+		cfg.NodeCount = scale.Nodes
+		cfg.CountSubscribersOnly = true
+		cfg.OwnerReplicas = 0
+		cfg.ContentMode = opts.ContentMode
+		cfg.Seed = scale.Seed + int64(i)
+		n := core.NewNode(cfg, overlay, h.Sim, fetcher, notifier, h.Recorder)
+		h.Nodes = append(h.Nodes, n)
+	}
+
+	if opts.LegacyOn {
+		legacyOrigin := buildOrigin(h.Work, h.Sim.Now(), scale.Seed)
+		h.Baseline = legacy.New(h.Sim, legacyOrigin, h.Work, h.Recorder, legacy.Config{
+			PollInterval: scale.PollInterval,
+			Seed:         scale.Seed + 17,
+		})
+	}
+	return h
+}
+
+// Run executes the experiment: subscriptions are issued (at once or
+// ramped), nodes start, the load sampler ticks every bucket, and the
+// simulator runs for the configured duration.
+func (h *Harness) Run(opts Options) {
+	// Arm the periodic load sampler.
+	var tick func()
+	tick = func() {
+		h.Loads.Sample(h.Sim.Now())
+		h.Sim.AfterFunc(h.Scale.Bucket, tick)
+	}
+	h.Sim.AfterFunc(h.Scale.Bucket, tick)
+
+	if h.Baseline != nil {
+		h.Baseline.Start()
+	}
+	for _, n := range h.Nodes {
+		n.Start()
+	}
+	if len(h.Nodes) > 0 {
+		h.issueSubscriptions(opts)
+	}
+	h.Sim.RunFor(h.Scale.Duration)
+}
+
+// issueSubscriptions feeds the workload's subscriptions into the cloud.
+// Simulation runs issue everything at the start (§5.1: "issue all
+// subscriptions at once before collecting performance data"); deployment
+// runs ramp them over the first hour (§5.2).
+func (h *Harness) issueSubscriptions(opts Options) {
+	rng := h.Sim.RNG("subscription-entry")
+	ramp := time.Duration(0)
+	if opts.RampSubscriptions {
+		ramp = time.Hour
+	}
+	// In counting mode, per-client identity is irrelevant; issue one
+	// Subscribe per subscription with a synthetic handle. Entry node is
+	// random per subscription, as clients connect to arbitrary nodes.
+	subIdx := 0
+	for i, ch := range h.Work.Channels {
+		for s := 0; s < ch.Subscribers; s++ {
+			entry := h.Nodes[rng.Intn(len(h.Nodes))]
+			url := ch.URL
+			client := fmt.Sprintf("u%d", subIdx)
+			subIdx++
+			if ramp == 0 {
+				entry.Subscribe(client, url)
+				continue
+			}
+			at := time.Duration(float64(ramp) * float64(subIdx) / float64(h.Work.TotalSubscriptions+1))
+			h.Sim.AfterFunc(at, func() { entry.Subscribe(client, url) })
+		}
+		_ = i
+	}
+}
+
+// PollersPerChannel counts, for each channel index, the nodes currently
+// polling it (Figure 5's y-axis).
+func (h *Harness) PollersPerChannel() []int {
+	counts := make([]int, len(h.Work.Channels))
+	for _, n := range h.Nodes {
+		n.EachPolled(func(url string, level int) {
+			if idx, ok := h.Recorder.urlIndex[url]; ok {
+				counts[idx]++
+			}
+		})
+	}
+	return counts
+}
+
+// ModelDetectionMean computes the subscription-weighted mean of the
+// assigned-level detection estimate τ/(2·pollers) over all channels,
+// counting channels that never updated during the window at their
+// would-be detection time — the analytical metric the paper's per-channel
+// detection figures reflect (see Table2Row.ModelDetectionSec).
+func (h *Harness) ModelDetectionMean() float64 {
+	pollers := h.PollersPerChannel()
+	var sum, weight float64
+	tau := h.Scale.PollInterval.Seconds()
+	for i, ch := range h.Work.Channels {
+		n := float64(pollers[i])
+		if n < 1 {
+			n = 1
+		}
+		q := float64(ch.Subscribers)
+		sum += q * tau / 2 / n
+		weight += q
+	}
+	if weight == 0 {
+		return 0
+	}
+	return sum / weight
+}

@@ -1,0 +1,234 @@
+package honeycomb
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cluster summarizes the tradeoff factors of a group of channels with
+// comparable f/g ratios at the same polling level (paper §3.2). Nodes
+// exchange cluster sets instead of per-channel data, bounding aggregation
+// overhead by TradeoffBins clusters per level regardless of how many
+// channels exist.
+type Cluster struct {
+	// Count is the number of channels summarized.
+	Count float64 `json:"count"`
+	// SumQ is the total subscriber count of the summarized channels.
+	SumQ float64 `json:"sum_q"`
+	// SumS is the total (normalized) content size.
+	SumS float64 `json:"sum_s"`
+	// SumLogU accumulates ln(update interval seconds) so the cluster
+	// reports the geometric mean interval, which is the right average
+	// for quantities spread over orders of magnitude (paper §2: update
+	// rates vary by several orders of magnitude).
+	SumLogU float64 `json:"sum_log_u"`
+	// Level is the polling level the channels currently operate at.
+	Level int `json:"level"`
+}
+
+// Merge folds other into c. Merging is commutative and associative, so
+// aggregation along the overlay DAG is order-independent.
+func (c *Cluster) Merge(other Cluster) {
+	c.Count += other.Count
+	c.SumQ += other.SumQ
+	c.SumS += other.SumS
+	c.SumLogU += other.SumLogU
+}
+
+// MeanQ returns the average subscriber count per channel.
+func (c Cluster) MeanQ() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return c.SumQ / c.Count
+}
+
+// MeanS returns the average normalized content size per channel.
+func (c Cluster) MeanS() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return c.SumS / c.Count
+}
+
+// MeanU returns the geometric-mean update interval in seconds.
+func (c Cluster) MeanU() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return math.Exp(c.SumLogU / c.Count)
+}
+
+// ChannelFactors are the per-channel tradeoff inputs gathered by owners
+// (paper §3.3): subscriber count, content size, and estimated update
+// interval.
+type ChannelFactors struct {
+	// Q is the number of subscribers.
+	Q float64
+	// S is the content size normalized so the mean channel has S ≈ 1.
+	S float64
+	// U is the estimated update interval in seconds.
+	U float64
+	// Level is the channel's current polling level.
+	Level int
+	// Orphan marks channels whose sub-base-level wedge is empty, so their
+	// polling level cannot be lowered (paper §4).
+	Orphan bool
+}
+
+// ClusterSet holds TradeoffBins clusters per polling level, binned by the
+// log of the ratio metric q/(u·s) — the Corona-Fair combination metric the
+// paper gives as its example (§3.2). The zero value is not usable; call
+// NewClusterSet.
+type ClusterSet struct {
+	// Bins is the number of ratio bins per level (TradeoffBins, 16 in the
+	// prototype, §4).
+	Bins int `json:"bins"`
+	// MaxLevel bounds the level index.
+	MaxLevel int `json:"max_level"`
+	// Clusters maps [level][bin] to the cluster; empty clusters have
+	// Count == 0.
+	Clusters [][]Cluster `json:"clusters"`
+	// Slack accumulates orphan channels whose levels are pinned at the
+	// base level; the optimizer uses it to correct the budget before
+	// solving (paper §4).
+	Slack Cluster `json:"slack"`
+}
+
+// NewClusterSet creates an empty set with the given number of bins per
+// level and levels 0..maxLevel.
+func NewClusterSet(bins, maxLevel int) *ClusterSet {
+	cs := &ClusterSet{Bins: bins, MaxLevel: maxLevel}
+	cs.Clusters = make([][]Cluster, maxLevel+1)
+	for l := range cs.Clusters {
+		cs.Clusters[l] = make([]Cluster, bins)
+	}
+	return cs
+}
+
+// binFor maps a ratio metric to a bin index. Ratios spread over many
+// orders of magnitude, so bins are logarithmic: each bin spans a factor
+// of 4, centered so that ratios near 1 land mid-range.
+func (cs *ClusterSet) binFor(ratio float64) int {
+	if ratio <= 0 || math.IsNaN(ratio) {
+		return 0
+	}
+	if math.IsInf(ratio, 1) {
+		return cs.Bins - 1
+	}
+	idx := cs.Bins/2 + int(math.Floor(math.Log2(ratio)/2))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= cs.Bins {
+		return cs.Bins - 1
+	}
+	return idx
+}
+
+// Add folds one channel's factors into the set.
+func (cs *ClusterSet) Add(f ChannelFactors) {
+	u := f.U
+	if u <= 0 {
+		u = 1
+	}
+	s := f.S
+	if s <= 0 {
+		s = 1
+	}
+	c := Cluster{Count: 1, SumQ: f.Q, SumS: s, SumLogU: math.Log(u), Level: f.Level}
+	if f.Orphan {
+		cs.Slack.Merge(c)
+		return
+	}
+	level := f.Level
+	if level < 0 {
+		level = 0
+	}
+	if level > cs.MaxLevel {
+		level = cs.MaxLevel
+	}
+	bin := cs.binFor(f.Q / (u * s))
+	target := &cs.Clusters[level][bin]
+	target.Merge(c)
+	target.Level = level
+}
+
+// MergeSet folds another cluster set into this one. Sets must agree on
+// geometry; mismatched sets are rebinned conservatively.
+func (cs *ClusterSet) MergeSet(other *ClusterSet) {
+	if other == nil {
+		return
+	}
+	cs.Slack.Merge(other.Slack)
+	for l := range other.Clusters {
+		for b := range other.Clusters[l] {
+			c := other.Clusters[l][b]
+			if c.Count == 0 {
+				continue
+			}
+			level := l
+			if level > cs.MaxLevel {
+				level = cs.MaxLevel
+			}
+			bin := b
+			if bin >= cs.Bins {
+				bin = cs.Bins - 1
+			}
+			target := &cs.Clusters[level][bin]
+			target.Merge(c)
+			target.Level = level
+		}
+	}
+}
+
+// Clone deep-copies the set.
+func (cs *ClusterSet) Clone() *ClusterSet {
+	out := NewClusterSet(cs.Bins, cs.MaxLevel)
+	out.Slack = cs.Slack
+	for l := range cs.Clusters {
+		copy(out.Clusters[l], cs.Clusters[l])
+	}
+	return out
+}
+
+// TotalCount returns the number of channels summarized, excluding slack.
+func (cs *ClusterSet) TotalCount() float64 {
+	total := 0.0
+	for l := range cs.Clusters {
+		for _, c := range cs.Clusters[l] {
+			total += c.Count
+		}
+	}
+	return total
+}
+
+// TotalQ returns the total subscriber count summarized, excluding slack.
+func (cs *ClusterSet) TotalQ() float64 {
+	total := 0.0
+	for l := range cs.Clusters {
+		for _, c := range cs.Clusters[l] {
+			total += c.SumQ
+		}
+	}
+	return total
+}
+
+// NonEmpty returns the clusters with nonzero count, for building solver
+// entries.
+func (cs *ClusterSet) NonEmpty() []Cluster {
+	var out []Cluster
+	for l := range cs.Clusters {
+		for _, c := range cs.Clusters[l] {
+			if c.Count > 0 {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// String summarizes the set for logs.
+func (cs *ClusterSet) String() string {
+	return fmt.Sprintf("clusters{n=%.0f q=%.0f slack=%.0f}", cs.TotalCount(), cs.TotalQ(), cs.Slack.Count)
+}

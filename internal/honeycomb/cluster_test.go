@@ -1,0 +1,161 @@
+package honeycomb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClusterMergeAccumulates(t *testing.T) {
+	a := Cluster{Count: 2, SumQ: 10, SumS: 2, SumLogU: math.Log(100) * 2, Level: 1}
+	b := Cluster{Count: 3, SumQ: 30, SumS: 3, SumLogU: math.Log(1000) * 3, Level: 1}
+	a.Merge(b)
+	if a.Count != 5 || a.SumQ != 40 || a.SumS != 5 {
+		t.Fatalf("merge totals wrong: %+v", a)
+	}
+	if got := a.MeanQ(); got != 8 {
+		t.Fatalf("MeanQ = %v, want 8", got)
+	}
+	// Geometric mean of {100,100,1000,1000,1000} = 10^( (2*2+3*3)/5 ) = 10^2.6
+	want := math.Pow(10, 2.6)
+	if got := a.MeanU(); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("MeanU = %v, want %v", got, want)
+	}
+}
+
+func TestClusterSetAddAndTotals(t *testing.T) {
+	cs := NewClusterSet(16, 3)
+	for i := 0; i < 100; i++ {
+		cs.Add(ChannelFactors{Q: 5, S: 1, U: 3600, Level: i % 3})
+	}
+	if got := cs.TotalCount(); got != 100 {
+		t.Fatalf("TotalCount = %v, want 100", got)
+	}
+	if got := cs.TotalQ(); got != 500 {
+		t.Fatalf("TotalQ = %v, want 500", got)
+	}
+	if cs.Slack.Count != 0 {
+		t.Fatalf("non-orphan channels landed in slack: %+v", cs.Slack)
+	}
+}
+
+func TestClusterSetOrphansGoToSlack(t *testing.T) {
+	cs := NewClusterSet(16, 3)
+	cs.Add(ChannelFactors{Q: 7, S: 1, U: 60, Level: 3, Orphan: true})
+	if cs.TotalCount() != 0 {
+		t.Fatal("orphan counted in regular clusters")
+	}
+	if cs.Slack.Count != 1 || cs.Slack.SumQ != 7 {
+		t.Fatalf("slack = %+v", cs.Slack)
+	}
+}
+
+func TestClusterSetBinsSeparateRatios(t *testing.T) {
+	cs := NewClusterSet(16, 1)
+	// Very different q/(u·s) ratios must land in different bins.
+	cs.Add(ChannelFactors{Q: 10000, S: 1, U: 60, Level: 0}) // hot, popular
+	cs.Add(ChannelFactors{Q: 1, S: 1, U: 604800, Level: 0}) // cold, unpopular
+	nonEmpty := cs.NonEmpty()
+	if len(nonEmpty) != 2 {
+		t.Fatalf("expected 2 distinct clusters, got %d", len(nonEmpty))
+	}
+}
+
+func TestClusterSetSimilarRatiosCombine(t *testing.T) {
+	cs := NewClusterSet(16, 1)
+	cs.Add(ChannelFactors{Q: 100, S: 1, U: 3600, Level: 0})
+	cs.Add(ChannelFactors{Q: 110, S: 1, U: 3700, Level: 0})
+	if got := len(cs.NonEmpty()); got != 1 {
+		t.Fatalf("similar channels split into %d clusters", got)
+	}
+}
+
+func TestMergeSetAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func() *ClusterSet {
+		cs := NewClusterSet(16, 3)
+		for i := 0; i < 50; i++ {
+			cs.Add(ChannelFactors{
+				Q:      math.Exp(rng.Float64() * 8),
+				S:      0.5 + rng.Float64(),
+				U:      math.Exp(rng.Float64() * 12),
+				Level:  rng.Intn(4),
+				Orphan: rng.Intn(10) == 0,
+			})
+		}
+		return cs
+	}
+	a, b, c := mk(), mk(), mk()
+
+	// (a+b)+c == a+(b+c), compared by totals per bin.
+	ab := a.Clone()
+	ab.MergeSet(b)
+	abc1 := ab.Clone()
+	abc1.MergeSet(c)
+
+	bc := b.Clone()
+	bc.MergeSet(c)
+	abc2 := a.Clone()
+	abc2.MergeSet(bc)
+
+	ba := b.Clone()
+	ba.MergeSet(a)
+	bac := ba.Clone()
+	bac.MergeSet(c)
+
+	for _, pair := range [][2]*ClusterSet{{abc1, abc2}, {abc1, bac}} {
+		x, y := pair[0], pair[1]
+		if math.Abs(x.TotalCount()-y.TotalCount()) > 1e-9 ||
+			math.Abs(x.TotalQ()-y.TotalQ()) > 1e-6 ||
+			math.Abs(x.Slack.Count-y.Slack.Count) > 1e-9 {
+			t.Fatal("MergeSet is not associative/commutative on totals")
+		}
+		for l := range x.Clusters {
+			for bin := range x.Clusters[l] {
+				cx, cy := x.Clusters[l][bin], y.Clusters[l][bin]
+				if math.Abs(cx.Count-cy.Count) > 1e-9 || math.Abs(cx.SumQ-cy.SumQ) > 1e-6 {
+					t.Fatalf("bin (%d,%d) differs: %+v vs %+v", l, bin, cx, cy)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSetNil(t *testing.T) {
+	cs := NewClusterSet(16, 3)
+	cs.MergeSet(nil) // must not panic
+	if cs.TotalCount() != 0 {
+		t.Fatal("merge of nil changed totals")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := NewClusterSet(16, 2)
+	a.Add(ChannelFactors{Q: 5, S: 1, U: 60, Level: 1})
+	b := a.Clone()
+	b.Add(ChannelFactors{Q: 50, S: 1, U: 60, Level: 1})
+	if a.TotalQ() == b.TotalQ() {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestBinForEdgeCases(t *testing.T) {
+	cs := NewClusterSet(16, 1)
+	for _, r := range []float64{0, -1, math.NaN()} {
+		if got := cs.binFor(r); got != 0 {
+			t.Errorf("binFor(%v) = %d, want 0", r, got)
+		}
+	}
+	if got := cs.binFor(math.Inf(1)); got != cs.Bins-1 {
+		t.Errorf("binFor(+Inf) = %d, want last bin", got)
+	}
+	// Bins are monotone in ratio.
+	prev := -1
+	for _, r := range []float64{1e-9, 1e-6, 1e-3, 1, 1e3, 1e6, 1e9} {
+		b := cs.binFor(r)
+		if b < prev {
+			t.Fatalf("binFor not monotone at %v", r)
+		}
+		prev = b
+	}
+}

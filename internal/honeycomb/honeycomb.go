@@ -1,0 +1,364 @@
+// Package honeycomb is the optimization toolkit Corona uses to resolve
+// performance-overhead tradeoffs (paper §3.2).
+//
+// It solves problems of the form
+//
+//	minimize   Σᵢ fᵢ(lᵢ)    subject to    Σᵢ gᵢ(lᵢ) ≤ T
+//
+// where lᵢ is the integer polling level of channel i and fᵢ, gᵢ are
+// monotonic in l. The integer program is NP-hard; Honeycomb instead uses a
+// Lagrange-multiplier relaxation. For a multiplier λ ≥ 0 each channel
+// independently minimizes fᵢ(l) + λ·gᵢ(l); as λ sweeps from ∞ to 0 the
+// per-channel minimizer moves monotonically from the cheapest-g level to
+// the cheapest-f level, crossing at most K precomputable breakpoint values
+// of λ. Sorting the global breakpoint list and binary-searching it yields
+// the bracketing solutions L*d (feasible) and L*u (infeasible) in
+// O(M log M log N) time; the result is exact to within the granularity of
+// one channel (paper §3.2). A final greedy sweep over the channels tied at
+// the critical λ tightens the gap.
+package honeycomb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry describes the tradeoff of one channel (or of a cluster of channels
+// with similar tradeoffs; see Cluster). F[l] and G[l] give the performance
+// cost and the resource cost of operating the channel at level l, for
+// l in [MinLevel, MaxLevel]. Both slices are indexed by absolute level and
+// must have length MaxLevel+1.
+type Entry struct {
+	// Key identifies the channel to the caller; the solver treats it as
+	// opaque.
+	Key any
+	// Weight is the multiplicity of this entry. A fine-grained channel
+	// has weight 1; a cluster summarizing c channels has weight c. Both
+	// F and G are per-unit values and are scaled by Weight internally.
+	Weight float64
+	// F is the objective contribution by level (monotone in l).
+	F []float64
+	// G is the constrained resource consumption by level (monotone in l,
+	// opposite direction from F).
+	G []float64
+	// MinLevel and MaxLevel clamp the feasible levels. Orphan channels,
+	// whose deeper wedges are empty, set MinLevel = MaxLevel = base level
+	// (paper §4).
+	MinLevel, MaxLevel int
+}
+
+func (e *Entry) validate() error {
+	if e.Weight <= 0 {
+		return fmt.Errorf("honeycomb: entry %v has non-positive weight %v", e.Key, e.Weight)
+	}
+	if e.MinLevel < 0 || e.MaxLevel < e.MinLevel {
+		return fmt.Errorf("honeycomb: entry %v has invalid level range [%d,%d]", e.Key, e.MinLevel, e.MaxLevel)
+	}
+	if len(e.F) != e.MaxLevel+1 || len(e.G) != e.MaxLevel+1 {
+		return fmt.Errorf("honeycomb: entry %v has %d/%d level values, want %d", e.Key, len(e.F), len(e.G), e.MaxLevel+1)
+	}
+	return nil
+}
+
+// Solution is the result of a Solve call.
+type Solution struct {
+	// Levels[i] is the chosen level for entries[i].
+	Levels []int
+	// TotalF and TotalG are the weighted objective and resource totals.
+	TotalF, TotalG float64
+	// Lambda is the critical multiplier at which the solution was found.
+	Lambda float64
+	// Feasible reports whether TotalG ≤ budget. It is false only when
+	// even the cheapest allocation exceeds the budget, in which case the
+	// solution is that cheapest allocation.
+	Feasible bool
+	// Iterations counts multiplier evaluations (for the complexity
+	// benchmarks).
+	Iterations int
+}
+
+// Solve minimizes Σ weightᵢ·Fᵢ(lᵢ) subject to Σ weightᵢ·Gᵢ(lᵢ) ≤ budget.
+// It panics only on malformed entries (programming errors); numerical
+// degeneracies are handled.
+func Solve(entries []Entry, budget float64) Solution {
+	for i := range entries {
+		if err := entries[i].validate(); err != nil {
+			panic(err)
+		}
+	}
+	sol := Solution{Levels: make([]int, len(entries))}
+	if len(entries) == 0 {
+		sol.Feasible = 0 <= budget
+		return sol
+	}
+
+	// Per-entry breakpoint analysis. levelAt(i, λ) is the level minimizing
+	// F + λ·G for entry i; ties break toward the cheaper-G level so that
+	// large λ always yields the most budget-friendly allocation.
+	bps := make([][]breakpoint, len(entries))
+	var all []float64
+	for i := range entries {
+		bps[i] = breakpoints(&entries[i])
+		for _, bp := range bps[i] {
+			all = append(all, bp.lambda)
+		}
+	}
+	sort.Float64s(all)
+	all = dedupFloats(all)
+
+	evalG := func(lambda float64) float64 {
+		total := 0.0
+		for i := range entries {
+			l := levelAt(bps[i], &entries[i], lambda)
+			total += entries[i].Weight * entries[i].G[l]
+		}
+		return total
+	}
+
+	// G is nonincreasing in λ. λ = +∞ gives the cheapest allocation.
+	cheapest := evalG(math.Inf(1))
+	if cheapest > budget {
+		// Infeasible even at minimum: return the cheapest allocation.
+		sol.Lambda = math.Inf(1)
+		sol.Feasible = false
+		finish(&sol, entries, bps, math.Inf(1))
+		return sol
+	}
+	sol.Feasible = true
+	if evalG(0) <= budget {
+		// The unconstrained optimum fits: take λ = 0.
+		finish(&sol, entries, bps, 0)
+		return sol
+	}
+
+	// Binary search the sorted breakpoint list for the smallest λ whose
+	// allocation is feasible. Between breakpoints the allocation is
+	// constant, so searching breakpoints is exact.
+	lo, hi := 0, len(all)-1
+	iters := 0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		iters++
+		if evalG(all[mid]) <= budget {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	lambda := all[lo]
+	sol.Iterations = iters
+	finish(&sol, entries, bps, lambda)
+
+	// Greedy tightening: entries whose breakpoint equals the critical λ
+	// may individually move to their lower (better-F) level while the
+	// budget allows. Order by marginal benefit ΔF/ΔG, best first. This is
+	// the "differ in at most one channel" refinement (paper §3.2): after
+	// the sweep at most one channel is left at a suboptimal level.
+	type move struct {
+		idx      int
+		from, to int
+		df, dg   float64
+	}
+	var moves []move
+	for i := range entries {
+		e := &entries[i]
+		cur := sol.Levels[i]
+		next := levelBelow(bps[i], e, lambda, cur)
+		if next == cur {
+			continue
+		}
+		df := e.Weight * (e.F[next] - e.F[cur]) // ≤ 0: improvement
+		dg := e.Weight * (e.G[next] - e.G[cur]) // ≥ 0: extra cost
+		if df < 0 {
+			moves = append(moves, move{idx: i, from: cur, to: next, df: df, dg: dg})
+		}
+	}
+	sort.Slice(moves, func(a, b int) bool {
+		// Benefit per unit cost, descending; free moves first.
+		ra := ratio(-moves[a].df, moves[a].dg)
+		rb := ratio(-moves[b].df, moves[b].dg)
+		if ra != rb {
+			return ra > rb
+		}
+		return moves[a].idx < moves[b].idx
+	})
+	for _, m := range moves {
+		if sol.TotalG+m.dg <= budget {
+			sol.Levels[m.idx] = m.to
+			sol.TotalG += m.dg
+			sol.TotalF += m.df
+		}
+	}
+	return sol
+}
+
+// ratio returns a/b with +Inf for b == 0 and a > 0.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return a / b
+}
+
+// finish fills the solution's levels and totals for a given λ.
+func finish(sol *Solution, entries []Entry, bps [][]breakpoint, lambda float64) {
+	sol.Lambda = lambda
+	sol.TotalF, sol.TotalG = 0, 0
+	for i := range entries {
+		l := levelAt(bps[i], &entries[i], lambda)
+		sol.Levels[i] = l
+		sol.TotalF += entries[i].Weight * entries[i].F[l]
+		sol.TotalG += entries[i].Weight * entries[i].G[l]
+	}
+}
+
+// breakpoint records that for λ ≥ lambda the entry's minimizer is level
+// `level` (until the next-larger breakpoint takes over).
+type breakpoint struct {
+	lambda float64
+	level  int
+}
+
+// breakpoints computes the lower envelope of the lines y(λ) = F[l] + λ·G[l]
+// for the feasible levels of e. It returns segments ordered by increasing
+// λ threshold; levelAt walks them. At most MaxLevel-MinLevel breakpoints
+// exist (paper: "for each channel there are only log N values of λ that
+// change the argmin").
+func breakpoints(e *Entry) []breakpoint {
+	// Evaluate argmin by direct scan at λ=0, then repeatedly find the
+	// smallest λ at which another level overtakes the current one. Since
+	// K = MaxLevel-MinLevel is at most ~log_b N (≤ 40), the O(K²) scan is
+	// cheap and robust against non-convex F/G.
+	var out []breakpoint
+	cur := argminAt(e, 0)
+	out = append(out, breakpoint{lambda: 0, level: cur})
+	lambda := 0.0
+	for {
+		// Find the smallest λ' > λ where some level l beats cur:
+		// F[l] + λ'·G[l] < F[cur] + λ'·G[cur]
+		// requires G[l] < G[cur] (cheaper slope wins as λ grows):
+		// λ' > (F[l]-F[cur]) / (G[cur]-G[l]).
+		best := math.Inf(1)
+		bestLevel := cur
+		for l := e.MinLevel; l <= e.MaxLevel; l++ {
+			if e.G[l] >= e.G[cur] {
+				continue
+			}
+			cross := (e.F[l] - e.F[cur]) / (e.G[cur] - e.G[l])
+			if cross < lambda {
+				cross = lambda
+			}
+			if cross < best || (cross == best && e.G[l] < e.G[bestLevel]) {
+				best = cross
+				bestLevel = l
+			}
+		}
+		if math.IsInf(best, 1) || bestLevel == cur {
+			return out
+		}
+		lambda = best
+		cur = bestLevel
+		out = append(out, breakpoint{lambda: lambda, level: cur})
+	}
+}
+
+// argminAt scans all levels for the minimizer of F + λ·G, breaking ties
+// toward cheaper G.
+func argminAt(e *Entry, lambda float64) int {
+	best := e.MinLevel
+	bestVal := e.F[best] + lambda*e.G[best]
+	for l := e.MinLevel + 1; l <= e.MaxLevel; l++ {
+		v := e.F[l] + lambda*e.G[l]
+		if v < bestVal || (v == bestVal && e.G[l] < e.G[best]) {
+			best, bestVal = l, v
+		}
+	}
+	return best
+}
+
+// levelAt returns the envelope level for multiplier lambda.
+func levelAt(bps []breakpoint, e *Entry, lambda float64) int {
+	if math.IsInf(lambda, 1) {
+		// Cheapest-G level.
+		best := e.MinLevel
+		for l := e.MinLevel + 1; l <= e.MaxLevel; l++ {
+			if e.G[l] < e.G[best] {
+				best = l
+			}
+		}
+		return best
+	}
+	level := bps[0].level
+	for _, bp := range bps[1:] {
+		if bp.lambda <= lambda {
+			level = bp.level
+		} else {
+			break
+		}
+	}
+	return level
+}
+
+// levelBelow returns the envelope level active just below lambda for the
+// entry, starting from the current level; used by the tightening sweep.
+func levelBelow(bps []breakpoint, e *Entry, lambda float64, cur int) int {
+	level := bps[0].level
+	for _, bp := range bps[1:] {
+		if bp.lambda < lambda {
+			level = bp.level
+		} else {
+			break
+		}
+	}
+	if level == cur {
+		return cur
+	}
+	return level
+}
+
+func dedupFloats(s []float64) []float64 {
+	if len(s) == 0 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BruteForce exhaustively finds the exact optimum of the same problem. It
+// is exponential in the number of entries and exists only as the test and
+// ablation oracle.
+func BruteForce(entries []Entry, budget float64) Solution {
+	best := Solution{Levels: make([]int, len(entries)), TotalF: math.Inf(1), Feasible: false}
+	levels := make([]int, len(entries))
+	var rec func(i int, f, g float64)
+	rec = func(i int, f, g float64) {
+		if g > budget {
+			return
+		}
+		if i == len(entries) {
+			if f < best.TotalF {
+				best.TotalF = f
+				best.TotalG = g
+				best.Feasible = true
+				copy(best.Levels, levels)
+			}
+			return
+		}
+		e := &entries[i]
+		for l := e.MinLevel; l <= e.MaxLevel; l++ {
+			levels[i] = l
+			rec(i+1, f+e.Weight*e.F[l], g+e.Weight*e.G[l])
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}

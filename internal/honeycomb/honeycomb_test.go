@@ -1,0 +1,249 @@
+package honeycomb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// coronaEntry builds an Entry shaped like Corona-Lite's tradeoff for a
+// channel with q subscribers and size s in an n-node, base-b overlay:
+// F(l) = q·b^l/n (detection time, increasing), G(l) = s·n/b^l (load,
+// decreasing).
+func coronaEntry(key any, q, s float64, n, b, maxLevel int) Entry {
+	f := make([]float64, maxLevel+1)
+	g := make([]float64, maxLevel+1)
+	pow := 1.0
+	for l := 0; l <= maxLevel; l++ {
+		f[l] = q * pow / float64(n)
+		g[l] = s * float64(n) / pow
+		pow *= float64(b)
+	}
+	return Entry{Key: key, Weight: 1, F: f, G: g, MaxLevel: maxLevel}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	sol := Solve(nil, 10)
+	if !sol.Feasible || sol.TotalF != 0 || sol.TotalG != 0 {
+		t.Fatalf("empty solve = %+v", sol)
+	}
+}
+
+func TestSolveSingleChannel(t *testing.T) {
+	e := coronaEntry("a", 100, 1, 1024, 16, 3)
+	// Budget allows level 1 (g = 64) but not level 0 (g = 1024).
+	sol := Solve([]Entry{e}, 100)
+	if !sol.Feasible {
+		t.Fatal("expected feasible")
+	}
+	if sol.Levels[0] != 1 {
+		t.Fatalf("level = %d, want 1", sol.Levels[0])
+	}
+	// Unlimited budget: unconstrained optimum is level 0.
+	sol = Solve([]Entry{e}, 1e12)
+	if sol.Levels[0] != 0 {
+		t.Fatalf("unconstrained level = %d, want 0", sol.Levels[0])
+	}
+	// Budget below even the cheapest allocation: infeasible, cheapest kept.
+	sol = Solve([]Entry{e}, 0.1)
+	if sol.Feasible {
+		t.Fatal("expected infeasible")
+	}
+	if sol.Levels[0] != 3 {
+		t.Fatalf("infeasible level = %d, want max 3", sol.Levels[0])
+	}
+}
+
+func TestSolveFavorsPopularChannels(t *testing.T) {
+	// Two channels, one 100x more popular; budget fits one at level 1.
+	popular := coronaEntry("popular", 1000, 1, 1024, 16, 3)
+	niche := coronaEntry("niche", 10, 1, 1024, 16, 3)
+	sol := Solve([]Entry{popular, niche}, 70)
+	if !sol.Feasible {
+		t.Fatal("expected feasible")
+	}
+	if !(sol.Levels[0] < sol.Levels[1]) {
+		t.Fatalf("popular channel should get the lower level: got %v", sol.Levels)
+	}
+}
+
+func TestSolveRespectsBudgetAlways(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(20)
+		entries := make([]Entry, m)
+		for i := range entries {
+			q := math.Exp(rng.Float64() * 8)
+			s := 0.25 + rng.Float64()*4
+			entries[i] = coronaEntry(i, q, s, 1024, 16, 3)
+		}
+		budget := float64(m) * math.Exp(rng.Float64()*8)
+		sol := Solve(entries, budget)
+		if sol.Feasible && sol.TotalG > budget*(1+1e-9) {
+			t.Fatalf("trial %d: feasible solution exceeds budget: G=%v budget=%v", trial, sol.TotalG, budget)
+		}
+		// Recompute totals independently.
+		f, g := 0.0, 0.0
+		for i, l := range sol.Levels {
+			f += entries[i].F[l]
+			g += entries[i].G[l]
+		}
+		if math.Abs(f-sol.TotalF) > 1e-6*(1+math.Abs(f)) || math.Abs(g-sol.TotalG) > 1e-6*(1+math.Abs(g)) {
+			t.Fatalf("trial %d: totals inconsistent: %v/%v vs %v/%v", trial, sol.TotalF, sol.TotalG, f, g)
+		}
+	}
+}
+
+func TestSolveMatchesBruteForceWithinOneChannel(t *testing.T) {
+	// The paper's accuracy guarantee: the solution deviates from the
+	// integer optimum by at most one channel's worth of objective.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		m := 2 + rng.Intn(6) // brute force is exponential
+		entries := make([]Entry, m)
+		maxGap := 0.0
+		for i := range entries {
+			q := math.Exp(rng.Float64() * 6)
+			s := 0.5 + rng.Float64()*2
+			entries[i] = coronaEntry(i, q, s, 256, 16, 2)
+			gap := entries[i].F[entries[i].MaxLevel] - entries[i].F[0]
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap > maxGap {
+				maxGap = gap
+			}
+		}
+		budget := 300 + rng.Float64()*3000
+		got := Solve(entries, budget)
+		want := BruteForce(entries, budget)
+		if got.Feasible != want.Feasible {
+			t.Fatalf("trial %d: feasibility mismatch: solver=%v brute=%v", trial, got.Feasible, want.Feasible)
+		}
+		if !got.Feasible {
+			continue
+		}
+		if got.TotalF < want.TotalF-1e-9 {
+			t.Fatalf("trial %d: solver beat brute force?! %v < %v", trial, got.TotalF, want.TotalF)
+		}
+		if got.TotalF > want.TotalF+maxGap+1e-9 {
+			t.Fatalf("trial %d: solver off by more than one channel: got %v, opt %v, maxGap %v",
+				trial, got.TotalF, want.TotalF, maxGap)
+		}
+	}
+}
+
+func TestSolveExactOnSeparablePoints(t *testing.T) {
+	// When the budget exactly equals a breakpoint allocation, the solver
+	// should match brute force exactly.
+	entries := []Entry{
+		coronaEntry("a", 512, 1, 256, 16, 2),
+		coronaEntry("b", 64, 1, 256, 16, 2),
+		coronaEntry("c", 8, 1, 256, 16, 2),
+	}
+	want := BruteForce(entries, 300)
+	got := Solve(entries, 300)
+	if got.TotalF != want.TotalF {
+		t.Fatalf("TotalF = %v, want %v (levels %v vs %v)", got.TotalF, want.TotalF, got.Levels, want.Levels)
+	}
+}
+
+func TestSolveRespectsLevelClamps(t *testing.T) {
+	e := coronaEntry("orphan", 100, 1, 1024, 16, 3)
+	e.MinLevel = 3 // orphan: pinned at base level
+	sol := Solve([]Entry{e}, 1e12)
+	if sol.Levels[0] != 3 {
+		t.Fatalf("clamped level = %d, want 3", sol.Levels[0])
+	}
+}
+
+func TestSolveWeights(t *testing.T) {
+	// A cluster with weight 10 must consume 10x the budget of a single
+	// channel at the same level.
+	single := coronaEntry("one", 100, 1, 1024, 16, 3)
+	cluster := coronaEntry("ten", 100, 1, 1024, 16, 3)
+	cluster.Weight = 10
+	sol := Solve([]Entry{cluster}, 640)
+	if sol.Levels[0] != 1 {
+		t.Fatalf("weighted level = %d, want 1 (10 channels x 64 = 640)", sol.Levels[0])
+	}
+	sol = Solve([]Entry{cluster}, 639)
+	if sol.Levels[0] != 2 {
+		t.Fatalf("weighted level = %d, want 2 when budget just misses", sol.Levels[0])
+	}
+	_ = single
+}
+
+func TestSolveMonotoneInBudget(t *testing.T) {
+	// Property: more budget never worsens the objective.
+	rng := rand.New(rand.NewSource(13))
+	entries := make([]Entry, 12)
+	for i := range entries {
+		entries[i] = coronaEntry(i, math.Exp(rng.Float64()*7), 1, 1024, 16, 3)
+	}
+	prevF := math.Inf(1)
+	for _, budget := range []float64{50, 100, 500, 1000, 5000, 20000, 1e6, 1e9} {
+		sol := Solve(entries, budget)
+		if sol.Feasible && sol.TotalF > prevF+1e-9 {
+			t.Fatalf("objective worsened with more budget: %v -> %v at %v", prevF, sol.TotalF, budget)
+		}
+		if sol.Feasible {
+			prevF = sol.TotalF
+		}
+	}
+}
+
+func TestBreakpointsMonotoneLevels(t *testing.T) {
+	// Property: as λ grows the envelope level's G never increases.
+	f := func(q, s float64) bool {
+		q = 1 + math.Abs(q)
+		s = 0.1 + math.Abs(s)
+		e := coronaEntry("x", q, s, 1024, 16, 3)
+		bps := breakpoints(&e)
+		for i := 1; i < len(bps); i++ {
+			if bps[i].lambda < bps[i-1].lambda {
+				return false
+			}
+			if e.G[bps[i].level] >= e.G[bps[i-1].level] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterationsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := 4096
+	entries := make([]Entry, m)
+	for i := range entries {
+		entries[i] = coronaEntry(i, math.Exp(rng.Float64()*8), 1, 1024, 16, 3)
+	}
+	sol := Solve(entries, float64(m)*30)
+	// Breakpoint list has ≤ 3m entries; binary search is ≤ log2(3m)+1.
+	if sol.Iterations > 16 {
+		t.Fatalf("iterations = %d, want ≤ log2(3·4096) ≈ 14", sol.Iterations)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	cases := []Entry{
+		{Key: "w", Weight: 0, F: []float64{1}, G: []float64{1}},
+		{Key: "lvl", Weight: 1, F: []float64{1}, G: []float64{1}, MinLevel: 1, MaxLevel: 0},
+		{Key: "len", Weight: 1, F: []float64{1}, G: []float64{1, 2}, MaxLevel: 1},
+	}
+	for _, e := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("entry %v did not panic", e.Key)
+				}
+			}()
+			Solve([]Entry{e}, 1)
+		}()
+	}
+}

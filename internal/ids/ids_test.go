@@ -1,0 +1,265 @@
+package ids
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashStringDeterministic(t *testing.T) {
+	a := HashString("http://example.com/feed.xml")
+	b := HashString("http://example.com/feed.xml")
+	if a != b {
+		t.Fatalf("HashString not deterministic: %v vs %v", a, b)
+	}
+	c := HashString("http://example.com/other.xml")
+	if a == c {
+		t.Fatalf("distinct URLs hashed to the same ID %v", a)
+	}
+}
+
+func TestFromHexRoundTrip(t *testing.T) {
+	id := HashString("roundtrip")
+	got, err := FromHex(id.String())
+	if err != nil {
+		t.Fatalf("FromHex(%q): %v", id.String(), err)
+	}
+	if got != id {
+		t.Fatalf("round trip mismatch: %v vs %v", got, id)
+	}
+}
+
+func TestFromHexErrors(t *testing.T) {
+	cases := []string{"", "abc", "zz" + HashString("x").String()[2:]}
+	for _, c := range cases {
+		if _, err := FromHex(c); err == nil {
+			t.Errorf("FromHex(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestCmp(t *testing.T) {
+	var a, b ID
+	a[Bytes-1] = 1
+	if Zero.Cmp(a) != -1 || a.Cmp(Zero) != 1 || a.Cmp(a) != 0 {
+		t.Fatal("Cmp ordering wrong for small values")
+	}
+	b[0] = 1
+	if a.Cmp(b) != -1 {
+		t.Fatal("Cmp must be big-endian: high byte dominates")
+	}
+}
+
+func TestAddSubIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b := Random(rng), Random(rng)
+		if got := a.Add(b).Sub(b); got != a {
+			t.Fatalf("(a+b)-b != a: a=%v b=%v got=%v", a, b, got)
+		}
+	}
+}
+
+func TestAddCarryPropagation(t *testing.T) {
+	var ones ID
+	for i := range ones {
+		ones[i] = 0xff
+	}
+	var one ID
+	one[Bytes-1] = 1
+	if got := ones.Add(one); got != Zero {
+		t.Fatalf("max+1 should wrap to zero, got %v", got)
+	}
+	if got := Zero.Sub(one); got != ones {
+		t.Fatalf("0-1 should wrap to max, got %v", got)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(a, b ID) bool {
+		return a.Distance(b) == b.Distance(a)
+	}
+	cfg := &quick.Config{Values: randomIDPair}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceZeroIffEqual(t *testing.T) {
+	f := func(a, b ID) bool {
+		d := a.Distance(b)
+		return (d == Zero) == (a == b)
+	}
+	if err := quick.Check(f, &quick.Config{Values: randomIDPair}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceIsShorterArc(t *testing.T) {
+	// Distance must never exceed half the ring.
+	var half ID
+	half[0] = 0x80
+	f := func(a, b ID) bool {
+		return a.Distance(b).Cmp(half) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{Values: randomIDPair}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	a := MustFromHex("1000000000000000000000000000000000000000")
+	b := MustFromHex("2000000000000000000000000000000000000000")
+	c := MustFromHex("3000000000000000000000000000000000000000")
+	if !b.Between(a, c) {
+		t.Error("b should be in (a, c]")
+	}
+	if a.Between(a, c) {
+		t.Error("arc is open at the start")
+	}
+	if !c.Between(a, c) {
+		t.Error("arc is closed at the end")
+	}
+	// Wrapping arc (c, a]: everything outside (a, c].
+	if !Zero.Between(c, a) {
+		t.Error("zero should be in the wrapping arc (c, a]")
+	}
+	if b.Between(c, a) {
+		t.Error("b should not be in the wrapping arc")
+	}
+	// Degenerate arc covers the ring.
+	if !b.Between(a, a) {
+		t.Error("(x, x] must cover the whole ring")
+	}
+}
+
+func TestBaseValidation(t *testing.T) {
+	for _, b := range []int{2, 4, 16} {
+		if _, err := NewBase(b); err != nil {
+			t.Errorf("NewBase(%d): %v", b, err)
+		}
+	}
+	for _, b := range []int{0, 1, 3, 8, 32, 256} {
+		if _, err := NewBase(b); err == nil {
+			t.Errorf("NewBase(%d) succeeded, want error", b)
+		}
+	}
+}
+
+func TestDigitExtraction(t *testing.T) {
+	id := MustFromHex("0123456789abcdef0123456789abcdef01234567")
+	b16 := MustBase(16)
+	want := []int{0x0, 0x1, 0x2, 0x3, 0x4, 0x5, 0x6, 0x7, 0x8, 0x9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xf}
+	for i, w := range want {
+		if got := b16.Digit(id, i); got != w {
+			t.Errorf("base16 digit %d = %#x, want %#x", i, got, w)
+		}
+	}
+	b2 := MustBase(2)
+	// First hex digit 0x0 -> bits 0,0,0,0; second 0x1 -> 0,0,0,1.
+	wantBits := []int{0, 0, 0, 0, 0, 0, 0, 1}
+	for i, w := range wantBits {
+		if got := b2.Digit(id, i); got != w {
+			t.Errorf("base2 digit %d = %d, want %d", i, got, w)
+		}
+	}
+	if b16.NumDigits() != 40 || b2.NumDigits() != 160 || MustBase(4).NumDigits() != 80 {
+		t.Error("NumDigits wrong")
+	}
+}
+
+func TestWithDigit(t *testing.T) {
+	b := MustBase(16)
+	id := HashString("withdigit")
+	for i := 0; i < b.NumDigits(); i += 7 {
+		for d := 0; d < 16; d += 5 {
+			got := b.WithDigit(id, i, d)
+			if b.Digit(got, i) != d {
+				t.Fatalf("WithDigit(%d,%d): digit = %d", i, d, b.Digit(got, i))
+			}
+			// Other digits unchanged.
+			for j := 0; j < b.NumDigits(); j++ {
+				if j != i && b.Digit(got, j) != b.Digit(id, j) {
+					t.Fatalf("WithDigit(%d,%d) perturbed digit %d", i, d, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	b := MustBase(16)
+	id := HashString("prefix")
+	if got := b.CommonPrefix(id, id); got != b.NumDigits() {
+		t.Fatalf("CommonPrefix(id,id) = %d, want %d", got, b.NumDigits())
+	}
+	for i := 0; i < b.NumDigits(); i += 3 {
+		other := b.WithDigit(id, i, (b.Digit(id, i)+1)%16)
+		if got := b.CommonPrefix(id, other); got != i {
+			t.Errorf("CommonPrefix with digit %d flipped = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestInWedge(t *testing.T) {
+	b := MustBase(16)
+	channel := HashString("channel")
+	node := b.WithDigit(channel, 2, (b.Digit(channel, 2)+1)%16) // shares exactly 2 digits
+	for level := 0; level <= 4; level++ {
+		want := level <= 2
+		if got := b.InWedge(node, channel, level); got != want {
+			t.Errorf("InWedge level %d = %v, want %v", level, got, want)
+		}
+	}
+}
+
+func TestMaxLevel(t *testing.T) {
+	b := MustBase(16)
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {16, 1}, {17, 2}, {256, 2}, {1024, 3}, {4096, 3}, {4097, 4},
+	}
+	for _, c := range cases {
+		if got := b.MaxLevel(c.n); got != c.want {
+			t.Errorf("MaxLevel(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestWedgeSize(t *testing.T) {
+	b := MustBase(16)
+	if got := b.WedgeSize(1024, 0); got != 1024 {
+		t.Errorf("WedgeSize(1024,0) = %v", got)
+	}
+	if got := b.WedgeSize(1024, 1); got != 64 {
+		t.Errorf("WedgeSize(1024,1) = %v", got)
+	}
+	if got := b.WedgeSize(1024, 3); got != 1 {
+		t.Errorf("WedgeSize(1024,3) = %v, want floor of 1", got)
+	}
+}
+
+func TestPrefixMonotonicity(t *testing.T) {
+	// Property: if a node is in a wedge at level l, it is in every wedge
+	// at level < l (wedges are nested).
+	b := MustBase(16)
+	f := func(node, channel ID) bool {
+		p := b.CommonPrefix(node, channel)
+		for l := 0; l <= p; l++ {
+			if !b.InWedge(node, channel, l) {
+				return false
+			}
+		}
+		return !b.InWedge(node, channel, p+1) || p == b.NumDigits()
+	}
+	if err := quick.Check(f, &quick.Config{Values: randomIDPair}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomIDPair fills two reflect.Values with random IDs for testing/quick.
+func randomIDPair(args []reflect.Value, rng *rand.Rand) {
+	for i := range args {
+		args[i] = reflect.ValueOf(Random(rng))
+	}
+}

@@ -1,0 +1,170 @@
+package im
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"corona/internal/clock"
+)
+
+// Subscriber is the Corona-node surface the gateway drives: subscription
+// requests parsed from instant messages are forwarded here.
+type Subscriber interface {
+	// Subscribe registers a client's interest in a channel URL.
+	Subscribe(client, url string) error
+	// Unsubscribe removes it.
+	Unsubscribe(client, url string) error
+}
+
+// Gateway is the intermediary between the IM service and Corona nodes —
+// the prototype's centralized stop-gap for the single-login constraint
+// (§4). It owns the "corona" buddy handle: inbound messages carry
+// subscription commands; outbound notifications are paced so updates are
+// not sent in bursts ("Corona's implementation limits the rate of updates
+// sent to clients and avoids sending updates in bursts", §4).
+type Gateway struct {
+	service *Service
+	clk     clock.Clock
+	handle  string
+	node    Subscriber
+
+	mu       sync.Mutex
+	queue    []queued
+	draining bool
+	// paceInterval is the gap enforced between outgoing notifications.
+	paceInterval time.Duration
+
+	notifyCounts map[string]uint64 // url -> clients notified (counting mode)
+}
+
+// queued is one pending outgoing notification.
+type queued struct {
+	to   string
+	body string
+}
+
+// NewGateway registers the gateway's buddy handle on the service and
+// connects it to a Corona node.
+func NewGateway(service *Service, clk clock.Clock, handle string, node Subscriber) *Gateway {
+	g := &Gateway{
+		service:      service,
+		clk:          clk,
+		handle:       handle,
+		node:         node,
+		paceInterval: 20 * time.Millisecond,
+		notifyCounts: make(map[string]uint64),
+	}
+	service.Register(handle)
+	service.Login(handle, g.handleInbound)
+	return g
+}
+
+// SetPaceInterval adjusts the outgoing notification spacing.
+func (g *Gateway) SetPaceInterval(d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if d > 0 {
+		g.paceInterval = d
+	}
+}
+
+// Handle returns the gateway's buddy handle.
+func (g *Gateway) Handle() string { return g.handle }
+
+// handleInbound parses user commands: "subscribe <url>" and
+// "unsubscribe <url>" (§3.5).
+func (g *Gateway) handleInbound(m Message) {
+	fields := strings.Fields(strings.TrimSpace(m.Body))
+	if len(fields) != 2 {
+		g.reply(m.From, "error: expected 'subscribe <url>' or 'unsubscribe <url>'")
+		return
+	}
+	cmd, url := strings.ToLower(fields[0]), fields[1]
+	var err error
+	switch cmd {
+	case "subscribe":
+		err = g.node.Subscribe(m.From, url)
+		if err == nil {
+			g.reply(m.From, "subscribed "+url)
+		}
+	case "unsubscribe":
+		err = g.node.Unsubscribe(m.From, url)
+		if err == nil {
+			g.reply(m.From, "unsubscribed "+url)
+		}
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		g.reply(m.From, "error: "+err.Error())
+	}
+}
+
+// reply sends a control response immediately (not paced — these are
+// two-way conversation, which IM systems already optimize, §3.5).
+func (g *Gateway) reply(to, body string) {
+	g.service.Send(g.handle, to, body)
+}
+
+// Notify implements the Corona node's Notifier: the update diff travels to
+// the subscriber as an instant message, through the pacing queue.
+func (g *Gateway) Notify(client, channelURL string, version uint64, diff string) {
+	body := fmt.Sprintf("UPDATE %s v%d\n%s", channelURL, version, diff)
+	g.mu.Lock()
+	g.queue = append(g.queue, queued{to: client, body: body})
+	g.notifyCounts[channelURL]++
+	start := !g.draining
+	g.draining = true
+	g.mu.Unlock()
+	if start {
+		g.drainOne()
+	}
+}
+
+// NotifyCount implements counting-mode notification accounting.
+func (g *Gateway) NotifyCount(channelURL string, version uint64, count int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.notifyCounts[channelURL] += uint64(count)
+}
+
+// drainOne sends the head of the queue and schedules the next send after
+// the pacing interval.
+func (g *Gateway) drainOne() {
+	g.mu.Lock()
+	if len(g.queue) == 0 {
+		g.draining = false
+		g.mu.Unlock()
+		return
+	}
+	head := g.queue[0]
+	g.queue = g.queue[1:]
+	g.mu.Unlock()
+
+	err := g.service.Send(g.handle, head.to, head.body)
+	if err == ErrRateLimited {
+		// Re-queue at the tail and back off a full window.
+		g.mu.Lock()
+		g.queue = append(g.queue, head)
+		g.mu.Unlock()
+		g.clk.AfterFunc(time.Minute, g.drainOne)
+		return
+	}
+	g.clk.AfterFunc(g.paceInterval, g.drainOne)
+}
+
+// Notified returns how many client notifications were issued for a URL.
+func (g *Gateway) Notified(url string) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.notifyCounts[url]
+}
+
+// QueueDepth returns the number of notifications awaiting pacing.
+func (g *Gateway) QueueDepth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue)
+}

@@ -1,0 +1,181 @@
+// Package im implements Corona's instant-messaging front end (paper §3.5,
+// §4): users add Corona as a buddy, send "subscribe url" requests, and
+// receive update notifications asynchronously.
+//
+// The Service simulates the semantics the prototype depended on from
+// commercial IM systems: store-and-forward buffering for offline users,
+// pre-authenticated senders, a single active login per handle (the Yahoo
+// constraint that forced the prototype's centralized gateway), and
+// per-sender rate limits. The Gateway is that centralized intermediary:
+// it implements the Corona node's Notifier interface, paces outgoing
+// updates to respect the rate limit, and parses subscription commands.
+package im
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"corona/internal/clock"
+)
+
+// Message is one instant message.
+type Message struct {
+	// From and To are IM handles.
+	From, To string
+	// Body is the message text.
+	Body string
+	// At is the service-side send time.
+	At time.Time
+}
+
+// DeliverFunc receives messages for an online user.
+type DeliverFunc func(Message)
+
+// account is the service-side record for one handle.
+type account struct {
+	online  bool
+	deliver DeliverFunc
+	inbox   []Message // buffered while offline
+	// windowStart/windowCount implement the per-sender rate limit.
+	windowStart time.Time
+	windowCount int
+}
+
+// Service is the simulated instant-messaging system.
+type Service struct {
+	clk clock.Clock
+
+	mu    sync.Mutex
+	users map[string]*account
+
+	// rateLimit is the maximum messages a sender may submit per minute;
+	// zero disables limiting (the paper notes Yahoo rate-limits
+	// unprivileged clients, §4).
+	rateLimit int
+
+	sent     uint64
+	buffered uint64
+	rejected uint64
+}
+
+// NewService creates an IM service on the given clock.
+func NewService(clk clock.Clock) *Service {
+	return &Service{clk: clk, users: make(map[string]*account)}
+}
+
+// SetRateLimit bounds per-sender messages per minute (0 = unlimited).
+func (s *Service) SetRateLimit(perMinute int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rateLimit = perMinute
+}
+
+// Register creates a handle. Registering an existing handle is a no-op.
+func (s *Service) Register(handle string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[handle]; !ok {
+		s.users[handle] = &account{}
+	}
+}
+
+// ErrAlreadyLoggedIn mirrors the single-login constraint of the era's IM
+// systems ("Yahoo has a limitation that only one instance of a user can be
+// logged on at a time", §4).
+var ErrAlreadyLoggedIn = fmt.Errorf("im: handle already logged in")
+
+// ErrUnknownUser is returned for unregistered handles.
+var ErrUnknownUser = fmt.Errorf("im: unknown handle")
+
+// ErrRateLimited is returned when a sender exceeds the per-minute budget.
+var ErrRateLimited = fmt.Errorf("im: rate limited")
+
+// Login brings a handle online; buffered messages are flushed to deliver
+// in order. It fails if the handle is unknown or already logged in.
+func (s *Service) Login(handle string, deliver DeliverFunc) error {
+	s.mu.Lock()
+	acct, ok := s.users[handle]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownUser
+	}
+	if acct.online {
+		s.mu.Unlock()
+		return ErrAlreadyLoggedIn
+	}
+	acct.online = true
+	acct.deliver = deliver
+	pending := acct.inbox
+	acct.inbox = nil
+	s.mu.Unlock()
+	// Flush outside the lock: delivery callbacks may call back into the
+	// service.
+	for _, m := range pending {
+		deliver(m)
+	}
+	return nil
+}
+
+// Logout takes a handle offline; subsequent messages buffer.
+func (s *Service) Logout(handle string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if acct, ok := s.users[handle]; ok {
+		acct.online = false
+		acct.deliver = nil
+	}
+}
+
+// Send submits a message. Unknown recipients error; offline recipients
+// buffer ("If a subscriber is off-line at the time an update is generated,
+// the IM system buffers the update and delivers it when the subscriber
+// subsequently joins", §3.5). Senders need not be registered (external
+// systems like Corona authenticate out of band).
+func (s *Service) Send(from, to, body string) error {
+	now := s.clk.Now()
+	s.mu.Lock()
+	// Rate limit the sender.
+	if s.rateLimit > 0 {
+		sender, ok := s.users[from]
+		if !ok {
+			// Track unregistered senders too.
+			sender = &account{}
+			s.users[from] = sender
+		}
+		if now.Sub(sender.windowStart) >= time.Minute {
+			sender.windowStart = now
+			sender.windowCount = 0
+		}
+		if sender.windowCount >= s.rateLimit {
+			s.rejected++
+			s.mu.Unlock()
+			return ErrRateLimited
+		}
+		sender.windowCount++
+	}
+	acct, ok := s.users[to]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownUser
+	}
+	msg := Message{From: from, To: to, Body: body, At: now}
+	if !acct.online {
+		acct.inbox = append(acct.inbox, msg)
+		s.buffered++
+		s.mu.Unlock()
+		return nil
+	}
+	deliver := acct.deliver
+	s.sent++
+	s.mu.Unlock()
+	deliver(msg)
+	return nil
+}
+
+// Counters returns (delivered, buffered, rejected) totals.
+func (s *Service) Counters() (sent, buffered, rejected uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent, s.buffered, s.rejected
+}

@@ -1,0 +1,276 @@
+// Package netwire carries overlay messages over real TCP connections —
+// the live-deployment counterpart of simnet. Frames are length-prefixed
+// JSON envelopes; payload types are decoded through a registry keyed by
+// message type, so the same application structs flow over the wire that
+// flow by reference under simulation.
+package netwire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+// maxFrame bounds a single message frame (diffs are small; feeds are
+// kilobytes — 16 MiB is generous).
+const maxFrame = 16 << 20
+
+// payloadFactories maps message types to constructors for their payload
+// structs, letting the decoder produce typed payloads.
+var (
+	registryMu       sync.RWMutex
+	payloadFactories = map[string]func() any{}
+)
+
+// RegisterPayload associates a message type with a payload constructor.
+// Types without a registration decode their payload as map[string]any.
+func RegisterPayload(msgType string, factory func() any) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	payloadFactories[msgType] = factory
+}
+
+// envelope is the wire form of pastry.Message with the payload kept raw
+// until the type is known.
+type envelope struct {
+	Type    string          `json:"type"`
+	Key     string          `json:"key,omitempty"`
+	From    pastry.Addr     `json:"from"`
+	Hops    int             `json:"hops,omitempty"`
+	Cover   int             `json:"cover,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Transport is a TCP-backed pastry.Transport.
+type Transport struct {
+	self     pastry.Addr
+	listener net.Listener
+	deliver  func(pastry.Message)
+
+	mu     sync.Mutex
+	conns  map[string]net.Conn
+	closed bool
+
+	// DialTimeout and WriteTimeout bound blocking network operations.
+	DialTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+// Listen binds a TCP listener at bind (for example "127.0.0.1:9001") and
+// returns a transport whose inbound messages go to deliver. Set deliver
+// later with OnDeliver when the node is constructed after the transport.
+func Listen(bind string, deliver func(pastry.Message)) (*Transport, error) {
+	l, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("netwire: listen %s: %w", bind, err)
+	}
+	t := &Transport{
+		listener:     l,
+		deliver:      deliver,
+		conns:        make(map[string]net.Conn),
+		DialTimeout:  3 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// OnDeliver sets the inbound message handler.
+func (t *Transport) OnDeliver(deliver func(pastry.Message)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.deliver = deliver
+}
+
+// Addr returns the bound listener address ("host:port").
+func (t *Transport) Addr() string {
+	return t.listener.Addr().String()
+}
+
+// Close shuts the listener and all cached connections.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]net.Conn{}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return t.listener.Close()
+}
+
+func (t *Transport) acceptLoop() {
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		deliver := t.deliver
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if deliver != nil {
+			deliver(msg)
+		}
+	}
+}
+
+// Send implements pastry.Transport.
+func (t *Transport) Send(to pastry.Addr, msg pastry.Message) error {
+	conn, err := t.connTo(to.Endpoint)
+	if err != nil {
+		return fmt.Errorf("%w: %v", pastry.ErrUnreachable, err)
+	}
+	frame, err := encodeFrame(msg)
+	if err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Now().Add(t.WriteTimeout))
+	if _, err := conn.Write(frame); err != nil {
+		t.dropConn(to.Endpoint, conn)
+		return fmt.Errorf("%w: %v", pastry.ErrUnreachable, err)
+	}
+	return nil
+}
+
+func (t *Transport) connTo(endpoint string) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport closed")
+	}
+	if c, ok := t.conns[endpoint]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	c, err := net.DialTimeout("tcp", endpoint, t.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if existing, ok := t.conns[endpoint]; ok {
+		t.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	t.conns[endpoint] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+func (t *Transport) dropConn(endpoint string, conn net.Conn) {
+	conn.Close()
+	t.mu.Lock()
+	if t.conns[endpoint] == conn {
+		delete(t.conns, endpoint)
+	}
+	t.mu.Unlock()
+}
+
+// encodeFrame renders a message as a length-prefixed JSON frame.
+func encodeFrame(msg pastry.Message) ([]byte, error) {
+	var rawPayload json.RawMessage
+	if msg.Payload != nil {
+		b, err := json.Marshal(msg.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("netwire: encoding payload of %s: %w", msg.Type, err)
+		}
+		rawPayload = b
+	}
+	env := envelope{
+		Type:    msg.Type,
+		From:    msg.From,
+		Hops:    msg.Hops,
+		Cover:   msg.Cover,
+		Payload: rawPayload,
+	}
+	if !msg.Key.IsZero() {
+		env.Key = msg.Key.String()
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("netwire: encoding envelope: %w", err)
+	}
+	if len(body) > maxFrame {
+		return nil, fmt.Errorf("netwire: frame too large: %d bytes", len(body))
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
+// readFrame parses one frame into a message with a typed payload.
+func readFrame(r io.Reader) (pastry.Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return pastry.Message{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return pastry.Message{}, fmt.Errorf("netwire: oversized frame %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return pastry.Message{}, err
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return pastry.Message{}, fmt.Errorf("netwire: decoding envelope: %w", err)
+	}
+	msg := pastry.Message{
+		Type:  env.Type,
+		From:  env.From,
+		Hops:  env.Hops,
+		Cover: env.Cover,
+	}
+	if env.Key != "" {
+		key, err := ids.FromHex(env.Key)
+		if err != nil {
+			return pastry.Message{}, err
+		}
+		msg.Key = key
+	}
+	if len(env.Payload) > 0 {
+		registryMu.RLock()
+		factory := payloadFactories[env.Type]
+		registryMu.RUnlock()
+		if factory != nil {
+			p := factory()
+			if err := json.Unmarshal(env.Payload, p); err != nil {
+				return pastry.Message{}, fmt.Errorf("netwire: decoding %s payload: %w", env.Type, err)
+			}
+			msg.Payload = p
+		} else {
+			var generic map[string]any
+			if err := json.Unmarshal(env.Payload, &generic); err == nil {
+				msg.Payload = generic
+			}
+		}
+	}
+	return msg, nil
+}

@@ -1,0 +1,213 @@
+package netwire_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"corona/internal/clock"
+	"corona/internal/ids"
+	"corona/internal/netwire"
+	"corona/internal/pastry"
+)
+
+func init() {
+	pastry.RegisterPayloadTypes(netwire.RegisterPayload)
+	netwire.RegisterPayload("test.typed", func() any { return &typedPayload{} })
+}
+
+type typedPayload struct {
+	Text  string `json:"text"`
+	Count int    `json:"count"`
+}
+
+// collector accumulates delivered messages.
+type collector struct {
+	mu   sync.Mutex
+	msgs []pastry.Message
+	ch   chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{ch: make(chan struct{}, 128)}
+}
+
+func (c *collector) deliver(m pastry.Message) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.mu.Unlock()
+	c.ch <- struct{}{}
+}
+
+func (c *collector) wait(t *testing.T, n int) []pastry.Message {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		if len(c.msgs) >= n {
+			out := append([]pastry.Message(nil), c.msgs...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.ch:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d messages", n)
+		}
+	}
+}
+
+func TestSendDeliversTypedPayload(t *testing.T) {
+	rx := newCollector()
+	a, err := netwire.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := netwire.Listen("127.0.0.1:0", rx.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	to := pastry.Addr{ID: ids.HashString("b"), Endpoint: b.Addr()}
+	msg := pastry.Message{
+		Type:    "test.typed",
+		Key:     ids.HashString("key"),
+		From:    pastry.Addr{ID: ids.HashString("a"), Endpoint: a.Addr()},
+		Hops:    3,
+		Cover:   2,
+		Payload: &typedPayload{Text: "hello", Count: 42},
+	}
+	if err := a.Send(to, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := rx.wait(t, 1)[0]
+	if got.Type != "test.typed" || got.Hops != 3 || got.Cover != 2 {
+		t.Fatalf("envelope fields lost: %+v", got)
+	}
+	if got.Key != msg.Key {
+		t.Fatalf("key mismatch: %v vs %v", got.Key, msg.Key)
+	}
+	p, ok := got.Payload.(*typedPayload)
+	if !ok {
+		t.Fatalf("payload type = %T", got.Payload)
+	}
+	if p.Text != "hello" || p.Count != 42 {
+		t.Fatalf("payload = %+v", p)
+	}
+}
+
+func TestSendToDeadEndpointFails(t *testing.T) {
+	a, err := netwire.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.DialTimeout = 200 * time.Millisecond
+	err = a.Send(pastry.Addr{Endpoint: "127.0.0.1:1"}, pastry.Message{Type: "x"})
+	if err == nil {
+		t.Fatal("send to dead endpoint succeeded")
+	}
+}
+
+func TestManyMessagesInOrderPerConnection(t *testing.T) {
+	rx := newCollector()
+	a, _ := netwire.Listen("127.0.0.1:0", nil)
+	defer a.Close()
+	b, _ := netwire.Listen("127.0.0.1:0", rx.deliver)
+	defer b.Close()
+	to := pastry.Addr{Endpoint: b.Addr()}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(to, pastry.Message{Type: "test.typed", Payload: &typedPayload{Count: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := rx.wait(t, n)
+	for i, m := range msgs[:n] {
+		if m.Payload.(*typedPayload).Count != i {
+			t.Fatalf("message %d out of order: %+v", i, m.Payload)
+		}
+	}
+}
+
+func TestUnregisteredPayloadDecodesGeneric(t *testing.T) {
+	rx := newCollector()
+	a, _ := netwire.Listen("127.0.0.1:0", nil)
+	defer a.Close()
+	b, _ := netwire.Listen("127.0.0.1:0", rx.deliver)
+	defer b.Close()
+	err := a.Send(pastry.Addr{Endpoint: b.Addr()}, pastry.Message{
+		Type:    "test.unregistered",
+		Payload: map[string]any{"k": "v"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rx.wait(t, 1)[0]
+	m, ok := got.Payload.(map[string]any)
+	if !ok || m["k"] != "v" {
+		t.Fatalf("generic payload = %#v", got.Payload)
+	}
+}
+
+// TestPastryOverTCP runs a small overlay over real sockets: join, route,
+// and verify delivery — the protocol-fidelity check for the deployment
+// path.
+func TestPastryOverTCP(t *testing.T) {
+	const n = 6
+	type peer struct {
+		node *pastry.Node
+		tr   *netwire.Transport
+	}
+	peers := make([]*peer, 0, n)
+	defer func() {
+		for _, p := range peers {
+			p.tr.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		tr, err := netwire.Listen("127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := pastry.Addr{ID: ids.HashString(fmt.Sprintf("tcp-node-%d", i)), Endpoint: tr.Addr()}
+		node := pastry.NewNode(pastry.DefaultConfig(), addr, tr, clock.Real{})
+		tr.OnDeliver(node.Deliver)
+		peers = append(peers, &peer{node: node, tr: tr})
+	}
+	peers[0].node.Bootstrap()
+	for i := 1; i < n; i++ {
+		if err := peers[i].node.Join(peers[0].node.Self()); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	key := ids.HashString("tcp-route-key")
+	want := peers[0]
+	for _, p := range peers[1:] {
+		if p.node.Self().ID.Distance(key).Cmp(want.node.Self().ID.Distance(key)) < 0 {
+			want = p
+		}
+	}
+	done := make(chan pastry.Addr, n)
+	for _, p := range peers {
+		self := p.node.Self()
+		p.node.Handle("test.route", func(m pastry.Message) { done <- self })
+	}
+	if err := peers[n-1].node.Route(key, "test.route", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case root := <-done:
+		if root.ID != want.node.Self().ID {
+			t.Fatalf("routed to %v, want %v", root, want.node.Self())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("routed message never delivered over TCP")
+	}
+}

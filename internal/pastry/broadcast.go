@@ -1,0 +1,61 @@
+package pastry
+
+// Broadcast disseminates an application message to every node sharing at
+// least `level` prefix digits with key — the level-l wedge of the channel
+// (paper §3.1, §3.4: "the node simply disseminates the diff along the DAG
+// rooted at it up to a depth equal to the polling level of the channel").
+//
+// The initiating node must itself belong to the wedge. The flood follows
+// the routing-table DAG: the initiator sends to its row-r contacts for
+// every r ≥ level; a recipient that received the message via a row-r edge
+// forwards only along rows ≥ r+1, which partitions the wedge and delivers
+// each member exactly once when routing tables are converged.
+//
+// The message is also delivered to the local handler, since the initiator
+// is a wedge member.
+func (n *Node) Broadcast(level int, msgType string, payload any) {
+	if level < 0 {
+		level = 0
+	}
+	msg := Message{
+		Type:    msgType,
+		From:    n.self,
+		Cover:   level + 1, // stored as depth+1 so zero means "not a broadcast"
+		Payload: payload,
+	}
+	n.mu.Lock()
+	n.stats.BroadcastsSent++
+	n.mu.Unlock()
+	n.fanOut(msg, level)
+	n.deliverLocal(msg)
+}
+
+// forwardBroadcast re-forwards a received broadcast deeper into the DAG.
+// msg.Cover-1 is the first routing row this node is responsible for.
+func (n *Node) forwardBroadcast(msg Message) {
+	n.fanOut(msg, msg.Cover-1)
+}
+
+// fanOut sends copies of msg to all routing contacts in rows >= fromRow,
+// tagging each copy with the recipient's own coverage depth.
+func (n *Node) fanOut(msg Message, fromRow int) {
+	n.mu.RLock()
+	maxRows := n.cfg.MaxTableRows
+	type hop struct {
+		to    Addr
+		cover int
+	}
+	var hops []hop
+	for r := fromRow; r < maxRows; r++ {
+		for _, a := range n.table.row(r) {
+			hops = append(hops, hop{to: a, cover: r + 2}) // depth r+1, stored +1
+		}
+	}
+	n.mu.RUnlock()
+	for _, h := range hops {
+		out := msg
+		out.Hops = msg.Hops + 1
+		out.Cover = h.cover
+		n.send(h.to, out)
+	}
+}

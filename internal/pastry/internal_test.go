@@ -1,0 +1,162 @@
+package pastry
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"corona/internal/ids"
+)
+
+// addrN builds a deterministic test address.
+func addrN(i int) Addr {
+	return Addr{ID: ids.HashString(fmt.Sprintf("node-%d", i)), Endpoint: fmt.Sprintf("sim://%d", i)}
+}
+
+func TestRoutingTableSlotPlacement(t *testing.T) {
+	base := ids.MustBase(16)
+	self := ids.HashString("table-self")
+	tbl := newRoutingTable(base, self, 10)
+
+	// A peer differing at digit 0 lands in row 0 at its digit-0 column.
+	other := base.WithDigit(self, 0, (base.Digit(self, 0)+1)%16)
+	a := Addr{ID: other, Endpoint: "x"}
+	if !tbl.add(a) {
+		t.Fatal("add failed")
+	}
+	got := tbl.get(0, base.Digit(other, 0))
+	if got.ID != other {
+		t.Fatalf("entry not at expected slot")
+	}
+	// The same slot does not get replaced by add.
+	b := Addr{ID: base.WithDigit(other, 5, (base.Digit(other, 5)+1)%16), Endpoint: "y"}
+	if base.CommonPrefix(self, b.ID) != 0 || base.Digit(b.ID, 0) != base.Digit(other, 0) {
+		t.Skip("hash landed elsewhere; placement covered by other cases")
+	}
+	if tbl.add(b) {
+		t.Fatal("add replaced an occupied slot")
+	}
+	// replace does.
+	prev := tbl.replace(b)
+	if prev.ID != other {
+		t.Fatalf("replace returned %v", prev)
+	}
+}
+
+func TestRoutingTableSelfRejected(t *testing.T) {
+	base := ids.MustBase(16)
+	self := ids.HashString("self-reject")
+	tbl := newRoutingTable(base, self, 10)
+	if tbl.add(Addr{ID: self, Endpoint: "me"}) {
+		t.Fatal("table accepted its own node")
+	}
+}
+
+func TestRoutingTableRemove(t *testing.T) {
+	base := ids.MustBase(16)
+	self := ids.HashString("remove-self")
+	tbl := newRoutingTable(base, self, 10)
+	peer := Addr{ID: ids.HashString("remove-peer"), Endpoint: "p"}
+	tbl.add(peer)
+	if !tbl.remove(peer.ID) {
+		t.Fatal("remove failed")
+	}
+	if tbl.remove(peer.ID) {
+		t.Fatal("double remove reported success")
+	}
+	found := 0
+	tbl.each(func(Addr) { found++ })
+	if found != 0 {
+		t.Fatalf("%d entries left after remove", found)
+	}
+}
+
+func TestLeafSetOrderingAndEviction(t *testing.T) {
+	self := ids.HashString("leaf-self")
+	ls := newLeafSet(self, 3)
+	rng := rand.New(rand.NewSource(8))
+	var members []Addr
+	for i := 0; i < 50; i++ {
+		a := Addr{ID: ids.Random(rng), Endpoint: fmt.Sprintf("m%d", i)}
+		members = append(members, a)
+		ls.add(a)
+	}
+	// The k closest clockwise members must be exactly the cw side.
+	if len(ls.cw) != 3 || len(ls.ccw) != 3 {
+		t.Fatalf("leaf set sides = %d/%d, want 3/3", len(ls.cw), len(ls.ccw))
+	}
+	for i := 1; i < len(ls.cw); i++ {
+		if ls.cwDist(ls.cw[i].ID).Cmp(ls.cwDist(ls.cw[i-1].ID)) < 0 {
+			t.Fatal("cw side not sorted by clockwise distance")
+		}
+	}
+	// Every non-member must be farther clockwise than the last cw member
+	// (or closer counter-clockwise than covered by ccw side).
+	limit := ls.cwDist(ls.cw[len(ls.cw)-1].ID)
+	inCW := map[ids.ID]bool{}
+	for _, a := range ls.cw {
+		inCW[a.ID] = true
+	}
+	for _, m := range members {
+		if inCW[m.ID] {
+			continue
+		}
+		if ls.cwDist(m.ID).Cmp(limit) < 0 {
+			t.Fatalf("member %v closer clockwise than kept leaf", m)
+		}
+	}
+}
+
+func TestLeafSetClosestToKeyTieBreak(t *testing.T) {
+	self := ids.HashString("tie-self")
+	ls := newLeafSet(self, 4)
+	a := Addr{ID: ids.HashString("tie-a"), Endpoint: "a"}
+	ls.add(a)
+	// A key exactly at a member's ID resolves to that member.
+	got, isSelf := ls.closestToKey(a.ID)
+	if isSelf || got.ID != a.ID {
+		t.Fatalf("closestToKey at member = %v (self=%v)", got, isSelf)
+	}
+	// A key at self resolves to self.
+	_, isSelf = ls.closestToKey(self)
+	if !isSelf {
+		t.Fatal("closestToKey(self) should be self")
+	}
+}
+
+func TestLeafSetRemoveAndContains(t *testing.T) {
+	self := ids.HashString("lsr-self")
+	ls := newLeafSet(self, 2)
+	a := Addr{ID: ids.HashString("lsr-a"), Endpoint: "a"}
+	ls.add(a)
+	if !ls.contains(a.ID) {
+		t.Fatal("contains failed")
+	}
+	if !ls.remove(a.ID) {
+		t.Fatal("remove failed")
+	}
+	if ls.contains(a.ID) {
+		t.Fatal("member present after remove")
+	}
+	if ls.remove(a.ID) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestLeafSetIgnoresSelfAndDuplicates(t *testing.T) {
+	self := ids.HashString("dup-self")
+	ls := newLeafSet(self, 4)
+	if ls.add(Addr{ID: self, Endpoint: "me"}) {
+		t.Fatal("leaf set accepted self")
+	}
+	a := Addr{ID: ids.HashString("dup-a"), Endpoint: "a"}
+	if !ls.add(a) {
+		t.Fatal("first add failed")
+	}
+	if ls.add(a) {
+		t.Fatal("duplicate add reported change")
+	}
+	if got := len(ls.all()); got != 1 {
+		t.Fatalf("all() = %d members, want 1", got)
+	}
+}

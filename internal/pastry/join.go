@@ -1,0 +1,256 @@
+package pastry
+
+import (
+	"fmt"
+	"sort"
+
+	"corona/internal/ids"
+)
+
+// Protocol message types used internally by the overlay.
+const (
+	msgJoin         = "pastry.join"
+	msgJoinReply    = "pastry.join_reply"
+	msgStateRequest = "pastry.state_request"
+	msgStateReply   = "pastry.state_reply"
+	msgProbe        = "pastry.probe"
+	msgProbeReply   = "pastry.probe_reply"
+)
+
+// joinPayload travels with a join request as it is routed toward the
+// joining node's own identifier; nodes along the path contribute the
+// routing rows relevant to the joiner.
+type joinPayload struct {
+	Joiner Addr   `json:"joiner"`
+	Rows   []Addr `json:"rows"` // accumulated contacts from path nodes
+}
+
+// statePayload carries a snapshot of a node's routing state.
+type statePayload struct {
+	Leaves []Addr `json:"leaves"`
+	Table  []Addr `json:"table"`
+}
+
+func (n *Node) registerProtocolHandlers() {
+	// Protocol messages are dispatched from Deliver directly.
+}
+
+// RegisterPayloadTypes hands the overlay's protocol payload constructors
+// to a wire codec (netwire) so typed payloads survive serialization.
+func RegisterPayloadTypes(register func(msgType string, factory func() any)) {
+	register(msgJoin, func() any { return &joinPayload{} })
+	register(msgJoinReply, func() any { return &statePayload{} })
+	register(msgStateRequest, func() any { return &statePayload{} })
+	register(msgStateReply, func() any { return &statePayload{} })
+}
+
+// Bootstrap initializes this node as the first member of a new ring.
+func (n *Node) Bootstrap() {
+	n.mu.Lock()
+	n.joined = true
+	n.mu.Unlock()
+}
+
+// Join enters the ring through the given seed node: the join request is
+// routed to the node closest to our identifier, path nodes contribute
+// routing rows, and the root replies with its leaf set (paper [25] §5).
+func (n *Node) Join(seed Addr) error {
+	if seed.IsZero() {
+		return fmt.Errorf("pastry: empty seed address")
+	}
+	n.Learn(seed)
+	msg := Message{
+		Type: msgJoin,
+		Key:  n.self.ID,
+		From: n.self,
+		Payload: &joinPayload{
+			Joiner: n.self,
+		},
+	}
+	return n.send(seed, msg)
+}
+
+// Joined reports whether the node has completed a Join or Bootstrap.
+func (n *Node) Joined() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.joined
+}
+
+func (n *Node) handleProtocol(msg Message) {
+	switch msg.Type {
+	case msgJoin:
+		n.handleJoin(msg)
+	case msgJoinReply:
+		n.handleJoinReply(msg)
+	case msgStateRequest:
+		n.handleStateRequest(msg)
+	case msgStateReply:
+		n.handleStateReply(msg)
+	case msgProbe:
+		n.SendDirect(msg.From, msgProbeReply, nil)
+	case msgProbeReply:
+		// Liveness confirmed; eviction is driven by send errors, so
+		// nothing to do here.
+	}
+}
+
+func (n *Node) handleJoin(msg Message) {
+	p, ok := msg.Payload.(*joinPayload)
+	if !ok {
+		return
+	}
+	// Contribute the routing row the joiner will index at our shared
+	// prefix depth, plus ourselves.
+	row := n.cfg.Base.CommonPrefix(n.self.ID, p.Joiner.ID)
+	contribution := append([]Addr{n.self}, n.RowContacts(row)...)
+	if row > 0 {
+		// Shallower rows help too when the joiner's table is empty.
+		contribution = append(contribution, n.RowContacts(0)...)
+	}
+	p.Rows = append(p.Rows, contribution...)
+
+	// Compute the next hop before learning the joiner: the join root is
+	// the closest *existing* member, never the joiner itself.
+	next, more := n.nextHop(p.Joiner.ID)
+	n.Learn(p.Joiner)
+	if more && next.ID != p.Joiner.ID {
+		msg.Hops++
+		n.send(next, msg)
+		return
+	}
+	// We are the root for the joiner's identifier: send back our state
+	// and the accumulated rows.
+	n.mu.RLock()
+	reply := &statePayload{Leaves: append(n.leaves.all(), n.self)}
+	n.table.each(func(a Addr) { reply.Table = append(reply.Table, a) })
+	reply.Table = append(reply.Table, p.Rows...)
+	n.mu.RUnlock()
+	n.SendDirect(p.Joiner, msgJoinReply, reply)
+}
+
+func (n *Node) handleJoinReply(msg Message) {
+	p, ok := msg.Payload.(*statePayload)
+	if !ok {
+		return
+	}
+	n.Learn(msg.From)
+	for _, a := range p.Leaves {
+		n.Learn(a)
+	}
+	for _, a := range p.Table {
+		n.Learn(a)
+	}
+	n.mu.Lock()
+	wasJoined := n.joined
+	n.joined = true
+	n.mu.Unlock()
+	if !wasJoined {
+		// Announce ourselves to everyone we just learned about so they
+		// can fold us into their own state (Pastry's join broadcast to
+		// the new node's leaf set and row contacts).
+		for _, a := range n.KnownNodes() {
+			n.SendDirect(a, msgStateRequest, nil)
+		}
+	}
+}
+
+func (n *Node) handleStateRequest(msg Message) {
+	n.Learn(msg.From)
+	n.mu.RLock()
+	reply := &statePayload{Leaves: append(n.leaves.all(), n.self)}
+	n.mu.RUnlock()
+	n.SendDirect(msg.From, msgStateReply, reply)
+}
+
+func (n *Node) handleStateReply(msg Message) {
+	p, ok := msg.Payload.(*statePayload)
+	if !ok {
+		return
+	}
+	n.Learn(msg.From)
+	for _, a := range p.Leaves {
+		n.Learn(a)
+	}
+}
+
+// repairAfterFailure asks surviving contacts for replacement state after a
+// peer was evicted (paper §3.3: the overlay self-heals by replacing failed
+// contacts with other nodes satisfying the same prefix constraint).
+func (n *Node) repairAfterFailure(dead Addr) {
+	// Ask a few nearby survivors for their leaf sets; their members will
+	// refill both the leaf set and the routing table opportunistically.
+	for _, a := range n.Neighbors(2) {
+		if a.ID != dead.ID {
+			n.SendDirect(a, msgStateRequest, nil)
+		}
+	}
+}
+
+// BuildStaticOverlay wires a set of nodes into a fully converged overlay by
+// direct state construction, without running the join protocol. Large-scale
+// simulations use it so experiments start from the converged topology the
+// paper's simulations assume; the message-driven Join path is exercised by
+// integration tests and live deployments.
+func BuildStaticOverlay(nodes []*Node) {
+	if len(nodes) == 0 {
+		return
+	}
+	sorted := make([]*Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].self.ID.Cmp(sorted[j].self.ID) < 0
+	})
+	// Leaf sets: k nearest on each side in ring order.
+	m := len(sorted)
+	for i, node := range sorted {
+		k := node.cfg.LeafSetSize
+		for d := 1; d <= k && d < m; d++ {
+			node.leaves.add(sorted[(i+d)%m].self)
+			node.leaves.add(sorted[(i-d+m)%m].self)
+		}
+		node.joined = true
+	}
+	// Routing tables: group nodes by digit prefix. For each node and each
+	// row r, the entry at column j is any node whose first r digits match
+	// the node's and whose digit r equals j. We index nodes by prefix
+	// string to fill tables in O(N * rows * radix) expected time.
+	base := sorted[0].cfg.Base
+	type prefixKey struct {
+		depth int
+		hash  ids.ID // ID with digits beyond depth zeroed
+	}
+	maxRows := sorted[0].cfg.MaxTableRows
+	index := make(map[prefixKey][]*Node)
+	zeroBeyond := func(id ids.ID, depth int) ids.ID {
+		for d := depth; d < base.NumDigits(); d++ {
+			id = base.WithDigit(id, d, 0)
+		}
+		return id
+	}
+	for _, node := range sorted {
+		for depth := 1; depth <= maxRows; depth++ {
+			k := prefixKey{depth: depth, hash: zeroBeyond(node.self.ID, depth)}
+			index[k] = append(index[k], node)
+		}
+	}
+	for _, node := range sorted {
+		for row := 0; row < maxRows; row++ {
+			for col := 0; col < base.Radix(); col++ {
+				if base.Digit(node.self.ID, row) == col {
+					continue // that prefix is this node's own
+				}
+				want := base.WithDigit(node.self.ID, row, col)
+				k := prefixKey{depth: row + 1, hash: zeroBeyond(want, row+1)}
+				candidates := index[k]
+				if len(candidates) == 0 {
+					continue
+				}
+				// Deterministic pick: spread choices by hashing the
+				// chooser so entries differ between nodes.
+				pick := candidates[int(node.self.ID[0])%len(candidates)]
+				node.table.add(pick.self)
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package pastry implements the prefix-routing structured overlay that
+// Corona is layered on (paper §3, [25]).
+//
+// Each node has a 160-bit identifier. The overlay maintains two pieces of
+// state per node: a leaf set of the numerically closest neighbors on the
+// ring, and a routing table whose entry (row i, column j) points to a node
+// sharing exactly i prefix digits with this node and having j as its
+// (i+1)-th digit. The routing table induces a directed acyclic graph
+// rooted at every node; Corona's wedges are subsets of this DAG and are
+// reached by prefix-constrained broadcast (paper §3.1, §3.4).
+//
+// The package is transport-agnostic: messages flow through the Transport
+// interface, implemented in-memory by simnet (for simulation) and over TCP
+// by netwire (for live deployment).
+package pastry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"corona/internal/clock"
+	"corona/internal/ids"
+)
+
+// Addr identifies a reachable overlay node: its ring identifier plus a
+// transport-specific endpoint string (for example "sim://17" or
+// "128.84.223.105:9001").
+type Addr struct {
+	ID       ids.ID `json:"id"`
+	Endpoint string `json:"endpoint"`
+}
+
+// IsZero reports whether the address is unset.
+func (a Addr) IsZero() bool { return a.ID.IsZero() && a.Endpoint == "" }
+
+// String renders the address for logs.
+func (a Addr) String() string {
+	return fmt.Sprintf("%s@%s", a.ID.Short(), a.Endpoint)
+}
+
+// Message is the overlay message envelope. Payloads are application-defined;
+// under simnet they are passed by reference (and must be treated as
+// immutable), under netwire they are serialized as JSON.
+type Message struct {
+	// Type selects the application handler at the destination.
+	Type string `json:"type"`
+	// Key is the routing key for routed messages; zero for direct sends.
+	Key ids.ID `json:"key"`
+	// From is the originating node.
+	From Addr `json:"from"`
+	// Hops counts forwarding steps taken so far.
+	Hops int `json:"hops"`
+	// Cover is the prefix-broadcast coverage depth (see Node.Broadcast).
+	Cover int `json:"cover,omitempty"`
+	// Payload is the application body.
+	Payload any `json:"payload"`
+}
+
+// Transport delivers messages between overlay nodes.
+type Transport interface {
+	// Send delivers msg to the node at to. A non-nil error indicates the
+	// destination is unreachable (crashed, partitioned); the overlay
+	// treats it as a failure hint and repairs its state.
+	Send(to Addr, msg Message) error
+}
+
+// ErrUnreachable is returned by transports when the destination is down.
+var ErrUnreachable = errors.New("pastry: destination unreachable")
+
+// HandlerFunc processes an application message delivered to this node.
+type HandlerFunc func(msg Message)
+
+// Config parameterizes an overlay node.
+type Config struct {
+	// Base is the digit radix; the prototype uses 16 (paper §4).
+	Base ids.Base
+	// LeafSetSize is the number of neighbors kept on each side of the
+	// ring (the paper's f: channel state is replicated on the f closest
+	// neighbors of the primary owner, §3.3).
+	LeafSetSize int
+	// MaxTableRows bounds the routing table depth. With n random nodes
+	// prefixes longer than log_b(n)+3 digits are vanishingly rare, so
+	// deeper rows stay empty; bounding them keeps memory proportional
+	// to useful state. Zero means ids.NumDigits rows.
+	MaxTableRows int
+}
+
+// DefaultConfig returns the configuration used by the prototype: base 16
+// and a leaf set of 8 (4 per side).
+func DefaultConfig() Config {
+	return Config{Base: ids.MustBase(16), LeafSetSize: 4, MaxTableRows: 10}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Base == (ids.Base{}) {
+		c.Base = ids.MustBase(16)
+	}
+	if c.LeafSetSize <= 0 {
+		c.LeafSetSize = 4
+	}
+	if c.MaxTableRows <= 0 || c.MaxTableRows > c.Base.NumDigits() {
+		c.MaxTableRows = c.Base.NumDigits()
+	}
+	return c
+}
+
+// Node is one overlay participant. Its methods are safe for concurrent use:
+// live deployments invoke them from multiple connection goroutines, while
+// simulations run single-threaded through the event loop.
+type Node struct {
+	cfg       Config
+	self      Addr
+	transport Transport
+	clk       clock.Clock
+
+	mu       sync.RWMutex
+	table    *routingTable
+	leaves   *leafSet
+	handlers map[string]HandlerFunc
+	// deliverSelf is invoked when a routed message terminates here.
+	joined bool
+
+	// onFault, if set, is called when a peer is detected dead. Corona
+	// uses it to trigger subscription-state handoff checks.
+	onFault func(Addr)
+
+	stats Stats
+}
+
+// Stats counts overlay activity for the evaluation harness.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesRouted    uint64 // routed messages forwarded through this node
+	MessagesDelivered uint64
+	BroadcastsSent    uint64
+	RouteHopsTotal    uint64 // accumulated hop counts of delivered messages
+	Repairs           uint64
+}
+
+// NewNode creates an overlay node. The node does not join a ring until
+// Bootstrap or Join is called.
+func NewNode(cfg Config, self Addr, transport Transport, clk clock.Clock) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:       cfg,
+		self:      self,
+		transport: transport,
+		clk:       clk,
+		table:     newRoutingTable(cfg.Base, self.ID, cfg.MaxTableRows),
+		leaves:    newLeafSet(self.ID, cfg.LeafSetSize),
+		handlers:  make(map[string]HandlerFunc),
+	}
+	n.registerProtocolHandlers()
+	return n
+}
+
+// Self returns this node's address.
+func (n *Node) Self() Addr { return n.self }
+
+// Base returns the digit radix in use.
+func (n *Node) Base() ids.Base { return n.cfg.Base }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of the node's activity counters.
+func (n *Node) Stats() Stats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.stats
+}
+
+// OnFault registers a callback invoked when the node detects that a peer
+// has failed. At most one callback is kept.
+func (n *Node) OnFault(f func(Addr)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onFault = f
+}
+
+// Handle registers the handler for an application message type. It panics
+// if the type is already registered, which catches wiring mistakes early.
+func (n *Node) Handle(msgType string, h HandlerFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.handlers[msgType]; dup {
+		panic("pastry: duplicate handler for " + msgType)
+	}
+	n.handlers[msgType] = h
+}
+
+// Leaves returns the current leaf set, closest first on each side.
+func (n *Node) Leaves() []Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.leaves.all()
+}
+
+// Neighbors returns the k numerically closest known neighbors of this node
+// (from the leaf set), used by Corona to pick the f additional owners of a
+// channel (paper §3.3).
+func (n *Node) Neighbors(k int) []Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.leaves.closest(k)
+}
+
+// RoutingEntry returns the routing table entry at (row, col), or a zero
+// Addr when empty.
+func (n *Node) RoutingEntry(row, col int) Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.table.get(row, col)
+}
+
+// RowContacts returns the non-empty entries of routing table row r,
+// excluding this node itself. These are the "contacts in the routing table
+// at row r" that Corona's maintenance protocol instructs (paper §3.3).
+func (n *Node) RowContacts(r int) []Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.table.row(r)
+}
+
+// KnownNodes returns every distinct peer in the routing state (leaf set
+// and routing table).
+func (n *Node) KnownNodes() []Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	seen := map[ids.ID]Addr{}
+	for _, a := range n.leaves.all() {
+		seen[a.ID] = a
+	}
+	n.table.each(func(a Addr) {
+		seen[a.ID] = a
+	})
+	out := make([]Addr, 0, len(seen))
+	for _, a := range seen {
+		out = append(out, a)
+	}
+	return out
+}
+
+// send transmits msg and handles transport-level failure by evicting the
+// dead peer and scheduling repair.
+func (n *Node) send(to Addr, msg Message) error {
+	err := n.transport.Send(to, msg)
+	n.mu.Lock()
+	n.stats.MessagesSent++
+	n.mu.Unlock()
+	if err != nil {
+		n.peerFailed(to)
+	}
+	return err
+}
+
+// Deliver is the transport's entry point for inbound messages.
+func (n *Node) Deliver(msg Message) {
+	switch msg.Type {
+	case msgJoin, msgJoinReply, msgStateRequest, msgStateReply, msgProbe, msgProbeReply:
+		n.handleProtocol(msg)
+		return
+	}
+	if !msg.Key.IsZero() && msg.Cover == 0 {
+		// Routed application message: forward if we are not the root.
+		if next, ok := n.nextHop(msg.Key); ok {
+			msg.Hops++
+			n.mu.Lock()
+			n.stats.MessagesRouted++
+			n.mu.Unlock()
+			n.send(next, msg)
+			return
+		}
+	}
+	if msg.Cover > 0 {
+		// Prefix broadcast: deliver locally and re-forward deeper.
+		n.forwardBroadcast(msg)
+	}
+	n.deliverLocal(msg)
+}
+
+func (n *Node) deliverLocal(msg Message) {
+	n.mu.RLock()
+	h := n.handlers[msg.Type]
+	n.mu.RUnlock()
+	n.mu.Lock()
+	n.stats.MessagesDelivered++
+	n.stats.RouteHopsTotal += uint64(msg.Hops)
+	n.mu.Unlock()
+	if h != nil {
+		h(msg)
+	}
+}
+
+// SendDirect sends an application message straight to a known peer without
+// overlay routing.
+func (n *Node) SendDirect(to Addr, msgType string, payload any) error {
+	if to.ID == n.self.ID {
+		n.Deliver(Message{Type: msgType, From: n.self, Payload: payload})
+		return nil
+	}
+	return n.send(to, Message{Type: msgType, From: n.self, Payload: payload})
+}
+
+// Route sends an application message toward the node whose identifier is
+// numerically closest to key. The message is delivered to the handler for
+// msgType at the root node (possibly this node itself).
+func (n *Node) Route(key ids.ID, msgType string, payload any) error {
+	msg := Message{Type: msgType, Key: key, From: n.self, Payload: payload}
+	next, ok := n.nextHop(key)
+	if !ok {
+		n.deliverLocal(msg)
+		return nil
+	}
+	msg.Hops = 1
+	return n.send(next, msg)
+}

@@ -1,0 +1,212 @@
+// Package simnet is the in-memory message transport used by simulations.
+//
+// Messages between endpoints are delivered through the discrete-event
+// engine after a latency drawn from a configurable model, so the same
+// protocol code that runs over TCP in deployments runs under virtual time
+// in experiments. The network supports failure injection — crashed hosts,
+// message loss, partitions — used by the integration tests.
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"corona/internal/eventsim"
+	"corona/internal/pastry"
+)
+
+// LatencyModel draws a one-way delivery latency for a message between two
+// endpoints.
+type LatencyModel interface {
+	Latency(from, to string, rng *rand.Rand) time.Duration
+}
+
+// FixedLatency delivers every message after a constant delay.
+type FixedLatency time.Duration
+
+// Latency implements LatencyModel.
+func (f FixedLatency) Latency(_, _ string, _ *rand.Rand) time.Duration {
+	return time.Duration(f)
+}
+
+// UniformLatency draws latencies uniformly from [Min, Max).
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Latency implements LatencyModel.
+func (u UniformLatency) Latency(_, _ string, rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// WANLatency models wide-area latencies with a lognormal distribution,
+// approximating the PlanetLab deployment substrate (DESIGN.md §3). The
+// default parameters give a median around 60 ms with a tail to ~300 ms.
+type WANLatency struct {
+	// Mu and Sigma parameterize the lognormal in ln-milliseconds.
+	Mu, Sigma float64
+	// Floor is the minimum latency.
+	Floor time.Duration
+}
+
+// DefaultWAN returns the wide-area model used by the deployment
+// experiments (Figures 9 and 10).
+func DefaultWAN() WANLatency {
+	return WANLatency{Mu: 4.1, Sigma: 0.55, Floor: 5 * time.Millisecond}
+}
+
+// Latency implements LatencyModel.
+func (w WANLatency) Latency(_, _ string, rng *rand.Rand) time.Duration {
+	ms := math.Exp(w.Mu + w.Sigma*rng.NormFloat64())
+	d := time.Duration(ms * float64(time.Millisecond))
+	if d < w.Floor {
+		d = w.Floor
+	}
+	return d
+}
+
+// Network is an in-memory message fabric bound to a simulator.
+type Network struct {
+	sim     *eventsim.Sim
+	latency LatencyModel
+	rng     *rand.Rand
+
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	down      map[string]bool
+	dropRate  float64
+	partition map[string]int // endpoint -> partition group; 0 = default
+
+	delivered uint64
+	dropped   uint64
+	bytes     uint64
+}
+
+// New creates a network on the given simulator with the given latency
+// model.
+func New(sim *eventsim.Sim, latency LatencyModel) *Network {
+	return &Network{
+		sim:       sim,
+		latency:   latency,
+		rng:       sim.RNG("simnet"),
+		endpoints: make(map[string]*Endpoint),
+		down:      make(map[string]bool),
+		partition: make(map[string]int),
+	}
+}
+
+// Endpoint is one attachment point on the network. It implements
+// pastry.Transport for the node that owns it.
+type Endpoint struct {
+	net     *Network
+	name    string
+	deliver func(pastry.Message)
+}
+
+// Attach registers an endpoint under the given name (the Addr.Endpoint
+// string) delivering inbound messages to the given function.
+func (n *Network) Attach(name string, deliver func(pastry.Message)) *Endpoint {
+	ep := &Endpoint{net: n, name: name, deliver: deliver}
+	n.mu.Lock()
+	n.endpoints[name] = ep
+	n.mu.Unlock()
+	return ep
+}
+
+// Send implements pastry.Transport. The message is delivered through the
+// event queue after a modeled latency, or an error is returned if the
+// destination is crashed or partitioned away.
+func (ep *Endpoint) Send(to pastry.Addr, msg pastry.Message) error {
+	n := ep.net
+	n.mu.Lock()
+	dst, ok := n.endpoints[to.Endpoint]
+	crashed := n.down[to.Endpoint] || n.down[ep.name]
+	partitioned := n.partition[ep.name] != n.partition[to.Endpoint]
+	drop := n.dropRate > 0 && n.rng.Float64() < n.dropRate
+	if ok && !crashed && !partitioned && !drop {
+		n.delivered++
+	} else {
+		n.dropped++
+	}
+	n.mu.Unlock()
+
+	if !ok || crashed || partitioned {
+		return pastry.ErrUnreachable
+	}
+	if drop {
+		return nil // silently lost, like UDP loss; sender sees success
+	}
+	delay := n.latency.Latency(ep.name, to.Endpoint, n.rng)
+	n.sim.AfterFunc(delay, func() {
+		n.mu.Lock()
+		stillUp := !n.down[to.Endpoint]
+		n.mu.Unlock()
+		if stillUp {
+			dst.deliver(msg)
+		}
+	})
+	return nil
+}
+
+// Crash marks a host as failed: sends to and from it error out and queued
+// deliveries are suppressed.
+func (n *Network) Crash(name string) {
+	n.mu.Lock()
+	n.down[name] = true
+	n.mu.Unlock()
+}
+
+// Restart clears the crashed state of a host.
+func (n *Network) Restart(name string) {
+	n.mu.Lock()
+	delete(n.down, name)
+	n.mu.Unlock()
+}
+
+// SetDropRate makes the network silently lose the given fraction of
+// messages (0 disables loss).
+func (n *Network) SetDropRate(rate float64) {
+	n.mu.Lock()
+	n.dropRate = rate
+	n.mu.Unlock()
+}
+
+// Partition assigns a host to a partition group; hosts in different groups
+// cannot exchange messages. Group 0 is the default connected component.
+func (n *Network) Partition(name string, group int) {
+	n.mu.Lock()
+	if group == 0 {
+		delete(n.partition, name)
+	} else {
+		n.partition[name] = group
+	}
+	n.mu.Unlock()
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.partition = make(map[string]int)
+	n.mu.Unlock()
+}
+
+// Delivered returns the number of messages successfully enqueued for
+// delivery.
+func (n *Network) Delivered() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered
+}
+
+// Dropped returns the number of messages lost to crashes, partitions, or
+// random loss.
+func (n *Network) Dropped() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}

@@ -1,0 +1,168 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"corona/internal/eventsim"
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+func twoEndpoints(t *testing.T, model LatencyModel) (*eventsim.Sim, *Network, *Endpoint, *[]pastry.Message) {
+	t.Helper()
+	sim := eventsim.New(9)
+	net := New(sim, model)
+	var got []pastry.Message
+	net.Attach("sim://dst", func(m pastry.Message) { got = append(got, m) })
+	src := net.Attach("sim://src", nil)
+	return sim, net, src, &got
+}
+
+var dst = pastry.Addr{ID: ids.HashString("dst"), Endpoint: "sim://dst"}
+
+func TestDeliveryAfterLatency(t *testing.T) {
+	sim, _, src, got := twoEndpoints(t, FixedLatency(50*time.Millisecond))
+	if err := src.Send(dst, pastry.Message{Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(49 * time.Millisecond)
+	if len(*got) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	sim.RunFor(2 * time.Millisecond)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(*got))
+	}
+}
+
+func TestSendToUnknownEndpointFails(t *testing.T) {
+	_, _, src, _ := twoEndpoints(t, FixedLatency(0))
+	err := src.Send(pastry.Addr{Endpoint: "sim://nowhere"}, pastry.Message{Type: "x"})
+	if err == nil {
+		t.Fatal("send to unknown endpoint succeeded")
+	}
+}
+
+func TestCrashAndRestart(t *testing.T) {
+	sim, net, src, got := twoEndpoints(t, FixedLatency(time.Millisecond))
+	net.Crash("sim://dst")
+	if err := src.Send(dst, pastry.Message{Type: "x"}); err == nil {
+		t.Fatal("send to crashed host succeeded")
+	}
+	net.Restart("sim://dst")
+	if err := src.Send(dst, pastry.Message{Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d after restart, want 1", len(*got))
+	}
+}
+
+func TestCrashSuppressesInFlight(t *testing.T) {
+	sim, net, src, got := twoEndpoints(t, FixedLatency(100*time.Millisecond))
+	src.Send(dst, pastry.Message{Type: "x"})
+	net.Crash("sim://dst") // message still in flight
+	sim.RunFor(time.Second)
+	if len(*got) != 0 {
+		t.Fatal("in-flight message delivered to crashed host")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	sim, net, src, got := twoEndpoints(t, FixedLatency(time.Millisecond))
+	net.Partition("sim://dst", 2)
+	if err := src.Send(dst, pastry.Message{Type: "x"}); err == nil {
+		t.Fatal("send across partition succeeded")
+	}
+	net.Heal()
+	if err := src.Send(dst, pastry.Message{Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d after heal, want 1", len(*got))
+	}
+}
+
+func TestDropRateSilentLoss(t *testing.T) {
+	sim, net, src, got := twoEndpoints(t, FixedLatency(0))
+	net.SetDropRate(1.0)
+	// Loss is silent: the send succeeds, nothing arrives.
+	if err := src.Send(dst, pastry.Message{Type: "x"}); err != nil {
+		t.Fatalf("lossy send errored: %v", err)
+	}
+	sim.RunFor(time.Second)
+	if len(*got) != 0 {
+		t.Fatal("message delivered despite 100% drop rate")
+	}
+	if net.Dropped() == 0 {
+		t.Fatal("drop not counted")
+	}
+	net.SetDropRate(0)
+	src.Send(dst, pastry.Message{Type: "x"})
+	sim.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatal("delivery failed after loss disabled")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	sim, net, src, _ := twoEndpoints(t, FixedLatency(0))
+	for i := 0; i < 10; i++ {
+		src.Send(dst, pastry.Message{Type: "x"})
+	}
+	sim.RunFor(time.Second)
+	if net.Delivered() != 10 {
+		t.Fatalf("Delivered = %d, want 10", net.Delivered())
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	sim := eventsim.New(3)
+	rng := sim.RNG("lat")
+	u := UniformLatency{Min: 10 * time.Millisecond, Max: 50 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := u.Latency("a", "b", rng)
+		if d < u.Min || d >= u.Max {
+			t.Fatalf("latency %v outside [%v,%v)", d, u.Min, u.Max)
+		}
+	}
+	// Degenerate range returns Min.
+	bad := UniformLatency{Min: 5 * time.Millisecond, Max: 5 * time.Millisecond}
+	if d := bad.Latency("a", "b", rng); d != 5*time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", d)
+	}
+}
+
+func TestWANLatencyDistribution(t *testing.T) {
+	sim := eventsim.New(4)
+	rng := sim.RNG("wan")
+	w := DefaultWAN()
+	var total time.Duration
+	var over300 int
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d := w.Latency("a", "b", rng)
+		if d < w.Floor {
+			t.Fatalf("latency %v below floor", d)
+		}
+		if d > 300*time.Millisecond {
+			over300++
+		}
+		total += d
+	}
+	mean := total / n
+	if mean < 30*time.Millisecond || mean > 150*time.Millisecond {
+		t.Fatalf("WAN mean latency %v outside wide-area range", mean)
+	}
+	frac := float64(over300) / n
+	if frac > 0.10 {
+		t.Fatalf("%.1f%% of latencies exceed 300ms; tail too heavy", frac*100)
+	}
+	if math.IsNaN(float64(mean)) {
+		t.Fatal("NaN latency")
+	}
+}

@@ -1,0 +1,149 @@
+// Package webserver simulates the legacy content servers Corona polls, and
+// provides a real net/http origin for live deployments.
+//
+// The simulated origin is version-oriented: each channel has an update
+// process mapping virtual time to a content version, so a poll is O(1)
+// regardless of how many updates elapsed — the property that lets the
+// paper-scale simulation (20,000 channels, millions of polls) run on a
+// laptop. The update times themselves remain exact, so update-detection
+// latency is measured precisely. A content-backed mode swaps in real RSS
+// documents from feed.Generator for the deployment path, where actual
+// diffs flow.
+package webserver
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// UpdateProcess defines when a channel's content changes. Versions start
+// at 1 (the initial content) and increase by one per update.
+type UpdateProcess interface {
+	// VersionAt returns the content version visible at time t.
+	VersionAt(t time.Time) uint64
+	// UpdateTime returns the instant at which the given version was
+	// published. UpdateTime(1) is the channel's creation.
+	UpdateTime(version uint64) time.Time
+	// MeanInterval returns the expected time between updates, the uᵢ in
+	// the paper's tradeoff formulas.
+	MeanInterval() time.Duration
+}
+
+// PeriodicProcess publishes a new version every Interval, starting at
+// Origin (version 1 at Origin, version 2 at Origin+Interval, ...).
+// A random per-channel Origin phase prevents synchronized updates.
+type PeriodicProcess struct {
+	Origin   time.Time
+	Interval time.Duration
+}
+
+// VersionAt implements UpdateProcess.
+func (p PeriodicProcess) VersionAt(t time.Time) uint64 {
+	if t.Before(p.Origin) {
+		return 0
+	}
+	if p.Interval <= 0 {
+		return 1
+	}
+	return uint64(t.Sub(p.Origin)/p.Interval) + 1
+}
+
+// UpdateTime implements UpdateProcess.
+func (p PeriodicProcess) UpdateTime(version uint64) time.Time {
+	if version == 0 {
+		return time.Time{}
+	}
+	return p.Origin.Add(time.Duration(version-1) * p.Interval)
+}
+
+// MeanInterval implements UpdateProcess.
+func (p PeriodicProcess) MeanInterval() time.Duration { return p.Interval }
+
+// PoissonProcess publishes updates with exponentially distributed gaps of
+// the given mean, the classic model for independent news arrivals. Event
+// times are generated lazily from a deterministic seed and memoized, so
+// the process is reproducible and cheap.
+type PoissonProcess struct {
+	origin time.Time
+	mean   time.Duration
+	rng    *rand.Rand
+	times  []time.Time // times[k] = publication of version k+1
+}
+
+// NewPoissonProcess creates a process whose first version appears at
+// origin and whose gaps average mean.
+func NewPoissonProcess(origin time.Time, mean time.Duration, seed int64) *PoissonProcess {
+	return &PoissonProcess{
+		origin: origin,
+		mean:   mean,
+		rng:    rand.New(rand.NewSource(seed)),
+		times:  []time.Time{origin},
+	}
+}
+
+// extendTo materializes event times through t.
+func (p *PoissonProcess) extendTo(t time.Time) {
+	last := p.times[len(p.times)-1]
+	for !last.After(t) {
+		gap := time.Duration(p.rng.ExpFloat64() * float64(p.mean))
+		if gap < time.Second {
+			gap = time.Second // guard against pathological zero gaps
+		}
+		last = last.Add(gap)
+		p.times = append(p.times, last)
+	}
+}
+
+// VersionAt implements UpdateProcess.
+func (p *PoissonProcess) VersionAt(t time.Time) uint64 {
+	if t.Before(p.origin) {
+		return 0
+	}
+	p.extendTo(t)
+	// Count events ≤ t.
+	n := sort.Search(len(p.times), func(i int) bool { return p.times[i].After(t) })
+	return uint64(n)
+}
+
+// UpdateTime implements UpdateProcess.
+func (p *PoissonProcess) UpdateTime(version uint64) time.Time {
+	if version == 0 {
+		return time.Time{}
+	}
+	for uint64(len(p.times)) < version {
+		p.extendTo(p.times[len(p.times)-1].Add(p.mean * 4))
+	}
+	return p.times[version-1]
+}
+
+// MeanInterval implements UpdateProcess.
+func (p *PoissonProcess) MeanInterval() time.Duration { return p.mean }
+
+// StaticProcess never updates after the initial content: the "50% of
+// channels did not change at all during 5 days of polling" tail of the
+// survey. The paper's simulations cap these at a one-week interval; use
+// PeriodicProcess for that. StaticProcess exists for truly frozen pages.
+type StaticProcess struct {
+	Origin time.Time
+}
+
+// VersionAt implements UpdateProcess.
+func (s StaticProcess) VersionAt(t time.Time) uint64 {
+	if t.Before(s.Origin) {
+		return 0
+	}
+	return 1
+}
+
+// UpdateTime implements UpdateProcess.
+func (s StaticProcess) UpdateTime(version uint64) time.Time {
+	if version != 1 {
+		return time.Time{}
+	}
+	return s.Origin
+}
+
+// MeanInterval implements UpdateProcess. It reports a week, matching the
+// survey's convention for unchanged channels.
+func (s StaticProcess) MeanInterval() time.Duration { return 7 * 24 * time.Hour }

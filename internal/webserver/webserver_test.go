@@ -1,0 +1,255 @@
+package webserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"corona/internal/feed"
+)
+
+var t0 = time.Date(2006, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestPeriodicProcessVersions(t *testing.T) {
+	p := PeriodicProcess{Origin: t0, Interval: 10 * time.Minute}
+	cases := []struct {
+		at   time.Duration
+		want uint64
+	}{
+		{-time.Minute, 0},
+		{0, 1},
+		{time.Minute, 1},
+		{10 * time.Minute, 2},
+		{25 * time.Minute, 3},
+	}
+	for _, c := range cases {
+		if got := p.VersionAt(t0.Add(c.at)); got != c.want {
+			t.Errorf("VersionAt(+%v) = %d, want %d", c.at, got, c.want)
+		}
+	}
+	if got := p.UpdateTime(3); !got.Equal(t0.Add(20 * time.Minute)) {
+		t.Errorf("UpdateTime(3) = %v", got)
+	}
+	if got := p.UpdateTime(0); !got.IsZero() {
+		t.Errorf("UpdateTime(0) = %v, want zero", got)
+	}
+}
+
+func TestPeriodicProcessConsistency(t *testing.T) {
+	// Property: VersionAt(UpdateTime(v)) == v for all v.
+	p := PeriodicProcess{Origin: t0.Add(7 * time.Minute), Interval: 13 * time.Minute}
+	for v := uint64(1); v < 100; v++ {
+		if got := p.VersionAt(p.UpdateTime(v)); got != v {
+			t.Fatalf("VersionAt(UpdateTime(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestPoissonProcessConsistency(t *testing.T) {
+	p := NewPoissonProcess(t0, time.Hour, 42)
+	for v := uint64(1); v < 200; v++ {
+		at := p.UpdateTime(v)
+		if got := p.VersionAt(at); got != v {
+			t.Fatalf("VersionAt(UpdateTime(%d)) = %d", v, got)
+		}
+		if v > 1 && !at.After(p.UpdateTime(v-1)) {
+			t.Fatalf("update times not strictly increasing at %d", v)
+		}
+	}
+}
+
+func TestPoissonProcessMeanGap(t *testing.T) {
+	p := NewPoissonProcess(t0, time.Hour, 7)
+	const n = 2000
+	total := p.UpdateTime(n).Sub(p.UpdateTime(1))
+	mean := total / (n - 1)
+	if mean < 45*time.Minute || mean > 75*time.Minute {
+		t.Fatalf("empirical mean gap %v too far from 1h", mean)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := NewPoissonProcess(t0, time.Hour, 3)
+	b := NewPoissonProcess(t0, time.Hour, 3)
+	for v := uint64(1); v < 50; v++ {
+		if !a.UpdateTime(v).Equal(b.UpdateTime(v)) {
+			t.Fatal("same seed produced different event times")
+		}
+	}
+}
+
+func TestStaticProcess(t *testing.T) {
+	s := StaticProcess{Origin: t0}
+	if s.VersionAt(t0.Add(100*24*time.Hour)) != 1 {
+		t.Fatal("static process updated")
+	}
+	if s.VersionAt(t0.Add(-time.Second)) != 0 {
+		t.Fatal("static process visible before origin")
+	}
+}
+
+func TestOriginFetchAccounting(t *testing.T) {
+	o := NewOrigin()
+	o.Host(ChannelConfig{
+		URL:       "http://example.com/f",
+		SizeBytes: 4096,
+		Process:   PeriodicProcess{Origin: t0, Interval: time.Hour},
+	})
+	res, err := o.Fetch("http://example.com/f", t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 || !res.Modified || res.Bytes != 4096 {
+		t.Fatalf("first fetch = %+v", res)
+	}
+	// Unconditional fetch always pays full size.
+	res, _ = o.Fetch("http://example.com/f", t0.Add(2*time.Minute))
+	if res.Bytes != 4096 {
+		t.Fatalf("second unconditional fetch bytes = %d", res.Bytes)
+	}
+	load, _ := o.Load("http://example.com/f")
+	if load.Polls != 2 || load.BytesServed != 8192 {
+		t.Fatalf("load = %+v", load)
+	}
+}
+
+func TestOriginConditionalFetch(t *testing.T) {
+	o := NewOrigin()
+	o.Host(ChannelConfig{
+		URL:       "u",
+		SizeBytes: 4096,
+		Process:   PeriodicProcess{Origin: t0, Interval: time.Hour},
+	})
+	res, _ := o.FetchConditional("u", t0.Add(time.Minute), 0)
+	if !res.Modified {
+		t.Fatal("initial conditional fetch should return content")
+	}
+	res, _ = o.FetchConditional("u", t0.Add(2*time.Minute), res.Version)
+	if res.Modified || res.Bytes >= 4096 {
+		t.Fatalf("unchanged conditional fetch = %+v, want cheap 304", res)
+	}
+	res, _ = o.FetchConditional("u", t0.Add(61*time.Minute), res.Version)
+	if !res.Modified || res.Version != 2 {
+		t.Fatalf("post-update conditional fetch = %+v", res)
+	}
+}
+
+func TestOriginUnknownChannel(t *testing.T) {
+	o := NewOrigin()
+	if _, err := o.Fetch("nope", t0); err == nil {
+		t.Fatal("fetch of unknown channel succeeded")
+	}
+}
+
+func TestOriginGeneratorContent(t *testing.T) {
+	o := NewOrigin()
+	gen := feed.NewGenerator("http://example.com/f", 1)
+	o.Host(ChannelConfig{
+		URL:       "http://example.com/f",
+		Process:   PeriodicProcess{Origin: t0, Interval: 30 * time.Minute},
+		Generator: gen,
+	})
+	r1, err := o.Fetch("http://example.com/f", t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Body == nil || !strings.Contains(string(r1.Body), "<rss") {
+		t.Fatalf("generator mode returned no RSS body")
+	}
+	// After two update intervals the body must contain new items.
+	r2, _ := o.Fetch("http://example.com/f", t0.Add(65*time.Minute))
+	if r2.Version != 3 {
+		t.Fatalf("version = %d, want 3", r2.Version)
+	}
+	f1, _ := feed.ParseRSS(r1.Body)
+	f2, _ := feed.ParseRSS(r2.Body)
+	if len(feed.NewItems(f1, f2)) == 0 {
+		t.Fatal("no new items after two update intervals")
+	}
+}
+
+func TestOriginResetLoad(t *testing.T) {
+	o := NewOrigin()
+	o.Host(ChannelConfig{URL: "u", Process: StaticProcess{Origin: t0}})
+	o.Fetch("u", t0.Add(time.Second))
+	o.ResetLoad()
+	if load := o.TotalLoad(); load.Polls != 0 || load.BytesServed != 0 {
+		t.Fatalf("load after reset = %+v", load)
+	}
+}
+
+func TestHTTPOriginServesAndValidates(t *testing.T) {
+	o := NewOrigin()
+	gen := feed.NewGenerator("/feed.xml", 1)
+	o.Host(ChannelConfig{
+		URL:       "/feed.xml",
+		Process:   PeriodicProcess{Origin: t0, Interval: 30 * time.Minute},
+		Generator: gen,
+	})
+	now := t0.Add(time.Minute)
+	h := NewHTTPOrigin(o, func() time.Time { return now })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/feed.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag")
+	}
+	// Conditional re-fetch: 304.
+	req, err := http.NewRequest("GET", srv.URL+"/feed.xml", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 304 {
+		t.Fatalf("conditional status = %d, want 304", resp2.StatusCode)
+	}
+	// Unknown channel: 404.
+	resp3, _ := srv.Client().Get(srv.URL + "/nope.xml")
+	resp3.Body.Close()
+	if resp3.StatusCode != 404 {
+		t.Fatalf("unknown channel status = %d", resp3.StatusCode)
+	}
+}
+
+func TestHTTPOriginRateLimit(t *testing.T) {
+	o := NewOrigin()
+	o.Host(ChannelConfig{URL: "/f", Process: StaticProcess{Origin: t0}, Generator: feed.NewGenerator("/f", 2)})
+	now := t0.Add(time.Minute)
+	h := NewHTTPOrigin(o, func() time.Time { return now })
+	h.SetRateLimit(3)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var last int
+	for i := 0; i < 5; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		last = resp.StatusCode
+	}
+	if last != 429 {
+		t.Fatalf("5th request status = %d, want 429", last)
+	}
+	served, rejected := h.Requests()
+	if rejected < 1 || served > 4 {
+		t.Fatalf("served=%d rejected=%d", served, rejected)
+	}
+}

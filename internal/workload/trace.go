@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV serializes the workload's channel population so an experiment
+// can be re-run elsewhere or inspected. Columns: url, subscribers,
+// update_interval_sec, size_bytes.
+func (w *Workload) WriteCSV(out io.Writer) error {
+	cw := csv.NewWriter(out)
+	if err := cw.Write([]string{"url", "subscribers", "update_interval_sec", "size_bytes"}); err != nil {
+		return fmt.Errorf("workload: writing header: %w", err)
+	}
+	for _, ch := range w.Channels {
+		rec := []string{
+			ch.URL,
+			strconv.Itoa(ch.Subscribers),
+			strconv.FormatFloat(ch.UpdateInterval.Seconds(), 'f', 3, 64),
+			strconv.Itoa(ch.SizeBytes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing %s: %w", ch.URL, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a workload previously serialized with WriteCSV.
+func ReadCSV(in io.Reader) (*Workload, error) {
+	cr := csv.NewReader(in)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading header: %w", err)
+	}
+	if len(header) != 4 || header[0] != "url" {
+		return nil, fmt.Errorf("workload: unexpected header %v", header)
+	}
+	w := &Workload{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		subs, err1 := strconv.Atoi(rec[1])
+		secs, err2 := strconv.ParseFloat(rec[2], 64)
+		size, err3 := strconv.Atoi(rec[3])
+		if err1 != nil || err2 != nil || err3 != nil || subs < 0 || secs <= 0 || size <= 0 {
+			return nil, fmt.Errorf("workload: line %d: invalid record %v", line, rec)
+		}
+		w.Channels = append(w.Channels, ChannelSpec{
+			URL:            rec[0],
+			Subscribers:    subs,
+			UpdateInterval: time.Duration(secs * float64(time.Second)),
+			SizeBytes:      size,
+		})
+		w.TotalSubscriptions += subs
+	}
+	return w, nil
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	w := Generate(Config{Channels: 200, Subscriptions: 10000, Seed: 11})
+	var buf bytes.Buffer
+	if err := w.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalSubscriptions != w.TotalSubscriptions {
+		t.Fatalf("total subscriptions %d, want %d", back.TotalSubscriptions, w.TotalSubscriptions)
+	}
+	if len(back.Channels) != len(w.Channels) {
+		t.Fatalf("channels %d, want %d", len(back.Channels), len(w.Channels))
+	}
+	for i := range w.Channels {
+		a, b := w.Channels[i], back.Channels[i]
+		if a.URL != b.URL || a.Subscribers != b.Subscribers || a.SizeBytes != b.SizeBytes {
+			t.Fatalf("channel %d differs: %+v vs %+v", i, a, b)
+		}
+		// Durations round-trip at millisecond precision.
+		if d := a.UpdateInterval - b.UpdateInterval; d > 1e6 || d < -1e6 {
+			t.Fatalf("channel %d interval drift %v", i, d)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,workload,header\nx,1,60,100\n",
+		"url,subscribers,update_interval_sec,size_bytes\nx,notanumber,60,100\n",
+		"url,subscribers,update_interval_sec,size_bytes\nx,1,-5,100\n",
+		"url,subscribers,update_interval_sec,size_bytes\nx,1,60,0\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%.40q) succeeded, want error", c)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package corona
+
+import (
+	"fmt"
+	"time"
+
+	"corona/internal/clock"
+	"corona/internal/core"
+	"corona/internal/ids"
+	"corona/internal/im"
+	"corona/internal/netwire"
+	"corona/internal/pastry"
+)
+
+// LiveConfig configures one deployed Corona node.
+type LiveConfig struct {
+	// Bind is the TCP listen address, for example "0.0.0.0:9001".
+	Bind string
+	// Advertise is the address peers dial; defaults to the bound
+	// address (set it when behind NAT).
+	Advertise string
+	// Seeds are existing cluster members to join through; empty
+	// bootstraps a new ring.
+	Seeds []string
+	// Scheme, FastTarget, PollInterval, MaintenanceInterval as in
+	// Options.
+	Scheme              Scheme
+	FastTarget          time.Duration
+	PollInterval        time.Duration
+	MaintenanceInterval time.Duration
+	// Replicas is the owner replication factor f.
+	Replicas int
+	// NodeCountHint fixes N for the optimizer; zero estimates it from
+	// the leaf set at runtime.
+	NodeCountHint int
+	// Seed drives poll-phase randomness; zero derives it from the bind
+	// address.
+	Seed int64
+}
+
+// LiveNode is one Corona overlay member speaking TCP, polling real HTTP
+// origins, and running the full maintenance protocol.
+type LiveNode struct {
+	transport *netwire.Transport
+	overlay   *pastry.Node
+	node      *core.Node
+	notifier  *im.Gateway
+	service   *im.Service
+}
+
+func init() {
+	// Wire payload codecs once for every live node in the process.
+	pastry.RegisterPayloadTypes(netwire.RegisterPayload)
+	core.RegisterPayloadTypes(netwire.RegisterPayload)
+}
+
+// StartLiveNode binds the transport, joins (or bootstraps) the ring, and
+// starts the protocol. The returned node's IM service accepts local
+// client registrations; production deployments front it with
+// cmd/corona-node's line-protocol listener.
+func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
+	if cfg.Bind == "" {
+		return nil, fmt.Errorf("corona: Bind address required")
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 30 * time.Minute
+	}
+	if cfg.MaintenanceInterval == 0 {
+		cfg.MaintenanceInterval = cfg.PollInterval
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 2
+	}
+	transport, err := netwire.Listen(cfg.Bind, nil)
+	if err != nil {
+		return nil, err
+	}
+	advertise := cfg.Advertise
+	if advertise == "" {
+		advertise = transport.Addr()
+	}
+	self := pastry.Addr{ID: idFromEndpoint(advertise), Endpoint: advertise}
+	overlay := pastry.NewNode(pastry.DefaultConfig(), self, transport, clock.Real{})
+	transport.OnDeliver(overlay.Deliver)
+
+	ccfg := core.DefaultConfig()
+	ccfg.Policy = core.PolicyConfig{Scheme: cfg.Scheme.coreScheme(), FastTarget: cfg.FastTarget}
+	ccfg.PollInterval = cfg.PollInterval
+	ccfg.MaintenanceInterval = cfg.MaintenanceInterval
+	ccfg.OwnerReplicas = cfg.Replicas
+	ccfg.NodeCount = cfg.NodeCountHint
+	ccfg.CountSubscribersOnly = false
+	ccfg.ContentMode = true
+	ccfg.Seed = cfg.Seed
+	if ccfg.Seed == 0 {
+		ccfg.Seed = int64(beUint(idFromEndpoint(advertise)))
+	}
+
+	service := im.NewService(clock.Real{})
+	node := core.NewNode(ccfg, overlay, clock.Real{}, &core.HTTPFetcher{}, nil, nil)
+	gateway := im.NewGateway(service, clock.Real{}, "corona", node)
+	// Rebind the node's notifier to the gateway (constructed after the
+	// node because the gateway needs the node as its Subscriber).
+	node.SetNotifier(gateway)
+
+	ln := &LiveNode{
+		transport: transport,
+		overlay:   overlay,
+		node:      node,
+		notifier:  gateway,
+		service:   service,
+	}
+	if len(cfg.Seeds) == 0 {
+		overlay.Bootstrap()
+	} else {
+		joined := false
+		for _, seed := range cfg.Seeds {
+			err := overlay.Join(pastry.Addr{ID: idFromEndpoint(seed), Endpoint: seed})
+			if err == nil {
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			transport.Close()
+			return nil, fmt.Errorf("corona: no seed reachable among %v", cfg.Seeds)
+		}
+	}
+	node.Start()
+	return ln, nil
+}
+
+// Addr returns the node's advertised overlay address.
+func (ln *LiveNode) Addr() string { return ln.overlay.Self().Endpoint }
+
+// IM returns the node-local instant-messaging service clients register
+// and log in through.
+func (ln *LiveNode) IM() *im.Service { return ln.service }
+
+// Gateway returns the node's IM gateway (the "corona" buddy).
+func (ln *LiveNode) Gateway() *im.Gateway { return ln.notifier }
+
+// Subscribe registers a client directly (bypassing IM), for programmatic
+// use.
+func (ln *LiveNode) Subscribe(client, url string) error {
+	return ln.node.Subscribe(client, url)
+}
+
+// Unsubscribe removes a client's subscription.
+func (ln *LiveNode) Unsubscribe(client, url string) error {
+	return ln.node.Unsubscribe(client, url)
+}
+
+// Stats exposes the node's activity counters.
+func (ln *LiveNode) Stats() core.Stats { return ln.node.Stats() }
+
+// Close stops the protocol and the transport.
+func (ln *LiveNode) Close() error {
+	ln.node.Stop()
+	return ln.transport.Close()
+}
+
+// idFromEndpoint derives the node identifier from its advertised address,
+// as the prototype hashes the node's IP (§4).
+func idFromEndpoint(endpoint string) ids.ID {
+	return ids.HashString(endpoint)
+}
+
+// beUint folds an identifier's top bytes into a uint64 seed.
+func beUint(id ids.ID) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(id[i])
+	}
+	return v
+}

@@ -1,0 +1,138 @@
+package corona
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"corona/internal/feed"
+	"corona/internal/im"
+	"corona/internal/webserver"
+)
+
+// startTestOrigin serves one generator-backed feed over real HTTP.
+func startTestOrigin(t *testing.T, updateEvery time.Duration) (feedURL string, stop func()) {
+	t.Helper()
+	origin := webserver.NewOrigin()
+	const path = "/feed/live.xml"
+	origin.Host(webserver.ChannelConfig{
+		URL:       path,
+		Process:   webserver.PeriodicProcess{Origin: time.Now(), Interval: updateEvery},
+		Generator: feed.NewGenerator(path, 11),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: webserver.NewHTTPOrigin(origin, time.Now)}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String() + path, func() { srv.Close() }
+}
+
+func TestLiveNodeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP test")
+	}
+	feedURL, stopOrigin := startTestOrigin(t, 500*time.Millisecond)
+	defer stopOrigin()
+
+	// A three-node ring over TCP loopback.
+	var nodes []*LiveNode
+	var seeds []string
+	for i := 0; i < 3; i++ {
+		n, err := StartLiveNode(LiveConfig{
+			Bind:          "127.0.0.1:0",
+			Seeds:         seeds,
+			PollInterval:  300 * time.Millisecond,
+			NodeCountHint: 3,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+		seeds = []string{n.Addr()}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Subscribe through node 0's IM front end.
+	service := nodes[0].IM()
+	service.Register("alice")
+	got := make(chan im.Message, 32)
+	if err := service.Login("alice", func(m im.Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+	service.Send("alice", nodes[0].Gateway().Handle(), "subscribe "+feedURL)
+
+	deadline := time.After(20 * time.Second)
+	sawAck, sawUpdate := false, false
+	for !sawAck || !sawUpdate {
+		select {
+		case m := <-got:
+			switch {
+			case strings.HasPrefix(m.Body, "subscribed"):
+				sawAck = true
+			case strings.HasPrefix(m.Body, "UPDATE"):
+				sawUpdate = true
+				if !strings.Contains(m.Body, "CORONA-DIFF") {
+					t.Fatalf("update without encoded diff: %.120s", m.Body)
+				}
+			case strings.HasPrefix(m.Body, "error"):
+				t.Fatalf("gateway error: %s", m.Body)
+			}
+		case <-deadline:
+			t.Fatalf("timed out (ack=%v update=%v)", sawAck, sawUpdate)
+		}
+	}
+
+	// At least one node polled the origin over real HTTP.
+	var polls uint64
+	for _, n := range nodes {
+		polls += n.Stats().PollsIssued
+	}
+	if polls == 0 {
+		t.Fatal("no HTTP polls issued")
+	}
+}
+
+func TestLiveNodeValidation(t *testing.T) {
+	if _, err := StartLiveNode(LiveConfig{}); err == nil {
+		t.Fatal("empty bind accepted")
+	}
+	if _, err := StartLiveNode(LiveConfig{Bind: "127.0.0.1:0", Seeds: []string{"127.0.0.1:1"}}); err == nil {
+		t.Fatal("unreachable seed accepted")
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	// Two simulations with identical options must produce identical
+	// notification sequences and identical stats.
+	run := func() ([]Notification, Stats) {
+		sim, err := NewSimulation(Options{Nodes: 16, PollInterval: 5 * time.Minute, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Close()
+		const url = "http://det.example.com/f.xml"
+		sim.HostFeed(url, 12*time.Minute)
+		var got []Notification
+		sim.Subscribe("alice", url, func(n Notification) { got = append(got, n) })
+		sim.RunFor(4 * time.Hour)
+		return got, sim.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if len(a) != len(b) {
+		t.Fatalf("notification counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Version != b[i].Version || !a[i].At.Equal(b[i].At) || a[i].Diff != b[i].Diff {
+			t.Fatalf("notification %d differs between identical runs", i)
+		}
+	}
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+}
