@@ -1,0 +1,24 @@
+# Developer entry points; CI runs `make check`.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The wire layer is the concurrency hot spot; run it under the race
+# detector explicitly.
+race:
+	$(GO) test -race ./internal/netwire/ ./internal/codec/ ./internal/pastry/
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -17,10 +17,13 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"corona/internal/codec"
 	"corona/internal/core"
 	"corona/internal/diffengine"
 	"corona/internal/eventsim"
@@ -486,6 +489,111 @@ func BenchmarkWedgeMulticast(b *testing.B) {
 		sim.RunFor(time.Second)
 	}
 	b.ReportMetric(float64(received)/float64(b.N), "nodes_reached")
+}
+
+// --- Wire-layer benches --------------------------------------------------
+
+// wireBenchPayload mimics an update dissemination message: a URL, version
+// metadata, and a diff body of realistic size.
+type wireBenchPayload struct {
+	URL     string `json:"url"`
+	Version uint64 `json:"version"`
+	Diff    string `json:"diff"`
+	Bytes   int    `json:"bytes"`
+}
+
+func init() {
+	codec.RegisterPayload("bench.wire", func() any { return &wireBenchPayload{} })
+}
+
+func wireBenchMessage() pastry.Message {
+	diff := make([]byte, 256)
+	for i := range diff {
+		diff[i] = byte('a' + i%26)
+	}
+	return pastry.Message{
+		Type:    "bench.wire",
+		Key:     ids.HashString("bench-channel"),
+		From:    pastry.Addr{ID: ids.HashString("bench-node"), Endpoint: "10.0.0.1:9001"},
+		Hops:    2,
+		Payload: &wireBenchPayload{URL: "http://example.com/feed.rss", Version: 17, Diff: string(diff), Bytes: 256},
+	}
+}
+
+// BenchmarkWireEncode measures per-message serialization cost for both
+// codecs — the CPU side of the wire path.
+func BenchmarkWireEncode(b *testing.B) {
+	msg := wireBenchMessage()
+	for _, c := range []codec.Codec{codec.JSON, codec.Binary} {
+		b.Run(c.Name(), func(b *testing.B) {
+			body, err := c.Encode(msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(body)))
+			b.ReportMetric(float64(len(body)), "bytes/msg")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireRoundTrip measures delivered-message throughput over real
+// loopback TCP. "sync-json" reproduces the seed's wire behavior — one JSON
+// envelope per frame, one write per message — while "batched-binary" is
+// the default path: binary codec, up to 64 messages coalesced per frame.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	cases := []struct {
+		name  string
+		c     codec.Codec
+		batch int
+	}{
+		{"sync-json", codec.JSON, 1},
+		{"batched-binary", codec.Binary, 0}, // 0 = default MaxBatch
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var got atomic.Int64
+			rx, err := netwire.Listen("127.0.0.1:0", func(pastry.Message) { got.Add(1) })
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rx.Close()
+			tx, err := netwire.Listen("127.0.0.1:0", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tx.Close()
+			tx.Codec = tc.c
+			tx.MaxBatch = tc.batch
+			tx.Backpressure = netwire.Block // lossless: every send must arrive
+			to := pastry.Addr{ID: ids.HashString("rx"), Endpoint: rx.Addr()}
+			msg := wireBenchMessage()
+			// Warm the connection so dialing stays out of the measurement.
+			if err := tx.Send(to, msg); err != nil {
+				b.Fatal(err)
+			}
+			for got.Load() < 1 {
+				runtime.Gosched()
+			}
+			got.Store(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tx.Send(to, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for got.Load() < int64(b.N) {
+				runtime.Gosched()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+		})
+	}
 }
 
 // BenchmarkAblationTransportOverhead compares message delivery through the

@@ -22,6 +22,7 @@ type cloud struct {
 	opts   Options
 	origin *webserver.Origin
 	nodes  []*core.Node
+	net    *simnet.Network
 	clk    clock.Clock
 	// exec serializes operations that drive protocol activity onto the
 	// goroutine that owns the event loop. Simulations run inline (the
@@ -61,6 +62,7 @@ func buildCloud(opts Options, sim *eventsim.Sim, net *simnet.Network, clk clock.
 	c := &cloud{
 		opts:      opts,
 		origin:    webserver.NewOrigin(),
+		net:       net,
 		clk:       clk,
 		exec:      func(f func()) { f() },
 		callbacks: make(map[string]func(Notification)),
@@ -180,6 +182,7 @@ func (c *cloud) Stats() Stats {
 		s.UpdatesDetected += ns.UpdatesDetected
 		s.Notifications += ns.NotificationsSent
 	}
+	s.WireBytes = c.net.Bytes()
 	return s
 }
 
@@ -274,26 +277,26 @@ type realDriver struct {
 }
 
 // pendingTimer is a timer handle that may not have reached the simulator
-// yet. Stop works in either state.
+// yet. Stop works in either state, and never touches the simulator: only
+// the driver goroutine may mutate the event heap, so cancellation is a
+// flag the wrapped callback checks at fire time (the dead entry stays in
+// the heap harmlessly).
 type pendingTimer struct {
 	mu      sync.Mutex
 	delay   time.Duration
 	fn      func()
 	stopped bool
-	inner   clock.Timer // set once transferred to the simulator
+	fired   bool
 }
 
 // Stop implements clock.Timer.
 func (p *pendingTimer) Stop() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.stopped {
+	if p.stopped || p.fired {
 		return false
 	}
 	p.stopped = true
-	if p.inner != nil {
-		return p.inner.Stop()
-	}
 	return true
 }
 
@@ -344,9 +347,12 @@ func (d *realDriver) loop() {
 			p.mu.Lock()
 			if !p.stopped {
 				fn := p.fn
-				p.inner = d.sim.AfterFunc(p.delay, func() {
+				d.sim.AfterFunc(p.delay, func() {
 					p.mu.Lock()
 					dead := p.stopped
+					if !dead {
+						p.fired = true
+					}
 					p.mu.Unlock()
 					if !dead {
 						fn()

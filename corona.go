@@ -153,4 +153,7 @@ type Stats struct {
 	UpdatesDetected uint64
 	// Notifications counts client notifications delivered.
 	Notifications uint64
+	// WireBytes is the codec-measured overlay traffic volume: what the
+	// cloud's message flow would have cost on a real wire.
+	WireBytes uint64
 }

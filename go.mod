@@ -1,0 +1,3 @@
+module corona
+
+go 1.24

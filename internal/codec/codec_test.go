@@ -1,0 +1,150 @@
+package codec_test
+
+import (
+	"testing"
+
+	"corona/internal/codec"
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+type testPayload struct {
+	Text  string `json:"text"`
+	Count int    `json:"count"`
+}
+
+func init() {
+	codec.RegisterPayload("codec.typed", func() any { return &testPayload{} })
+}
+
+func sampleMessage() pastry.Message {
+	return pastry.Message{
+		Type:    "codec.typed",
+		Key:     ids.HashString("key"),
+		From:    pastry.Addr{ID: ids.HashString("from"), Endpoint: "10.0.0.1:9001"},
+		Hops:    3,
+		Cover:   2,
+		Payload: &testPayload{Text: "hello", Count: 42},
+	}
+}
+
+func TestRoundTripBothCodecs(t *testing.T) {
+	for _, c := range []codec.Codec{codec.JSON, codec.Binary} {
+		t.Run(c.Name(), func(t *testing.T) {
+			want := sampleMessage()
+			body, err := c.Encode(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Decode(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Type != want.Type || got.Key != want.Key || got.From != want.From ||
+				got.Hops != want.Hops || got.Cover != want.Cover {
+				t.Fatalf("envelope mismatch: got %+v want %+v", got, want)
+			}
+			p, ok := got.Payload.(*testPayload)
+			if !ok {
+				t.Fatalf("payload type = %T", got.Payload)
+			}
+			if *p != *want.Payload.(*testPayload) {
+				t.Fatalf("payload = %+v", p)
+			}
+		})
+	}
+}
+
+func TestRoundTripZeroKeyNilPayload(t *testing.T) {
+	for _, c := range []codec.Codec{codec.JSON, codec.Binary} {
+		t.Run(c.Name(), func(t *testing.T) {
+			want := pastry.Message{Type: "codec.bare", From: pastry.Addr{ID: ids.HashString("n"), Endpoint: "e"}}
+			body, err := c.Encode(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Decode(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Key.IsZero() {
+				t.Fatalf("key should stay zero, got %v", got.Key)
+			}
+			if got.Payload != nil {
+				t.Fatalf("payload should stay nil, got %#v", got.Payload)
+			}
+		})
+	}
+}
+
+func TestUnregisteredPayloadDecodesGeneric(t *testing.T) {
+	for _, c := range []codec.Codec{codec.JSON, codec.Binary} {
+		t.Run(c.Name(), func(t *testing.T) {
+			body, err := c.Encode(pastry.Message{
+				Type:    "codec.unregistered",
+				Payload: map[string]any{"k": "v"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Decode(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, ok := got.Payload.(map[string]any)
+			if !ok || m["k"] != "v" {
+				t.Fatalf("generic payload = %#v", got.Payload)
+			}
+		})
+	}
+}
+
+func TestBinarySmallerThanJSON(t *testing.T) {
+	msg := sampleMessage()
+	jb, err := codec.JSON.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := codec.Binary.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bb) >= len(jb) {
+		t.Fatalf("binary (%d bytes) not smaller than JSON (%d bytes)", len(bb), len(jb))
+	}
+}
+
+func TestBinaryDecodeTruncated(t *testing.T) {
+	body, err := codec.Binary.Encode(sampleMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := codec.Binary.Decode(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(body))
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if codec.ByID(codec.JSON.ID()) != codec.JSON {
+		t.Fatal("ByID(json)")
+	}
+	if codec.ByID(codec.Binary.ID()) != codec.Binary {
+		t.Fatal("ByID(binary)")
+	}
+	if codec.ByID(0xff) != nil {
+		t.Fatal("unknown ID should resolve to nil")
+	}
+}
+
+func TestMeasureMatchesEncode(t *testing.T) {
+	msg := sampleMessage()
+	body, err := codec.Default.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := codec.Measure(msg); got != len(body) {
+		t.Fatalf("Measure = %d, want %d", got, len(body))
+	}
+}

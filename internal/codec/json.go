@@ -1,0 +1,80 @@
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+// jsonCodec is the seed's envelope shape: one JSON envelope per message
+// with the payload embedded as raw JSON. It stays available for
+// debugging — frames are greppable on the wire — though the surrounding
+// hello/batch framing differs from the seed's, so this is not a
+// compatibility bridge to pre-hello nodes.
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string { return "json" }
+
+// ID is 'j'. JSON bodies start with '{', so the hello byte is unambiguous.
+func (jsonCodec) ID() byte { return 'j' }
+
+// envelope is the wire form of pastry.Message with the payload kept raw
+// until the type is known.
+type envelope struct {
+	Type    string          `json:"type"`
+	Key     string          `json:"key,omitempty"`
+	From    pastry.Addr     `json:"from"`
+	Hops    int             `json:"hops,omitempty"`
+	Cover   int             `json:"cover,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+func (jsonCodec) Encode(msg pastry.Message) ([]byte, error) {
+	rawPayload, err := marshalPayload(msg)
+	if err != nil {
+		return nil, err
+	}
+	env := envelope{
+		Type:    msg.Type,
+		From:    msg.From,
+		Hops:    msg.Hops,
+		Cover:   msg.Cover,
+		Payload: rawPayload,
+	}
+	if !msg.Key.IsZero() {
+		env.Key = msg.Key.String()
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("codec: encoding envelope: %w", err)
+	}
+	return body, nil
+}
+
+func (jsonCodec) Decode(body []byte) (pastry.Message, error) {
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return pastry.Message{}, fmt.Errorf("codec: decoding envelope: %w", err)
+	}
+	msg := pastry.Message{
+		Type:  env.Type,
+		From:  env.From,
+		Hops:  env.Hops,
+		Cover: env.Cover,
+	}
+	if env.Key != "" {
+		key, err := ids.FromHex(env.Key)
+		if err != nil {
+			return pastry.Message{}, err
+		}
+		msg.Key = key
+	}
+	payload, err := decodePayload(env.Type, env.Payload)
+	if err != nil {
+		return pastry.Message{}, err
+	}
+	msg.Payload = payload
+	return msg, nil
+}

@@ -275,7 +275,9 @@ func (n *Node) aggregationPhase() {
 	}
 	n.mu.Unlock()
 
-	// Send S_{i+1} to every row-i contact.
+	// Send S_{i+1} to every row-i contact. Sends are fire-and-forget:
+	// aggregation is periodic, so a lost message only delays one round,
+	// and unreachable contacts are evicted via the transport fault path.
 	for i := 0; i < maxRows; i++ {
 		contacts := n.overlay.RowContacts(i)
 		if len(contacts) == 0 {

@@ -142,7 +142,8 @@ func (n *Node) updateDetected(ch *channelState, res fetchedUpdate) {
 		// The owner may lie across a digit boundary outside the wedge;
 		// route it a copy so subscribers are notified. Owners
 		// deduplicate by version, so the common case (owner already in
-		// the wedge) costs one redundant message at most.
+		// the wedge) costs one redundant message at most. Delivery is
+		// best-effort either way: the owner's own poll is the backstop.
 		n.overlay.Route(ch.id, msgUpdate, update)
 	}
 }

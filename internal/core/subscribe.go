@@ -9,7 +9,10 @@ import (
 
 // Subscribe registers a client's interest in a channel URL. The request is
 // routed through the overlay to the channel's primary owner, which may be
-// this node itself (paper §3.3, §3.5).
+// this node itself (paper §3.3, §3.5). A non-nil error means the request
+// never left this node; under asynchronous transports (netwire) delivery
+// failures surface later as overlay repair, and the subscription is
+// retried by the client layer.
 func (n *Node) Subscribe(client, url string) error {
 	return n.overlay.Route(ids.HashString(url), msgSubscribe, &subscribeMsg{URL: url, Client: client, Entry: n.Self()})
 }
@@ -95,6 +98,9 @@ func (n *Node) replicateChannel(ch *channelState) {
 		}
 	}
 	n.mu.Unlock()
+	// Fire-and-forget: a replica that misses this push catches the next
+	// one (replication re-runs on every subscription change), and a dead
+	// neighbor surfaces through the transport's fault callback.
 	for _, neighbor := range n.overlay.Neighbors(n.cfg.OwnerReplicas) {
 		n.overlay.SendDirect(neighbor, msgReplicate, rep)
 	}

@@ -24,7 +24,10 @@ func (n *Node) sendToWedge(channelID ids.ID, url string, level int, innerType st
 		}
 		return true
 	}
-	// Hop one digit closer to the channel's prefix region.
+	// Hop one digit closer to the channel's prefix region. True means
+	// "handed to the transport", not "delivered": under async transports
+	// a dead contact surfaces through the fault callback and the next
+	// maintenance round retries with a repaired table.
 	p := base.CommonPrefix(self, channelID)
 	contact := n.overlay.RoutingEntry(p, base.Digit(channelID, p))
 	if contact.IsZero() {

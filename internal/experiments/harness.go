@@ -90,6 +90,10 @@ func NewHarness(scale Scale, opts Options) *Harness {
 		latency = simnet.DefaultWAN()
 	}
 	h.Net = simnet.New(h.Sim, latency)
+	// Figure runs measure network load at the origin, not on the overlay
+	// fabric; skip per-message codec measurement to keep paper-scale
+	// simulations fast.
+	h.Net.SetByteAccounting(false)
 
 	h.Work = workload.Generate(workload.Config{
 		Channels:      scale.Channels,

@@ -1,0 +1,55 @@
+// Package netwire carries overlay messages over real TCP connections —
+// the live-deployment counterpart of simnet.
+//
+// # Architecture
+//
+// Send is an asynchronous enqueue: each destination endpoint gets a
+// dedicated outbound queue drained by one writer goroutine that owns that
+// peer's connection. Serializing all writes to a peer through one
+// goroutine makes frame interleaving impossible by construction — any
+// number of goroutines may call Send concurrently. Delivery failures
+// (unreachable peer, write error after retries) are reported out of band
+// through the OnSendFault callback; the overlay uses them as failure
+// hints exactly as it used the seed's synchronous Send errors.
+//
+// The writer coalesces whatever is queued — up to MaxBatch messages —
+// into a single multi-message frame, amortizing the syscall and frame
+// overhead across the batch under load while adding no delay when the
+// queue is shallow (a lone message ships immediately). Connections are
+// established lazily and re-established with exponential backoff; reads
+// and writes go through bufio. A writer whose queue stays empty past
+// IdleTimeout retires — its goroutine, queue, and connection are
+// released, and a later Send revives the peer transparently — so
+// membership churn does not accumulate per-endpoint state forever.
+//
+// When a peer's queue is full, the backpressure policy decides: DropNewest
+// (the default) discards the new message and counts it in Dropped —
+// Corona's protocol tolerates loss the way it tolerates UDP loss, and the
+// next maintenance round repairs — while Block makes Send wait for space,
+// for callers that need lossless local handoff (tests, bulk transfers).
+//
+// # Wire protocol
+//
+// Each connection is one-directional: the dialer writes, the accepter
+// reads. A connection opens with a one-byte hello naming the codec for
+// every frame that follows:
+//
+//	'b'  compact binary envelope (codec.Binary, the default)
+//	'j'  JSON envelope (codec.JSON, the seed format)
+//
+// After the hello, the stream is a sequence of frames:
+//
+//	+------------+-----------------+----------------------------------+
+//	| length u32 | count uvarint   | count × (len uvarint + body)     |
+//	+------------+-----------------+----------------------------------+
+//
+// length is the big-endian byte count of everything after it (count plus
+// all message records); it is bounded by maxFrame. Each body is one
+// overlay message encoded by the negotiated codec (see internal/codec for
+// both envelope layouts). Messages within a frame, and frames within a
+// connection, preserve the sender's enqueue order.
+//
+// Payload types are decoded through the codec package's registry keyed by
+// message type, so the same application structs flow over the wire that
+// flow by reference under simulation.
+package netwire

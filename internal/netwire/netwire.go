@@ -1,66 +1,109 @@
-// Package netwire carries overlay messages over real TCP connections —
-// the live-deployment counterpart of simnet. Frames are length-prefixed
-// JSON envelopes; payload types are decoded through a registry keyed by
-// message type, so the same application structs flow over the wire that
-// flow by reference under simulation.
 package netwire
 
 import (
+	"bufio"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"corona/internal/ids"
+	"corona/internal/codec"
 	"corona/internal/pastry"
 )
 
-// maxFrame bounds a single message frame (diffs are small; feeds are
-// kilobytes — 16 MiB is generous).
-const maxFrame = 16 << 20
+// maxFrame bounds a single frame (diffs are small; feeds are kilobytes —
+// 16 MiB is generous). Batches larger than maxFrameFill split into
+// multiple frames. frameOverhead is the worst-case header (count varint
+// plus one length varint) a lone message adds to its frame; the sender
+// bounds bodies by maxFrame-frameOverhead so every frame it builds
+// passes the receiver's maxFrame check.
+const (
+	maxFrame      = 16 << 20
+	maxFrameFill  = 1 << 20
+	frameOverhead = 2 * binary.MaxVarintLen32
+)
 
-// payloadFactories maps message types to constructors for their payload
-// structs, letting the decoder produce typed payloads.
-var (
-	registryMu       sync.RWMutex
-	payloadFactories = map[string]func() any{}
+// Defaults for the tunables below.
+const (
+	defaultQueueLen     = 1024
+	defaultMaxBatch     = 64
+	defaultDialAttempts = 3
+	defaultBackoffBase  = 50 * time.Millisecond
+	defaultBackoffMax   = 2 * time.Second
+	defaultIdleTimeout  = 2 * time.Minute
+	bufSize             = 64 << 10
 )
 
 // RegisterPayload associates a message type with a payload constructor.
-// Types without a registration decode their payload as map[string]any.
+//
+// Deprecated: the registry lives in the codec package now; this forwards
+// to codec.RegisterPayload and remains for older call sites.
 func RegisterPayload(msgType string, factory func() any) {
-	registryMu.Lock()
-	defer registryMu.Unlock()
-	payloadFactories[msgType] = factory
+	codec.RegisterPayload(msgType, factory)
 }
 
-// envelope is the wire form of pastry.Message with the payload kept raw
-// until the type is known.
-type envelope struct {
-	Type    string          `json:"type"`
-	Key     string          `json:"key,omitempty"`
-	From    pastry.Addr     `json:"from"`
-	Hops    int             `json:"hops,omitempty"`
-	Cover   int             `json:"cover,omitempty"`
-	Payload json.RawMessage `json:"payload,omitempty"`
-}
+// BackpressurePolicy selects what Send does when a peer's outbound queue
+// is full.
+type BackpressurePolicy int
 
-// Transport is a TCP-backed pastry.Transport.
+const (
+	// DropNewest discards the message being sent and counts it in
+	// Dropped. The overlay treats wire loss like UDP loss; periodic
+	// maintenance repairs any state the lost message carried.
+	DropNewest BackpressurePolicy = iota
+	// Block makes Send wait until the queue has space (or the transport
+	// closes). Use when local loss is unacceptable and callers can
+	// tolerate stalling on a slow peer.
+	Block
+)
+
+// Transport is a TCP-backed pastry.Transport with asynchronous, batched
+// writes. The exported tunables must be set before the first Send; zero
+// values select the defaults.
 type Transport struct {
-	self     pastry.Addr
 	listener net.Listener
-	deliver  func(pastry.Message)
 
-	mu     sync.Mutex
-	conns  map[string]net.Conn
-	closed bool
+	mu      sync.Mutex
+	deliver func(pastry.Message)
+	onFault func(pastry.Addr, error)
+	peers   map[string]*peer
+	inbound map[net.Conn]struct{}
+	closed  bool
+	// closing is closed on Close to wake writer goroutines blocked on
+	// their queues or on reconnect backoff.
+	closing chan struct{}
+
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+	dropCount atomic.Uint64
 
 	// DialTimeout and WriteTimeout bound blocking network operations.
 	DialTimeout  time.Duration
 	WriteTimeout time.Duration
+	// Codec is the codec used for outbound connections (inbound codecs
+	// are chosen by the remote dialer's hello byte). Nil means
+	// codec.Default.
+	Codec codec.Codec
+	// QueueLen is the per-peer outbound queue depth.
+	QueueLen int
+	// MaxBatch caps how many queued messages one frame coalesces.
+	MaxBatch int
+	// Backpressure selects the full-queue policy for Send.
+	Backpressure BackpressurePolicy
+	// DialAttempts is how many connection attempts a writer makes per
+	// batch before reporting a send fault.
+	DialAttempts int
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// reconnect attempts.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// IdleTimeout is how long a peer's writer lingers with an empty
+	// queue before retiring (releasing its goroutine, queue, and
+	// connection). A later Send transparently revives the peer.
+	IdleTimeout time.Duration
 }
 
 // Listen binds a TCP listener at bind (for example "127.0.0.1:9001") and
@@ -74,7 +117,9 @@ func Listen(bind string, deliver func(pastry.Message)) (*Transport, error) {
 	t := &Transport{
 		listener:     l,
 		deliver:      deliver,
-		conns:        make(map[string]net.Conn),
+		peers:        make(map[string]*peer),
+		inbound:      make(map[net.Conn]struct{}),
+		closing:      make(chan struct{}),
 		DialTimeout:  3 * time.Second,
 		WriteTimeout: 10 * time.Second,
 	}
@@ -89,19 +134,102 @@ func (t *Transport) OnDeliver(deliver func(pastry.Message)) {
 	t.deliver = deliver
 }
 
+// OnSendFault registers the callback invoked (from a writer goroutine)
+// when delivery to a peer fails after retries. It implements
+// pastry.AsyncTransport; the overlay evicts and repairs around the peer.
+func (t *Transport) OnSendFault(f func(to pastry.Addr, err error)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onFault = f
+}
+
 // Addr returns the bound listener address ("host:port").
 func (t *Transport) Addr() string {
 	return t.listener.Addr().String()
 }
 
-// Close shuts the listener and all cached connections.
+// WireBytes returns total bytes written to and read from the network,
+// implementing pastry.ByteCounter.
+func (t *Transport) WireBytes() (sent, received uint64) {
+	return t.bytesSent.Load(), t.bytesRecv.Load()
+}
+
+// retryPolicy is the resolved dial-retry configuration, shared by
+// connect() (which spends the budget) and DialBudget (which advertises
+// it) so the two cannot drift.
+type retryPolicy struct {
+	attempts          int
+	dial, base, capAt time.Duration
+}
+
+func (t *Transport) retryPolicy() retryPolicy {
+	r := retryPolicy{
+		attempts: t.DialAttempts,
+		dial:     t.DialTimeout,
+		base:     t.BackoffBase,
+		capAt:    t.BackoffMax,
+	}
+	if r.attempts <= 0 {
+		r.attempts = defaultDialAttempts
+	}
+	if r.base <= 0 {
+		r.base = defaultBackoffBase
+	}
+	if r.capAt <= 0 {
+		r.capAt = defaultBackoffMax
+	}
+	return r
+}
+
+// next advances the exponential backoff, returning the delay to wait
+// before the given attempt (zero for the first).
+func (r *retryPolicy) next(attempt int, backoff time.Duration) time.Duration {
+	if attempt == 0 {
+		return 0
+	}
+	if backoff > r.capAt {
+		return r.capAt
+	}
+	return backoff
+}
+
+// DialBudget returns the worst-case time a writer spends trying to reach
+// a new peer before reporting a send fault: every dial attempt at its
+// full timeout plus the backoff between attempts. Callers waiting on an
+// asynchronous handshake (the live join path) should allow at least this
+// long before failing over.
+func (t *Transport) DialBudget() time.Duration {
+	r := t.retryPolicy()
+	total := time.Duration(r.attempts) * r.dial
+	backoff := r.base
+	for i := 1; i < r.attempts; i++ {
+		total += r.next(i, backoff)
+		backoff *= 2
+	}
+	return total
+}
+
+// Dropped returns how many messages were discarded locally: backpressure
+// drops, encode failures, and messages abandoned when a peer stayed
+// unreachable through the retry budget.
+func (t *Transport) Dropped() uint64 {
+	return t.dropCount.Load()
+}
+
+// Close shuts the listener, all writer goroutines, and every connection —
+// outbound and accepted.
 func (t *Transport) Close() error {
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
 	t.closed = true
-	conns := t.conns
-	t.conns = map[string]net.Conn{}
+	close(t.closing)
+	inbound := t.inbound
+	t.inbound = map[net.Conn]struct{}{}
 	t.mu.Unlock()
-	for _, c := range conns {
+	for c := range inbound {
 		c.Close()
 	}
 	return t.listener.Close()
@@ -113,164 +241,398 @@ func (t *Transport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
 		go t.readLoop(conn)
 	}
 }
 
+func (t *Transport) forgetInbound(conn net.Conn) {
+	conn.Close()
+	t.mu.Lock()
+	delete(t.inbound, conn)
+	t.mu.Unlock()
+}
+
+// readLoop decodes one connection's hello byte and frame stream,
+// delivering every message in order.
 func (t *Transport) readLoop(conn net.Conn) {
-	defer conn.Close()
+	defer t.forgetInbound(conn)
+	br := bufio.NewReaderSize(conn, bufSize)
+	hello, err := br.ReadByte()
+	if err != nil {
+		return
+	}
+	c := codec.ByID(hello)
+	if c == nil {
+		return // unknown codec; drop the connection
+	}
+	t.bytesRecv.Add(1)
+	var lenBuf [4]byte
 	for {
-		msg, err := readFrame(conn)
-		if err != nil {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
 		}
-		t.mu.Lock()
-		deliver := t.deliver
-		closed := t.closed
-		t.mu.Unlock()
-		if closed {
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxFrame {
 			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		t.bytesRecv.Add(uint64(4 + n))
+		if !t.deliverFrame(c, body) {
+			return
+		}
+	}
+}
+
+// deliverFrame parses a batch frame body and delivers its messages,
+// reporting false on a malformed frame (the connection is dropped: after
+// a framing error the stream position is unrecoverable). The handler is
+// snapshotted once per frame, not per message, to keep the receive hot
+// path off the transport mutex.
+func (t *Transport) deliverFrame(c codec.Codec, body []byte) bool {
+	t.mu.Lock()
+	deliver := t.deliver
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return false
+	}
+	count, off := binary.Uvarint(body)
+	if off <= 0 {
+		return false
+	}
+	rest := body[off:]
+	for i := uint64(0); i < count; i++ {
+		l, m := binary.Uvarint(rest)
+		if m <= 0 || l > uint64(len(rest)-m) {
+			return false
+		}
+		msgBody := rest[m : m+int(l)]
+		rest = rest[m+int(l):]
+		msg, err := c.Decode(msgBody)
+		if err != nil {
+			continue // skip one undecodable message, keep the stream
 		}
 		if deliver != nil {
 			deliver(msg)
 		}
 	}
+	return true
 }
 
-// Send implements pastry.Transport.
+// Send implements pastry.Transport: a non-blocking enqueue on the
+// destination's outbound queue. A nil return means the message was
+// accepted locally, not that it was delivered; delivery failures arrive
+// through OnSendFault. Send returns an error only when the transport is
+// closed or the Block policy was interrupted by Close.
 func (t *Transport) Send(to pastry.Addr, msg pastry.Message) error {
-	conn, err := t.connTo(to.Endpoint)
-	if err != nil {
-		return fmt.Errorf("%w: %v", pastry.ErrUnreachable, err)
+	for {
+		p, err := t.peerFor(to.Endpoint)
+		if err != nil {
+			return err
+		}
+		ok, err := p.enqueue(to, msg)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		// The peer retired between lookup and enqueue; loop to revive it.
 	}
-	frame, err := encodeFrame(msg)
-	if err != nil {
-		return err
-	}
-	conn.SetWriteDeadline(time.Now().Add(t.WriteTimeout))
-	if _, err := conn.Write(frame); err != nil {
-		t.dropConn(to.Endpoint, conn)
-		return fmt.Errorf("%w: %v", pastry.ErrUnreachable, err)
-	}
-	return nil
 }
 
-func (t *Transport) connTo(endpoint string) (net.Conn, error) {
+var errClosed = fmt.Errorf("netwire: transport closed")
+
+// peerFor returns the peer state for an endpoint, creating its queue and
+// writer goroutine on first use.
+func (t *Transport) peerFor(endpoint string) (*peer, error) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
-		return nil, fmt.Errorf("transport closed")
+		return nil, errClosed
 	}
-	if c, ok := t.conns[endpoint]; ok {
-		t.mu.Unlock()
-		return c, nil
+	if p, ok := t.peers[endpoint]; ok {
+		return p, nil
 	}
-	t.mu.Unlock()
+	queueLen := t.QueueLen
+	if queueLen <= 0 {
+		queueLen = defaultQueueLen
+	}
+	p := &peer{
+		t:        t,
+		endpoint: endpoint,
+		queue:    make(chan outMsg, queueLen),
+	}
+	t.peers[endpoint] = p
+	go p.writeLoop()
+	return p, nil
+}
 
-	c, err := net.DialTimeout("tcp", endpoint, t.DialTimeout)
-	if err != nil {
-		return nil, err
-	}
+// fault invokes the registered send-fault callback on a fresh goroutine:
+// the overlay's callback synchronously re-enters Send (repair sends state
+// requests), and under the Block policy that could stall — or, with two
+// writers faulting toward each other's full queues, deadlock — the writer
+// that reported the fault.
+func (t *Transport) fault(to pastry.Addr, err error) {
 	t.mu.Lock()
-	if existing, ok := t.conns[endpoint]; ok {
-		t.mu.Unlock()
-		c.Close()
-		return existing, nil
-	}
-	t.conns[endpoint] = c
+	f := t.onFault
 	t.mu.Unlock()
-	return c, nil
-}
-
-func (t *Transport) dropConn(endpoint string, conn net.Conn) {
-	conn.Close()
-	t.mu.Lock()
-	if t.conns[endpoint] == conn {
-		delete(t.conns, endpoint)
+	if f != nil {
+		go f(to, fmt.Errorf("%w: %v", pastry.ErrUnreachable, err))
 	}
-	t.mu.Unlock()
 }
 
-// encodeFrame renders a message as a length-prefixed JSON frame.
-func encodeFrame(msg pastry.Message) ([]byte, error) {
-	var rawPayload json.RawMessage
-	if msg.Payload != nil {
-		b, err := json.Marshal(msg.Payload)
-		if err != nil {
-			return nil, fmt.Errorf("netwire: encoding payload of %s: %w", msg.Type, err)
+// codecFor returns the configured outbound codec.
+func (t *Transport) codecFor() codec.Codec {
+	if t.Codec != nil {
+		return t.Codec
+	}
+	return codec.Default
+}
+
+// outMsg is one queued message with the full destination address kept for
+// fault reporting (the overlay evicts by identifier, not endpoint).
+type outMsg struct {
+	to  pastry.Addr
+	msg pastry.Message
+}
+
+// peer owns one destination's outbound path: a bounded queue and the
+// writer goroutine that drains it onto a single connection. An idle
+// writer retires — marks the peer dead, removes it from the transport,
+// and exits — so churned-out endpoints do not pin goroutines forever.
+type peer struct {
+	t        *Transport
+	endpoint string
+	queue    chan outMsg
+
+	// mu guards retired and is held across the queue insert, so
+	// retirement (which requires an empty queue) cannot slip between an
+	// enqueue's liveness check and its insert.
+	mu      sync.Mutex
+	retired bool
+}
+
+// enqueue applies the transport's backpressure policy. ok=false means
+// the peer retired and the caller must fetch a fresh one.
+func (p *peer) enqueue(to pastry.Addr, msg pastry.Message) (ok bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.retired {
+		return false, nil
+	}
+	m := outMsg{to: to, msg: msg}
+	if p.t.Backpressure == Block {
+		select {
+		case p.queue <- m:
+			return true, nil
+		case <-p.t.closing:
+			return false, errClosed
 		}
-		rawPayload = b
 	}
-	env := envelope{
-		Type:    msg.Type,
-		From:    msg.From,
-		Hops:    msg.Hops,
-		Cover:   msg.Cover,
-		Payload: rawPayload,
+	select {
+	case p.queue <- m:
+		return true, nil
+	case <-p.t.closing:
+		return false, errClosed
+	default:
+		p.t.dropCount.Add(1)
+		return true, nil // backpressure loss is not a destination failure
 	}
-	if !msg.Key.IsZero() {
-		env.Key = msg.Key.String()
-	}
-	body, err := json.Marshal(env)
-	if err != nil {
-		return nil, fmt.Errorf("netwire: encoding envelope: %w", err)
-	}
-	if len(body) > maxFrame {
-		return nil, fmt.Errorf("netwire: frame too large: %d bytes", len(body))
-	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
-	return frame, nil
 }
 
-// readFrame parses one frame into a message with a typed payload.
-func readFrame(r io.Reader) (pastry.Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return pastry.Message{}, err
+// retire removes the peer from the transport if its queue is empty,
+// reporting whether the writer should exit. The peer mutex is only
+// TryLock'd: a Block-policy enqueue parks on a full queue while holding
+// it, so blocking here (with the transport mutex held) would freeze the
+// writer that must drain that very queue — and with it every Send on the
+// transport. Losing the race just means the writer stays alive for
+// another idle period.
+func (p *peer) retire() bool {
+	p.t.mu.Lock()
+	if !p.mu.TryLock() {
+		p.t.mu.Unlock()
+		return false // an enqueue is in flight; stay alive
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n > maxFrame {
-		return pastry.Message{}, fmt.Errorf("netwire: oversized frame %d", n)
+	if len(p.queue) == 0 {
+		p.retired = true
+		delete(p.t.peers, p.endpoint)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return pastry.Message{}, err
+	retired := p.retired
+	p.mu.Unlock()
+	p.t.mu.Unlock()
+	return retired
+}
+
+// writeLoop drains the queue in batches onto the peer's connection,
+// dialing lazily and reconnecting with exponential backoff. It is the
+// only goroutine that ever writes to this peer, so concurrent Send calls
+// cannot interleave partial frames.
+func (p *peer) writeLoop() {
+	maxBatch := p.t.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
 	}
-	var env envelope
-	if err := json.Unmarshal(body, &env); err != nil {
-		return pastry.Message{}, fmt.Errorf("netwire: decoding envelope: %w", err)
-	}
-	msg := pastry.Message{
-		Type:  env.Type,
-		From:  env.From,
-		Hops:  env.Hops,
-		Cover: env.Cover,
-	}
-	if env.Key != "" {
-		key, err := ids.FromHex(env.Key)
-		if err != nil {
-			return pastry.Message{}, err
+	c := p.t.codecFor()
+	var conn net.Conn
+	var bw *bufio.Writer
+	defer func() {
+		if conn != nil {
+			conn.Close()
 		}
-		msg.Key = key
+	}()
+	idle := p.t.IdleTimeout
+	if idle <= 0 {
+		idle = defaultIdleTimeout
 	}
-	if len(env.Payload) > 0 {
-		registryMu.RLock()
-		factory := payloadFactories[env.Type]
-		registryMu.RUnlock()
-		if factory != nil {
-			p := factory()
-			if err := json.Unmarshal(env.Payload, p); err != nil {
-				return pastry.Message{}, fmt.Errorf("netwire: decoding %s payload: %w", env.Type, err)
+	idleTimer := time.NewTimer(idle)
+	defer idleTimer.Stop()
+	batch := make([]outMsg, 0, maxBatch)
+	bodies := make([][]byte, 0, maxBatch)
+	for {
+		batch = batch[:0]
+		if !idleTimer.Stop() {
+			select {
+			case <-idleTimer.C:
+			default:
 			}
-			msg.Payload = p
-		} else {
-			var generic map[string]any
-			if err := json.Unmarshal(env.Payload, &generic); err == nil {
-				msg.Payload = generic
+		}
+		idleTimer.Reset(idle)
+		select {
+		case m := <-p.queue:
+			batch = append(batch, m)
+		case <-idleTimer.C:
+			if p.retire() {
+				return
+			}
+			continue
+		case <-p.t.closing:
+			return
+		}
+	drain:
+		for len(batch) < maxBatch {
+			select {
+			case m := <-p.queue:
+				batch = append(batch, m)
+			default:
+				break drain
 			}
 		}
+
+		bodies = bodies[:0]
+		for _, m := range batch {
+			body, err := c.Encode(m.msg)
+			if err != nil || len(body) > maxFrame-frameOverhead {
+				p.t.dropCount.Add(1)
+				continue
+			}
+			bodies = append(bodies, body)
+		}
+		if len(bodies) == 0 {
+			continue
+		}
+
+		if conn == nil {
+			var err error
+			conn, bw, err = p.connect()
+			if err != nil {
+				if err == errClosed {
+					return
+				}
+				p.t.fault(batch[len(batch)-1].to, err)
+				p.t.dropCount.Add(uint64(len(bodies)))
+				continue
+			}
+		}
+		if sent, err := p.writeFrames(conn, bw, bodies); err != nil {
+			conn.Close()
+			conn, bw = nil, nil
+			p.t.fault(batch[len(batch)-1].to, err)
+			// Frames flushed before the error are on the wire; only the
+			// remainder was lost.
+			p.t.dropCount.Add(uint64(len(bodies) - sent))
+		}
 	}
-	return msg, nil
+}
+
+// connect dials the peer, retrying with exponential backoff up to the
+// transport's attempt budget, and sends the codec hello byte.
+func (p *peer) connect() (net.Conn, *bufio.Writer, error) {
+	r := p.t.retryPolicy()
+	backoff := r.base
+	var lastErr error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if wait := r.next(attempt, backoff); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-p.t.closing:
+				return nil, nil, errClosed
+			}
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", p.endpoint, r.dial)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		bw := bufio.NewWriterSize(conn, bufSize)
+		if err := bw.WriteByte(p.t.codecFor().ID()); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		p.t.bytesSent.Add(1)
+		return conn, bw, nil
+	}
+	return nil, nil, lastErr
+}
+
+// writeFrames packs encoded bodies into one or more frames (splitting
+// when a batch exceeds maxFrameFill) and flushes them. It returns how
+// many bodies reached the wire before any error.
+func (p *peer) writeFrames(conn net.Conn, bw *bufio.Writer, bodies [][]byte) (int, error) {
+	sent := 0
+	for len(bodies) > 0 {
+		n, size := 0, 0
+		for n < len(bodies) {
+			recSize := binary.MaxVarintLen32 + len(bodies[n])
+			if n > 0 && size+recSize > maxFrameFill {
+				break
+			}
+			size += recSize
+			n++
+		}
+		frame := make([]byte, 4, 4+binary.MaxVarintLen32+size)
+		frame = binary.AppendUvarint(frame, uint64(n))
+		for _, body := range bodies[:n] {
+			frame = binary.AppendUvarint(frame, uint64(len(body)))
+			frame = append(frame, body...)
+		}
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+
+		if p.t.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(p.t.WriteTimeout))
+		}
+		if _, err := bw.Write(frame); err != nil {
+			return sent, err
+		}
+		if err := bw.Flush(); err != nil {
+			return sent, err
+		}
+		p.t.bytesSent.Add(uint64(len(frame)))
+		sent += n
+		bodies = bodies[n:]
+	}
+	return sent, nil
 }

@@ -2,24 +2,34 @@ package netwire_test
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"corona/internal/clock"
+	"corona/internal/codec"
 	"corona/internal/ids"
 	"corona/internal/netwire"
 	"corona/internal/pastry"
 )
 
 func init() {
-	pastry.RegisterPayloadTypes(netwire.RegisterPayload)
-	netwire.RegisterPayload("test.typed", func() any { return &typedPayload{} })
+	pastry.RegisterPayloadTypes(codec.RegisterPayload)
+	codec.RegisterPayload("test.typed", func() any { return &typedPayload{} })
+	codec.RegisterPayload("test.seq", func() any { return &seqPayload{} })
 }
 
 type typedPayload struct {
 	Text  string `json:"text"`
 	Count int    `json:"count"`
+}
+
+// seqPayload identifies one message in the concurrent-sender stress test.
+type seqPayload struct {
+	Sender int    `json:"sender"`
+	Seq    int    `json:"seq"`
+	Fill   string `json:"fill,omitempty"`
 }
 
 // collector accumulates delivered messages.
@@ -37,12 +47,15 @@ func (c *collector) deliver(m pastry.Message) {
 	c.mu.Lock()
 	c.msgs = append(c.msgs, m)
 	c.mu.Unlock()
-	c.ch <- struct{}{}
+	select {
+	case c.ch <- struct{}{}:
+	default:
+	}
 }
 
 func (c *collector) wait(t *testing.T, n int) []pastry.Message {
 	t.Helper()
-	deadline := time.After(5 * time.Second)
+	deadline := time.After(10 * time.Second)
 	for {
 		c.mu.Lock()
 		if len(c.msgs) >= n {
@@ -50,11 +63,13 @@ func (c *collector) wait(t *testing.T, n int) []pastry.Message {
 			c.mu.Unlock()
 			return out
 		}
+		got := len(c.msgs)
 		c.mu.Unlock()
 		select {
 		case <-c.ch:
+		case <-time.After(50 * time.Millisecond):
 		case <-deadline:
-			t.Fatalf("timed out waiting for %d messages", n)
+			t.Fatalf("timed out waiting for %d messages (got %d)", n, got)
 		}
 	}
 }
@@ -100,16 +115,39 @@ func TestSendDeliversTypedPayload(t *testing.T) {
 	}
 }
 
-func TestSendToDeadEndpointFails(t *testing.T) {
+// TestSendToDeadEndpointReportsFault covers the asynchronous failure
+// contract: Send succeeds locally and the dial failure arrives through
+// the fault callback after the retry budget.
+func TestSendToDeadEndpointReportsFault(t *testing.T) {
 	a, err := netwire.Listen("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
 	a.DialTimeout = 200 * time.Millisecond
-	err = a.Send(pastry.Addr{Endpoint: "127.0.0.1:1"}, pastry.Message{Type: "x"})
-	if err == nil {
-		t.Fatal("send to dead endpoint succeeded")
+	a.BackoffBase = 10 * time.Millisecond
+
+	faults := make(chan pastry.Addr, 1)
+	a.OnSendFault(func(to pastry.Addr, err error) {
+		select {
+		case faults <- to:
+		default:
+		}
+	})
+	dead := pastry.Addr{ID: ids.HashString("dead"), Endpoint: "127.0.0.1:1"}
+	if err := a.Send(dead, pastry.Message{Type: "x"}); err != nil {
+		t.Fatalf("async Send should accept locally, got %v", err)
+	}
+	select {
+	case to := <-faults:
+		if to.ID != dead.ID {
+			t.Fatalf("fault for %v, want %v", to, dead)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no fault reported for dead endpoint")
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("undeliverable message not counted as dropped")
 	}
 }
 
@@ -119,6 +157,7 @@ func TestManyMessagesInOrderPerConnection(t *testing.T) {
 	defer a.Close()
 	b, _ := netwire.Listen("127.0.0.1:0", rx.deliver)
 	defer b.Close()
+	a.Backpressure = netwire.Block
 	to := pastry.Addr{Endpoint: b.Addr()}
 	const n = 200
 	for i := 0; i < n; i++ {
@@ -154,6 +193,218 @@ func TestUnregisteredPayloadDecodesGeneric(t *testing.T) {
 	}
 }
 
+// TestJSONCodecNegotiation pins the per-connection hello: a sender
+// configured for the seed's JSON format interoperates with a default
+// (binary-preferring) receiver.
+func TestJSONCodecNegotiation(t *testing.T) {
+	rx := newCollector()
+	a, _ := netwire.Listen("127.0.0.1:0", nil)
+	defer a.Close()
+	a.Codec = codec.JSON
+	b, _ := netwire.Listen("127.0.0.1:0", rx.deliver)
+	defer b.Close()
+	err := a.Send(pastry.Addr{Endpoint: b.Addr()}, pastry.Message{
+		Type:    "test.typed",
+		Payload: &typedPayload{Text: "via-json", Count: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rx.wait(t, 1)[0]
+	p, ok := got.Payload.(*typedPayload)
+	if !ok || p.Text != "via-json" {
+		t.Fatalf("payload = %#v", got.Payload)
+	}
+}
+
+// TestConcurrentSendersFrameIntegrity hammers one receiver from many
+// goroutines sharing one transport and asserts every message decodes
+// cleanly and arrives exactly once — the regression guard for the seed
+// bug where two goroutines interleaved partial frames on one net.Conn.
+func TestConcurrentSendersFrameIntegrity(t *testing.T) {
+	rx := newCollector()
+	a, err := netwire.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := netwire.Listen("127.0.0.1:0", rx.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Backpressure = netwire.Block // the test asserts zero loss
+
+	const senders = 16
+	const perSender = 250
+	to := pastry.Addr{ID: ids.HashString("b"), Endpoint: b.Addr()}
+	fill := make([]byte, 512) // push frames past trivial sizes
+	for i := range fill {
+		fill[i] = byte('a' + i%26)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(sender int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				msg := pastry.Message{
+					Type:    "test.seq",
+					From:    pastry.Addr{ID: ids.HashString(fmt.Sprintf("s%d", sender)), Endpoint: a.Addr()},
+					Payload: &seqPayload{Sender: sender, Seq: i, Fill: string(fill)},
+				}
+				if err := a.Send(to, msg); err != nil {
+					t.Errorf("sender %d: %v", sender, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	msgs := rx.wait(t, senders*perSender)
+	if len(msgs) != senders*perSender {
+		t.Fatalf("delivered %d messages, want %d", len(msgs), senders*perSender)
+	}
+	seen := make(map[[2]int]bool, len(msgs))
+	perSenderNext := make([]int, senders)
+	for _, m := range msgs {
+		p, ok := m.Payload.(*seqPayload)
+		if !ok {
+			t.Fatalf("corrupt frame: payload %T", m.Payload)
+		}
+		if p.Fill != string(fill) {
+			t.Fatalf("corrupt payload body from sender %d seq %d", p.Sender, p.Seq)
+		}
+		key := [2]int{p.Sender, p.Seq}
+		if seen[key] {
+			t.Fatalf("duplicate delivery: sender %d seq %d", p.Sender, p.Seq)
+		}
+		seen[key] = true
+		// Per-sender order must hold even though senders interleave.
+		if p.Seq < perSenderNext[p.Sender] {
+			t.Fatalf("sender %d: seq %d arrived after %d", p.Sender, p.Seq, perSenderNext[p.Sender])
+		}
+		perSenderNext[p.Sender] = p.Seq + 1
+	}
+	if a.Dropped() != 0 {
+		t.Fatalf("blocking transport dropped %d messages", a.Dropped())
+	}
+}
+
+// TestIdlePeerRetirementAndRevival covers the churn-leak guard: an idle
+// writer retires (releasing its goroutine and connection) and a later
+// Send to the same endpoint transparently revives the path.
+func TestIdlePeerRetirementAndRevival(t *testing.T) {
+	rx := newCollector()
+	a, err := netwire.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.IdleTimeout = 50 * time.Millisecond
+	b, err := netwire.Listen("127.0.0.1:0", rx.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	to := pastry.Addr{Endpoint: b.Addr()}
+	if err := a.Send(to, pastry.Message{Type: "test.typed", Payload: &typedPayload{Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	rx.wait(t, 1)
+	// Let the writer retire, then send again through the revived peer.
+	time.Sleep(250 * time.Millisecond)
+	if err := a.Send(to, pastry.Message{Type: "test.typed", Payload: &typedPayload{Count: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	msgs := rx.wait(t, 2)
+	if msgs[1].Payload.(*typedPayload).Count != 2 {
+		t.Fatalf("post-retirement message corrupted: %+v", msgs[1].Payload)
+	}
+	if a.Dropped() != 0 {
+		t.Fatalf("retirement dropped %d messages", a.Dropped())
+	}
+}
+
+// TestBlockPolicyUnderAggressiveRetirement drives the worst case for the
+// idle-retire/Block-enqueue interaction: a tiny queue, an idle timeout
+// short enough to fire between bursts, and several blocking senders. A
+// retire() that blocked on the peer mutex here would freeze the whole
+// transport (the regression this guards); the run must stay live and
+// lossless.
+func TestBlockPolicyUnderAggressiveRetirement(t *testing.T) {
+	rx := newCollector()
+	a, err := netwire.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Backpressure = netwire.Block
+	a.QueueLen = 2
+	a.IdleTimeout = time.Millisecond
+	b, err := netwire.Listen("127.0.0.1:0", rx.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const senders = 4
+	const perSender = 100
+	to := pastry.Addr{Endpoint: b.Addr()}
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(sender int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := a.Send(to, pastry.Message{Type: "test.seq", Payload: &seqPayload{Sender: sender, Seq: i}}); err != nil {
+					t.Errorf("sender %d: %v", sender, err)
+					return
+				}
+				if i%10 == 0 {
+					time.Sleep(3 * time.Millisecond) // give the idle timer chances to fire mid-burst
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	rx.wait(t, senders*perSender)
+	if a.Dropped() != 0 {
+		t.Fatalf("blocking transport dropped %d messages", a.Dropped())
+	}
+}
+
+// TestCloseClosesInboundConnections guards the seed leak where accepted
+// connections were never tracked: after Close, a connected sender must
+// observe its connection dying.
+func TestCloseClosesInboundConnections(t *testing.T) {
+	rx := newCollector()
+	b, err := netwire.Listen("127.0.0.1:0", rx.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'b'}); err != nil { // codec hello
+		t.Fatal(err)
+	}
+	// Let the accept loop register the connection before closing.
+	time.Sleep(50 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("inbound connection still open after transport Close")
+	}
+}
+
 // TestPastryOverTCP runs a small overlay over real sockets: join, route,
 // and verify delivery — the protocol-fidelity check for the deployment
 // path.
@@ -184,8 +435,16 @@ func TestPastryOverTCP(t *testing.T) {
 		if err := peers[i].node.Join(peers[0].node.Self()); err != nil {
 			t.Fatal(err)
 		}
-		time.Sleep(100 * time.Millisecond)
+		deadline := time.Now().Add(5 * time.Second)
+		for !peers[i].node.Joined() && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !peers[i].node.Joined() {
+			t.Fatalf("node %d never joined", i)
+		}
 	}
+	// Let post-join state exchanges settle.
+	time.Sleep(200 * time.Millisecond)
 
 	key := ids.HashString("tcp-route-key")
 	want := peers[0]
@@ -209,5 +468,17 @@ func TestPastryOverTCP(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("routed message never delivered over TCP")
+	}
+
+	// The transports meter traffic; a cluster that just ran a join
+	// protocol must have moved bytes in both directions somewhere.
+	var sent, recv uint64
+	for _, p := range peers {
+		s := p.node.Stats()
+		sent += s.WireBytesSent
+		recv += s.WireBytesReceived
+	}
+	if sent == 0 || recv == 0 {
+		t.Fatalf("wire byte counters dead: sent=%d recv=%d", sent, recv)
 	}
 }

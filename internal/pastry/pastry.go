@@ -59,10 +59,35 @@ type Message struct {
 
 // Transport delivers messages between overlay nodes.
 type Transport interface {
-	// Send delivers msg to the node at to. A non-nil error indicates the
-	// destination is unreachable (crashed, partitioned); the overlay
-	// treats it as a failure hint and repairs its state.
+	// Send hands msg to the transport for delivery to the node at to.
+	// Synchronous transports (simnet) deliver or fail inline: a non-nil
+	// error indicates the destination is unreachable (crashed,
+	// partitioned) and the overlay treats it as a failure hint and
+	// repairs its state. Asynchronous transports (netwire) return nil on
+	// local enqueue and report delivery failures later through the
+	// AsyncTransport fault callback; both paths converge on the same
+	// eviction-and-repair reaction.
 	Send(to Addr, msg Message) error
+}
+
+// AsyncTransport is implemented by transports whose Send enqueues rather
+// than delivers. The overlay registers a fault callback at construction so
+// asynchronous delivery failures feed the same peer-eviction path that
+// synchronous Send errors do.
+type AsyncTransport interface {
+	Transport
+	// OnSendFault registers the callback invoked when delivery to a peer
+	// fails after the transport's retry budget. The callback may be
+	// invoked from transport-internal goroutines.
+	OnSendFault(func(to Addr, err error))
+}
+
+// ByteCounter is implemented by transports that meter traffic; the
+// overlay surfaces the counters in Stats.
+type ByteCounter interface {
+	// WireBytes returns total bytes sent to and received from the wire
+	// (or, under simulation, their codec-measured equivalents).
+	WireBytes() (sent, received uint64)
 }
 
 // ErrUnreachable is returned by transports when the destination is down.
@@ -136,6 +161,10 @@ type Stats struct {
 	BroadcastsSent    uint64
 	RouteHopsTotal    uint64 // accumulated hop counts of delivered messages
 	Repairs           uint64
+	// WireBytesSent and WireBytesReceived mirror the transport's byte
+	// counters when it implements ByteCounter (zero otherwise).
+	WireBytesSent     uint64
+	WireBytesReceived uint64
 }
 
 // NewNode creates an overlay node. The node does not join a ring until
@@ -152,6 +181,11 @@ func NewNode(cfg Config, self Addr, transport Transport, clk clock.Clock) *Node 
 		handlers:  make(map[string]HandlerFunc),
 	}
 	n.registerProtocolHandlers()
+	if at, ok := transport.(AsyncTransport); ok {
+		// Route asynchronous delivery failures into the same eviction
+		// path synchronous Send errors take.
+		at.OnSendFault(func(to Addr, _ error) { n.peerFailed(to) })
+	}
 	return n
 }
 
@@ -164,11 +198,16 @@ func (n *Node) Base() ids.Base { return n.cfg.Base }
 // Config returns the node's configuration.
 func (n *Node) Config() Config { return n.cfg }
 
-// Stats returns a snapshot of the node's activity counters.
+// Stats returns a snapshot of the node's activity counters, including the
+// transport's wire-byte counters when it meters them.
 func (n *Node) Stats() Stats {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.stats
+	s := n.stats
+	n.mu.RUnlock()
+	if bc, ok := n.transport.(ByteCounter); ok {
+		s.WireBytesSent, s.WireBytesReceived = bc.WireBytes()
+	}
+	return s
 }
 
 // OnFault registers a callback invoked when the node detects that a peer
@@ -242,8 +281,11 @@ func (n *Node) KnownNodes() []Addr {
 	return out
 }
 
-// send transmits msg and handles transport-level failure by evicting the
-// dead peer and scheduling repair.
+// send transmits msg and handles synchronous transport failure by
+// evicting the dead peer and scheduling repair. Asynchronous transports
+// report failures through the fault callback wired in NewNode instead;
+// for them a non-nil error only means the message never left this node
+// (transport closed).
 func (n *Node) send(to Addr, msg Message) error {
 	err := n.transport.Send(to, msg)
 	n.mu.Lock()

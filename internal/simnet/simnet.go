@@ -11,8 +11,10 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"corona/internal/codec"
 	"corona/internal/eventsim"
 	"corona/internal/pastry"
 )
@@ -81,6 +83,9 @@ type Network struct {
 	down      map[string]bool
 	dropRate  float64
 	partition map[string]int // endpoint -> partition group; 0 = default
+	// measure enables codec-measured byte accounting (on by default);
+	// huge batch simulations can switch it off to skip the encode cost.
+	measure bool
 
 	delivered uint64
 	dropped   uint64
@@ -97,15 +102,35 @@ func New(sim *eventsim.Sim, latency LatencyModel) *Network {
 		endpoints: make(map[string]*Endpoint),
 		down:      make(map[string]bool),
 		partition: make(map[string]int),
+		measure:   true,
 	}
 }
 
+// SetByteAccounting toggles codec-measured byte accounting. It is on by
+// default; the largest batch simulations can disable it to avoid encoding
+// every message just for its size.
+func (n *Network) SetByteAccounting(enabled bool) {
+	n.mu.Lock()
+	n.measure = enabled
+	n.mu.Unlock()
+}
+
 // Endpoint is one attachment point on the network. It implements
-// pastry.Transport for the node that owns it.
+// pastry.Transport for the node that owns it, and pastry.ByteCounter so
+// per-node wire volume shows up in overlay stats with the same
+// codec-measured sizes a live deployment would put on the wire.
 type Endpoint struct {
 	net     *Network
 	name    string
 	deliver func(pastry.Message)
+
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+}
+
+// WireBytes implements pastry.ByteCounter with codec-measured sizes.
+func (ep *Endpoint) WireBytes() (sent, received uint64) {
+	return ep.bytesSent.Load(), ep.bytesRecv.Load()
 }
 
 // Attach registers an endpoint under the given name (the Addr.Endpoint
@@ -128,6 +153,7 @@ func (ep *Endpoint) Send(to pastry.Addr, msg pastry.Message) error {
 	crashed := n.down[to.Endpoint] || n.down[ep.name]
 	partitioned := n.partition[ep.name] != n.partition[to.Endpoint]
 	drop := n.dropRate > 0 && n.rng.Float64() < n.dropRate
+	measure := n.measure
 	if ok && !crashed && !partitioned && !drop {
 		n.delivered++
 	} else {
@@ -138,6 +164,16 @@ func (ep *Endpoint) Send(to pastry.Addr, msg pastry.Message) error {
 	if !ok || crashed || partitioned {
 		return pastry.ErrUnreachable
 	}
+	// A message that left the sender costs wire bytes whether or not the
+	// network then loses it.
+	var size uint64
+	if measure {
+		size = uint64(codec.Measure(msg))
+		ep.bytesSent.Add(size)
+		n.mu.Lock()
+		n.bytes += size
+		n.mu.Unlock()
+	}
 	if drop {
 		return nil // silently lost, like UDP loss; sender sees success
 	}
@@ -147,6 +183,7 @@ func (ep *Endpoint) Send(to pastry.Addr, msg pastry.Message) error {
 		stillUp := !n.down[to.Endpoint]
 		n.mu.Unlock()
 		if stillUp {
+			dst.bytesRecv.Add(size)
 			dst.deliver(msg)
 		}
 	})
@@ -209,4 +246,13 @@ func (n *Network) Dropped() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.dropped
+}
+
+// Bytes returns the codec-measured volume of all traffic that left a
+// sender — what the same message flow would have cost on a real wire
+// under the default codec (zero when byte accounting is disabled).
+func (n *Network) Bytes() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bytes
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"corona/internal/clock"
+	"corona/internal/codec"
 	"corona/internal/core"
 	"corona/internal/ids"
 	"corona/internal/im"
@@ -50,8 +51,8 @@ type LiveNode struct {
 
 func init() {
 	// Wire payload codecs once for every live node in the process.
-	pastry.RegisterPayloadTypes(netwire.RegisterPayload)
-	core.RegisterPayloadTypes(netwire.RegisterPayload)
+	pastry.RegisterPayloadTypes(codec.RegisterPayload)
+	core.RegisterPayloadTypes(codec.RegisterPayload)
 }
 
 // StartLiveNode binds the transport, joins (or bootstraps) the ring, and
@@ -113,10 +114,16 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	if len(cfg.Seeds) == 0 {
 		overlay.Bootstrap()
 	} else {
+		// Join is asynchronous under netwire: Send enqueues and dial
+		// failures surface through the transport's fault callback. Wait
+		// for the join handshake to land before falling back to the next
+		// seed.
 		joined := false
 		for _, seed := range cfg.Seeds {
-			err := overlay.Join(pastry.Addr{ID: idFromEndpoint(seed), Endpoint: seed})
-			if err == nil {
+			if err := overlay.Join(pastry.Addr{ID: idFromEndpoint(seed), Endpoint: seed}); err != nil {
+				continue
+			}
+			if waitJoined(overlay, transport.DialBudget()+2*time.Second) {
 				joined = true
 				break
 			}
@@ -158,6 +165,18 @@ func (ln *LiveNode) Stats() core.Stats { return ln.node.Stats() }
 func (ln *LiveNode) Close() error {
 	ln.node.Stop()
 	return ln.transport.Close()
+}
+
+// waitJoined polls for join-handshake completion up to the deadline.
+func waitJoined(overlay *pastry.Node, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if overlay.Joined() {
+			return true
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return overlay.Joined()
 }
 
 // idFromEndpoint derives the node identifier from its advertised address,
