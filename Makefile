@@ -1,8 +1,13 @@
-# Developer entry points; CI runs `make check`.
+# Developer entry points; CI runs `make check` and `make bench-smoke`.
+
+# bench pipes `go test` into bench2json; bash + pipefail keeps a failing
+# benchmark run from silently writing an empty BENCH_wire.json.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-all bench-smoke
 
 check: vet build test
 
@@ -20,5 +25,17 @@ test:
 race:
 	$(GO) test -race ./internal/netwire/ ./internal/codec/ ./internal/pastry/
 
+# Wire-layer benchmarks (payload encode, fan-out, round trip, end-to-end
+# dissemination), recorded machine-readably in BENCH_wire.json.
 bench:
+	$(GO) test -run xxx -bench 'Wire|UpdateEncode|UpdateDecodeForward|FanOutEncode|UpdateDissemination' -benchmem . ./internal/core/ \
+		| $(GO) run ./cmd/bench2json -o BENCH_wire.json
+
+# Every benchmark, including the figure regenerations.
+bench-all:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# One iteration of every benchmark — a CI smoke test that the bench
+# harness still builds and runs end to end.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -183,6 +183,7 @@ func (c *cloud) Stats() Stats {
 		s.Notifications += ns.NotificationsSent
 	}
 	s.WireBytes = c.net.Bytes()
+	s.MessagesDropped = c.net.Dropped()
 	return s
 }
 

@@ -1,0 +1,107 @@
+// Command bench2json converts `go test -bench` output on stdin into a
+// machine-readable JSON file, passing the raw text through to stdout so it
+// still reads like a benchmark run. The Makefile's bench target uses it to
+// record wire-layer results in BENCH_wire.json:
+//
+//	go test -run xxx -bench Wire -benchmem ./... | go run ./cmd/bench2json -o BENCH_wire.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line: the benchmark name, its iteration
+// count, and every reported metric (ns/op, B/op, allocs/op, MB/s, and any
+// custom b.ReportMetric units) keyed by unit.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file layout: run context plus all parsed benchmarks.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (stdout JSON suppressed when set)")
+	flag.Parse()
+
+	var report Report
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the human-readable run visible
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				b.Package = pkg
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("bench2json: reading stdin: %v", err)
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("bench2json: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("bench2json: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkX/sub-8   12345   678.9 ns/op   1024 B/op   3 allocs/op
+//
+// Fields after the iteration count come in "<value> <unit>" pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

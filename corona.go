@@ -156,4 +156,7 @@ type Stats struct {
 	// WireBytes is the codec-measured overlay traffic volume: what the
 	// cloud's message flow would have cost on a real wire.
 	WireBytes uint64
+	// MessagesDropped counts overlay messages lost in transit — crashed
+	// or partitioned hosts, injected loss — or to transport backpressure.
+	MessagesDropped uint64
 }

@@ -1,42 +1,98 @@
 package codec
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"corona/internal/ids"
 	"corona/internal/pastry"
+	"corona/internal/wirebin"
 )
 
 // binaryCodec is the compact default format. The envelope layout is:
 //
-//	flags    byte     bit 0: key present; bit 1: payload present
+//	-- hop-invariant prefix ------------------------------------------
+//	flags    byte     bit 0: key present; bit 1: payload present;
+//	                  bit 2: payload is native binary (else JSON)
 //	type     uvarint length + bytes
 //	key      20 bytes (only when bit 0 set)
 //	from.id  20 bytes
 //	from.ep  uvarint length + bytes
+//	payload  uvarint length + bytes (only when bit 1 set)
+//	-- per-hop trailer -----------------------------------------------
 //	hops     uvarint
 //	cover    uvarint
-//	payload  uvarint length + JSON bytes (only when bit 1 set)
 //
 // All varints are unsigned LEB128 (encoding/binary). Identifiers travel as
 // raw 20-byte values instead of 40-char hex strings, and no field names
 // appear on the wire, which roughly halves Corona's control messages
 // relative to the JSON envelope.
+//
+// The field order is deliberate: everything that is identical across the
+// copies of a broadcast fanned out to N routing contacts — which is
+// everything except Hops and Cover — forms a contiguous prefix. Encode
+// caches that prefix in the message's shared-encoding cell (attached by
+// pastry's fanOut), so the payload region is encoded once per hop and each
+// additional contact costs only the two-varint trailer plus a copy.
 type binaryCodec struct{}
 
 func (binaryCodec) Name() string { return "binary" }
 
-// ID is 'b'.
-func (binaryCodec) ID() byte { return 'b' }
+// ID is 'B'. PR 1's binary envelope (ID 'b') carried Hops/Cover before
+// the payload; moving them to the trailer is incompatible, and reusing
+// 'b' would let a skewed peer negotiate successfully and silently
+// misparse every envelope. A fresh ID makes mixed-version connections
+// fail closed instead: the old node's hello is unknown here and the
+// connection is dropped.
+func (binaryCodec) ID() byte { return 'B' }
 
 const (
-	flagKey     = 1 << 0
-	flagPayload = 1 << 1
+	flagKey           = 1 << 0
+	flagPayload       = 1 << 1
+	flagBinaryPayload = 1 << 2
 )
 
-func (binaryCodec) Encode(msg pastry.Message) ([]byte, error) {
-	payload, err := marshalPayload(msg)
+// maxTrailer bounds the encoded size of the Hops/Cover trailer: two
+// varints, each at most 10 bytes.
+const maxTrailer = 20
+
+func (c binaryCodec) Encode(msg pastry.Message) ([]byte, error) {
+	if prefix, ok := msg.CachedEncodePrefix(c.ID()); ok {
+		body := make([]byte, 0, len(prefix)+maxTrailer)
+		body = append(body, prefix...)
+		return appendTrailer(body, msg), nil
+	}
+	if msg.SharesEncoding() {
+		// First encode of a fanned-out broadcast: render the prefix into
+		// its own buffer so the cell can hand it to the other contacts.
+		prefix, err := c.appendPrefix(nil, msg)
+		if err != nil {
+			return nil, err
+		}
+		msg.StoreEncodePrefix(c.ID(), prefix)
+		body := make([]byte, 0, len(prefix)+maxTrailer)
+		body = append(body, prefix...)
+		return appendTrailer(body, msg), nil
+	}
+	// Unicast: render straight into the final body — no separate prefix
+	// buffer, no second copy.
+	body, err := c.appendPrefix(nil, msg)
+	if err != nil {
+		return nil, err
+	}
+	return appendTrailer(body, msg), nil
+}
+
+// appendTrailer writes the per-hop varint trailer.
+func appendTrailer(body []byte, msg pastry.Message) []byte {
+	body = wirebin.AppendUvarint(body, uint64(msg.Hops))
+	body = wirebin.AppendUvarint(body, uint64(msg.Cover))
+	return body
+}
+
+// appendPrefix renders the hop-invariant region — flags, type, key,
+// origin, and the payload blob — onto dst (allocating when dst is nil).
+func (binaryCodec) appendPrefix(dst []byte, msg pastry.Message) ([]byte, error) {
+	payload, payloadBinary, err := payloadWire(msg)
 	if err != nil {
 		return nil, err
 	}
@@ -46,109 +102,52 @@ func (binaryCodec) Encode(msg pastry.Message) ([]byte, error) {
 	}
 	if payload != nil {
 		flags |= flagPayload
+		if payloadBinary {
+			flags |= flagBinaryPayload
+		}
 	}
-	// Envelope overhead is bounded by ~2*20 bytes of IDs plus short
-	// strings; size the buffer to avoid regrowth on the common path.
-	body := make([]byte, 0, 64+len(msg.Type)+len(msg.From.Endpoint)+len(payload))
-	body = append(body, flags)
-	body = appendBytes(body, []byte(msg.Type))
+	if dst == nil {
+		// Envelope overhead is bounded by ~2*20 bytes of IDs plus short
+		// strings; size the buffer to fit the trailer too, so the unicast
+		// path never regrows.
+		dst = make([]byte, 0, 64+maxTrailer+len(msg.Type)+len(msg.From.Endpoint)+len(payload))
+	}
+	dst = append(dst, flags)
+	dst = wirebin.AppendString(dst, msg.Type)
 	if flags&flagKey != 0 {
-		body = append(body, msg.Key[:]...)
+		dst = append(dst, msg.Key[:]...)
 	}
-	body = append(body, msg.From.ID[:]...)
-	body = appendBytes(body, []byte(msg.From.Endpoint))
-	body = binary.AppendUvarint(body, uint64(msg.Hops))
-	body = binary.AppendUvarint(body, uint64(msg.Cover))
+	dst = append(dst, msg.From.ID[:]...)
+	dst = wirebin.AppendString(dst, msg.From.Endpoint)
 	if flags&flagPayload != 0 {
-		body = appendBytes(body, payload)
+		dst = wirebin.AppendBytes(dst, payload)
 	}
-	return body, nil
+	return dst, nil
 }
 
 func (binaryCodec) Decode(body []byte) (pastry.Message, error) {
-	r := reader{buf: body}
-	flags := r.byte()
-	msgType := string(r.bytes())
+	r := wirebin.NewReader(body)
+	flags := r.Byte()
 	var msg pastry.Message
-	msg.Type = msgType
+	msg.Type = r.String()
 	if flags&flagKey != 0 {
-		copy(msg.Key[:], r.take(ids.Bytes))
+		copy(msg.Key[:], r.Take(ids.Bytes))
 	}
-	copy(msg.From.ID[:], r.take(ids.Bytes))
-	msg.From.Endpoint = string(r.bytes())
-	msg.Hops = int(r.uvarint())
-	msg.Cover = int(r.uvarint())
+	copy(msg.From.ID[:], r.Take(ids.Bytes))
+	msg.From.Endpoint = r.String()
 	var rawPayload []byte
 	if flags&flagPayload != 0 {
-		rawPayload = r.bytes()
+		rawPayload = r.Bytes()
 	}
-	if r.err != nil {
-		return pastry.Message{}, fmt.Errorf("codec: truncated binary envelope: %w", r.err)
+	msg.Hops = r.Int()
+	msg.Cover = r.Int()
+	if err := r.Err(); err != nil {
+		return pastry.Message{}, fmt.Errorf("codec: truncated binary envelope: %w", err)
 	}
-	payload, err := decodePayload(msgType, rawPayload)
-	if err != nil {
-		return pastry.Message{}, err
+	if len(rawPayload) > 0 {
+		// Retained, not decoded: forwarding re-sends these bytes verbatim
+		// and only a local delivery materializes the struct.
+		msg.SetRawPayload(rawPayload, flags&flagBinaryPayload != 0)
 	}
-	msg.Payload = payload
 	return msg, nil
-}
-
-// appendBytes writes a uvarint length prefix followed by the bytes.
-func appendBytes(dst, b []byte) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(b)))
-	return append(dst, b...)
-}
-
-// reader is a cursor over an envelope body that latches the first error,
-// so decode logic reads fields straight through and checks once.
-type reader struct {
-	buf []byte
-	err error
-}
-
-var errShort = fmt.Errorf("short buffer")
-
-func (r *reader) byte() byte {
-	b := r.take(1)
-	if b == nil {
-		return 0
-	}
-	return b[0]
-}
-
-func (r *reader) take(n int) []byte {
-	if r.err != nil || len(r.buf) < n {
-		if r.err == nil {
-			r.err = errShort
-		}
-		return nil
-	}
-	b := r.buf[:n]
-	r.buf = r.buf[n:]
-	return b
-}
-
-func (r *reader) uvarint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.buf)
-	if n <= 0 {
-		r.err = errShort
-		return 0
-	}
-	r.buf = r.buf[n:]
-	return v
-}
-
-func (r *reader) bytes() []byte {
-	n := r.uvarint()
-	if r.err != nil {
-		return nil
-	}
-	if n > uint64(len(r.buf)) {
-		r.err = errShort
-		return nil
-	}
-	return r.take(int(n))
 }

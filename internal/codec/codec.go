@@ -10,12 +10,21 @@
 // framing around these bodies are new in this wire protocol: nodes
 // running the seed's helloless single-message framing cannot talk to it.
 //
-// Message payloads are application structs. Both codecs carry the payload
-// as a JSON blob and decode it through a process-wide registry mapping
-// message types to payload constructors — the registry that used to live
-// in netwire. The binary codec's savings come from the envelope: fixed-
-// width identifiers and varint counters instead of hex strings and JSON
-// field names, which dominate the size of Corona's small control messages.
+// Message payloads are application structs, resolved through a
+// process-wide registry mapping message types to payload constructors.
+// Hot payload types additionally implement the BinaryMarshaler /
+// BinaryUnmarshaler contract and travel in a native binary form; every
+// other payload falls back to a JSON blob. Which form a payload region is
+// in travels as an envelope flag, so the fallback needs no out-of-band
+// agreement.
+//
+// Decoding is lazy and forwarding is zero-copy: Decode retains the raw
+// payload bytes on the message (pastry.Message.SetRawPayload) instead of
+// materializing the struct, and Encode re-sends a retained blob verbatim.
+// A node forwarding a message — a routed next hop, or a broadcast pushed
+// deeper into the dissemination DAG — therefore never unmarshals or
+// re-marshals the payload; only a message delivered to a local handler
+// pays for a decode (pastry materializes it just before the handler runs).
 package codec
 
 import (
@@ -34,11 +43,30 @@ type Codec interface {
 	Name() string
 	// ID is the one-byte wire identifier sent in the connection hello.
 	ID() byte
-	// Encode renders the message as a self-contained body.
+	// Encode renders the message as a self-contained body. A payload blob
+	// retained from a previous Decode is re-encoded verbatim.
 	Encode(msg pastry.Message) ([]byte, error)
-	// Decode parses a body produced by Encode, resolving the payload
-	// through the type registry.
+	// Decode parses a body produced by Encode. The payload is not
+	// materialized: its raw bytes are retained on the message for
+	// zero-copy forwarding, and resolve through the type registry when
+	// pastry.Message.MaterializePayload runs.
 	Decode(body []byte) (pastry.Message, error)
+}
+
+// BinaryMarshaler is implemented by payload structs that have a native
+// binary wire form. AppendBinary appends the encoding to dst and returns
+// the extended slice; encodings must be deterministic (byte-stable for
+// equal values) so forwarded copies and re-encodes are identical.
+type BinaryMarshaler interface {
+	AppendBinary(dst []byte) ([]byte, error)
+}
+
+// BinaryUnmarshaler is the decode side of the native binary payload
+// contract. DecodeBinary parses an encoding produced by AppendBinary into
+// the receiver; src aliases the receive buffer and must not be retained
+// or mutated.
+type BinaryUnmarshaler interface {
+	DecodeBinary(src []byte) error
 }
 
 // Registered codec singletons.
@@ -46,7 +74,9 @@ var (
 	// JSON is the seed wire format: a JSON envelope with a JSON payload.
 	JSON Codec = jsonCodec{}
 	// Binary is the compact default format: fixed-width envelope fields
-	// with varint lengths and a JSON payload blob.
+	// with varint lengths, native binary payloads for registered hot
+	// types, and a varint Hops/Cover trailer so broadcast fan-out shares
+	// one encoded prefix across contacts.
 	Binary Codec = binaryCodec{}
 	// Default is the codec transports prefer for outbound connections.
 	Default = Binary
@@ -63,35 +93,72 @@ func ByID(id byte) Codec {
 	return nil
 }
 
-// payloadFactories maps message types to constructors for their payload
-// structs, letting decoders produce typed payloads.
+func init() {
+	// Retained raw payloads resolve through this registry when the
+	// overlay materializes them for a local handler.
+	pastry.SetPayloadDecoder(decodePayload)
+}
+
+// payloadEntry is one registered payload type: its constructor, plus
+// whether the constructed struct speaks the native binary contract (probed
+// once at registration).
+type payloadEntry struct {
+	factory func() any
+	binary  bool
+}
+
+// payloadFactories maps message types to their registrations, letting
+// decoders produce typed payloads.
 var (
 	registryMu       sync.RWMutex
-	payloadFactories = map[string]func() any{}
+	payloadFactories = map[string]payloadEntry{}
 )
 
 // RegisterPayload associates a message type with a payload constructor.
 // Types without a registration decode their payload as map[string]any.
+// When the constructed payload implements BinaryUnmarshaler (and values
+// sent under this type implement BinaryMarshaler), the type travels in
+// its native binary form; otherwise it falls back to JSON payload bytes.
 // Registering the same type twice replaces the factory (packages register
 // their types from init-like hooks that may run more than once per
 // process).
 func RegisterPayload(msgType string, factory func() any) {
+	_, binary := factory().(BinaryUnmarshaler)
 	registryMu.Lock()
 	defer registryMu.Unlock()
-	payloadFactories[msgType] = factory
+	payloadFactories[msgType] = payloadEntry{factory: factory, binary: binary}
 }
 
-// decodePayload resolves raw JSON payload bytes into the registered typed
-// struct for msgType, falling back to a generic map.
-func decodePayload(msgType string, raw []byte) (any, error) {
+// lookupPayload returns the registration for msgType, if any.
+func lookupPayload(msgType string) (payloadEntry, bool) {
+	registryMu.RLock()
+	e, ok := payloadFactories[msgType]
+	registryMu.RUnlock()
+	return e, ok
+}
+
+// decodePayload resolves raw payload bytes — native binary or JSON,
+// per the binary flag — into the registered typed struct for msgType.
+// Unregistered JSON payloads fall back to a generic map; unregistered
+// binary payloads (version skew) drop the payload but keep the envelope,
+// mirroring the JSON unknown-shape behavior.
+func decodePayload(msgType string, raw []byte, binary bool) (any, error) {
 	if len(raw) == 0 {
 		return nil, nil
 	}
-	registryMu.RLock()
-	factory := payloadFactories[msgType]
-	registryMu.RUnlock()
-	if factory != nil {
-		p := factory()
+	e, registered := lookupPayload(msgType)
+	if binary {
+		if !registered || !e.binary {
+			return nil, nil
+		}
+		p := e.factory()
+		if err := p.(BinaryUnmarshaler).DecodeBinary(raw); err != nil {
+			return nil, fmt.Errorf("codec: decoding %s binary payload: %w", msgType, err)
+		}
+		return p, nil
+	}
+	if registered {
+		p := e.factory()
 		if err := json.Unmarshal(raw, p); err != nil {
 			return nil, fmt.Errorf("codec: decoding %s payload: %w", msgType, err)
 		}
@@ -104,9 +171,54 @@ func decodePayload(msgType string, raw []byte) (any, error) {
 	return generic, nil
 }
 
-// marshalPayload renders a message payload as JSON bytes (nil for a nil
-// payload).
-func marshalPayload(msg pastry.Message) ([]byte, error) {
+// payloadWire renders a message's payload region: the encoded bytes plus
+// which form they are in. A blob retained from a previous Decode is reused
+// verbatim; otherwise the typed payload encodes natively when its type is
+// registered for binary, and as JSON when not.
+func payloadWire(msg pastry.Message) (raw []byte, binary bool, err error) {
+	if raw, binary, ok := msg.RawPayload(); ok {
+		return raw, binary, nil
+	}
+	if msg.Payload == nil {
+		return nil, false, nil
+	}
+	if bm, ok := msg.Payload.(BinaryMarshaler); ok {
+		if e, registered := lookupPayload(msg.Type); registered && e.binary {
+			b, err := bm.AppendBinary(nil)
+			if err != nil {
+				return nil, false, fmt.Errorf("codec: encoding %s binary payload: %w", msg.Type, err)
+			}
+			return b, true, nil
+		}
+	}
+	b, err := json.Marshal(msg.Payload)
+	if err != nil {
+		return nil, false, fmt.Errorf("codec: encoding payload of %s: %w", msg.Type, err)
+	}
+	return b, false, nil
+}
+
+// payloadJSON renders a message's payload region as JSON bytes
+// specifically, for the JSON codec: a retained binary blob is materialized
+// through the registry and re-marshaled.
+func payloadJSON(msg pastry.Message) ([]byte, error) {
+	if raw, binary, ok := msg.RawPayload(); ok {
+		if !binary {
+			return raw, nil
+		}
+		p, err := decodePayload(msg.Type, raw, true)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, nil
+		}
+		b, err := json.Marshal(p)
+		if err != nil {
+			return nil, fmt.Errorf("codec: encoding payload of %s: %w", msg.Type, err)
+		}
+		return b, nil
+	}
 	if msg.Payload == nil {
 		return nil, nil
 	}
@@ -119,11 +231,30 @@ func marshalPayload(msg pastry.Message) ([]byte, error) {
 
 // Measure returns the encoded size of msg under the default codec, for
 // transports that account bytes without materializing frames (simnet). A
-// message that fails to encode measures zero.
+// message that fails to encode measures zero. Fan-out copies carrying a
+// shared-encoding cell amortize the measurement the way real frames do —
+// the prefix encodes once — and because only a size is needed, later
+// copies cost O(trailer): cached prefix length plus two varint widths,
+// no body built at all.
 func Measure(msg pastry.Message) int {
+	if Default.ID() == Binary.ID() {
+		if prefix, ok := msg.CachedEncodePrefix(Binary.ID()); ok {
+			return len(prefix) + uvarintLen(uint64(msg.Hops)) + uvarintLen(uint64(msg.Cover))
+		}
+	}
 	body, err := Default.Encode(msg)
 	if err != nil {
 		return 0
 	}
 	return len(body)
+}
+
+// uvarintLen returns the encoded width of v as an unsigned LEB128 varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }

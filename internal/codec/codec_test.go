@@ -44,6 +44,12 @@ func TestRoundTripBothCodecs(t *testing.T) {
 				got.Hops != want.Hops || got.Cover != want.Cover {
 				t.Fatalf("envelope mismatch: got %+v want %+v", got, want)
 			}
+			if got.Payload != nil {
+				t.Fatalf("payload should stay lazy until materialized, got %#v", got.Payload)
+			}
+			if err := got.MaterializePayload(); err != nil {
+				t.Fatal(err)
+			}
 			p, ok := got.Payload.(*testPayload)
 			if !ok {
 				t.Fatalf("payload type = %T", got.Payload)
@@ -70,6 +76,9 @@ func TestRoundTripZeroKeyNilPayload(t *testing.T) {
 			if !got.Key.IsZero() {
 				t.Fatalf("key should stay zero, got %v", got.Key)
 			}
+			if err := got.MaterializePayload(); err != nil {
+				t.Fatal(err)
+			}
 			if got.Payload != nil {
 				t.Fatalf("payload should stay nil, got %#v", got.Payload)
 			}
@@ -89,6 +98,9 @@ func TestUnregisteredPayloadDecodesGeneric(t *testing.T) {
 			}
 			got, err := c.Decode(body)
 			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.MaterializePayload(); err != nil {
 				t.Fatal(err)
 			}
 			m, ok := got.Payload.(map[string]any)
@@ -135,6 +147,58 @@ func TestByID(t *testing.T) {
 	}
 	if codec.ByID(0xff) != nil {
 		t.Fatal("unknown ID should resolve to nil")
+	}
+}
+
+// TestSharedPrefixFanOut pins the encode-once contract: copies of a
+// broadcast sharing an encoding cell must produce exactly the bytes a
+// fresh encode produces, with only the Hops/Cover trailer differing
+// between contacts.
+func TestSharedPrefixFanOut(t *testing.T) {
+	base := sampleMessage()
+	base.Hops++
+	base.ShareEncoding()
+	var bodies [][]byte
+	for cover := 1; cover <= 4; cover++ {
+		out := base
+		out.Cover = cover
+		body, err := codec.Binary.Encode(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The size-only fast path must agree with the materialized body.
+		if got := codec.Measure(out); got != len(body) {
+			t.Fatalf("Measure = %d, want %d", got, len(body))
+		}
+		// Identical to an unshared encode of the same message.
+		plain := sampleMessage()
+		plain.Hops = base.Hops
+		plain.Cover = cover
+		want, err := codec.Binary.Encode(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(body) != string(want) {
+			t.Fatalf("shared encode diverges at cover=%d", cover)
+		}
+		bodies = append(bodies, body)
+	}
+	// All copies share the hop-invariant prefix byte-for-byte.
+	prefixLen := len(bodies[0]) - 2 // trailer here: two one-byte varints
+	for _, b := range bodies[1:] {
+		if string(b[:prefixLen]) != string(bodies[0][:prefixLen]) {
+			t.Fatal("hop-invariant prefix differs between contacts")
+		}
+	}
+	// And each decodes back with its own trailer.
+	for i, b := range bodies {
+		got, err := codec.Binary.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cover != i+1 || got.Hops != base.Hops {
+			t.Fatalf("trailer mangled: hops=%d cover=%d", got.Hops, got.Cover)
+		}
 	}
 }
 

@@ -32,7 +32,10 @@ type envelope struct {
 }
 
 func (jsonCodec) Encode(msg pastry.Message) ([]byte, error) {
-	rawPayload, err := marshalPayload(msg)
+	// A retained JSON blob is reused verbatim; a retained binary blob is
+	// materialized through the registry and re-marshaled (crossing codecs
+	// mid-path is the rare case — both ends of one connection share one).
+	rawPayload, err := payloadJSON(msg)
 	if err != nil {
 		return nil, err
 	}
@@ -71,10 +74,10 @@ func (jsonCodec) Decode(body []byte) (pastry.Message, error) {
 		}
 		msg.Key = key
 	}
-	payload, err := decodePayload(env.Type, env.Payload)
-	if err != nil {
-		return pastry.Message{}, err
+	if len(env.Payload) > 0 {
+		// Retained raw for zero-copy forwarding; materialized only on
+		// local delivery.
+		msg.SetRawPayload(env.Payload, false)
 	}
-	msg.Payload = payload
 	return msg, nil
 }

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"corona/internal/honeycomb"
+	"corona/internal/ids"
+	"corona/internal/pastry"
+	"corona/internal/wirebin"
+)
+
+// Native binary wire forms for Corona's hot message payloads — the
+// AppendBinary/DecodeBinary contract the codec package probes for at
+// registration. These are the messages multiplied by wedge fan-out
+// (updates, poll control, their wedge-forward wrapper), the periodic
+// aggregation exchange, and the per-subscription control paths; encoding
+// them natively removes the JSON marshal/unmarshal from every hop.
+// replicateMsg deliberately keeps the JSON fallback: it flows point to
+// point at replication cadence, and keeping one registered type on the
+// fallback path keeps that path exercised in production traffic.
+//
+// Conventions (package wirebin): uvarint for unsigned counters, zigzag
+// svarint for int fields, length-prefixed strings, fixed 8-byte floats,
+// one-byte bools. Addresses are a raw 20-byte identifier plus endpoint
+// string. Every encoding is deterministic, so re-encoding a decoded
+// payload reproduces the original bytes.
+
+func appendAddr(dst []byte, a pastry.Addr) []byte {
+	dst = append(dst, a.ID[:]...)
+	return wirebin.AppendString(dst, a.Endpoint)
+}
+
+func readAddr(r *wirebin.Reader) pastry.Addr {
+	var a pastry.Addr
+	copy(a.ID[:], r.Take(ids.Bytes))
+	a.Endpoint = r.String()
+	return a
+}
+
+// wireErr wraps a reader's latched error with the payload type.
+func wireErr(what string, r *wirebin.Reader) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: decoding %s payload: %w", what, err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("core: decoding %s payload: %d trailing bytes", what, r.Len())
+	}
+	return nil
+}
+
+// --- subscribeMsg (corona.subscribe, corona.unsubscribe) -----------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *subscribeMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendString(dst, m.Client)
+	dst = appendAddr(dst, m.Entry)
+	return wirebin.AppendBool(dst, m.Remove), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *subscribeMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.Client = r.String()
+	m.Entry = readAddr(r)
+	m.Remove = r.Bool()
+	return wireErr("subscribe", r)
+}
+
+// --- notifyMsg (corona.notify) -------------------------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *notifyMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.Client)
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendUvarint(dst, m.Version)
+	return wirebin.AppendString(dst, m.Diff), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *notifyMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.Client = r.String()
+	m.URL = r.String()
+	m.Version = r.Uvarint()
+	m.Diff = r.String()
+	return wireErr("notify", r)
+}
+
+// --- pollCtlMsg (corona.pollctl) -----------------------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *pollCtlMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendSint(dst, m.Level)
+	dst = wirebin.AppendUvarint(dst, m.Epoch)
+	dst = wirebin.AppendSint(dst, m.Q)
+	dst = wirebin.AppendSint(dst, m.SizeBytes)
+	return wirebin.AppendFloat64(dst, m.IntervalSec), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *pollCtlMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.Level = r.Sint()
+	m.Epoch = r.Uvarint()
+	m.Q = r.Sint()
+	m.SizeBytes = r.Sint()
+	m.IntervalSec = r.Float64()
+	return wireErr("pollctl", r)
+}
+
+// --- updateMsg (corona.update) -------------------------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *updateMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendUvarint(dst, m.Version)
+	dst = wirebin.AppendString(dst, m.Diff)
+	return wirebin.AppendSint(dst, m.Bytes), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *updateMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.Version = r.Uvarint()
+	m.Diff = r.String()
+	m.Bytes = r.Sint()
+	return wireErr("update", r)
+}
+
+// --- reportMsg (corona.report) -------------------------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *reportMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendUvarint(dst, m.ObservedVersion)
+	dst = wirebin.AppendString(dst, m.Diff)
+	return wirebin.AppendSint(dst, m.Bytes), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *reportMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.ObservedVersion = r.Uvarint()
+	m.Diff = r.String()
+	m.Bytes = r.Sint()
+	return wireErr("report", r)
+}
+
+// --- maintainMsg (corona.maintain) ---------------------------------------
+
+// AppendBinary implements the codec binary payload contract. The cluster
+// set travels in honeycomb's sparse binary form behind a presence byte.
+func (m *maintainMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendSint(dst, m.Row)
+	dst = wirebin.AppendBool(dst, m.Clusters != nil)
+	if m.Clusters != nil {
+		return m.Clusters.AppendBinary(dst)
+	}
+	return dst, nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *maintainMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.Row = r.Sint()
+	present := r.Bool()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: decoding maintain payload: %w", err)
+	}
+	if !present {
+		m.Clusters = nil
+		if r.Len() != 0 {
+			return fmt.Errorf("core: decoding maintain payload: %d trailing bytes", r.Len())
+		}
+		return nil
+	}
+	m.Clusters = new(honeycomb.ClusterSet)
+	return m.Clusters.DecodeBinary(r.Take(r.Len()))
+}
+
+// --- wedgeFwdMsg (corona.wedgefwd) ---------------------------------------
+
+// Presence bits for wedgeFwdMsg's wrapped operation.
+const (
+	wedgeFwdHasPollCtl = 1 << 0
+	wedgeFwdHasUpdate  = 1 << 1
+)
+
+// AppendBinary implements the codec binary payload contract; the wrapped
+// operation nests the inner payload's own binary form, length-prefixed.
+func (m *wedgeFwdMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendSint(dst, m.Level)
+	dst = wirebin.AppendString(dst, m.InnerType)
+	var flags byte
+	if m.PollCtl != nil {
+		flags |= wedgeFwdHasPollCtl
+	}
+	if m.Update != nil {
+		flags |= wedgeFwdHasUpdate
+	}
+	dst = append(dst, flags)
+	var err error
+	if m.PollCtl != nil {
+		if dst, err = appendNested(dst, m.PollCtl); err != nil {
+			return nil, err
+		}
+	}
+	if m.Update != nil {
+		if dst, err = appendNested(dst, m.Update); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// appendNested writes a length-prefixed inner payload encoding.
+func appendNested(dst []byte, inner interface {
+	AppendBinary([]byte) ([]byte, error)
+}) ([]byte, error) {
+	b, err := inner.AppendBinary(nil)
+	if err != nil {
+		return nil, err
+	}
+	return wirebin.AppendBytes(dst, b), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *wedgeFwdMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.Level = r.Sint()
+	m.InnerType = r.String()
+	flags := r.Byte()
+	m.PollCtl, m.Update = nil, nil
+	if flags&wedgeFwdHasPollCtl != 0 {
+		m.PollCtl = new(pollCtlMsg)
+		if err := m.PollCtl.DecodeBinary(r.Bytes()); err != nil {
+			return err
+		}
+	}
+	if flags&wedgeFwdHasUpdate != 0 {
+		m.Update = new(updateMsg)
+		if err := m.Update.DecodeBinary(r.Bytes()); err != nil {
+			return err
+		}
+	}
+	return wireErr("wedgefwd", r)
+}

@@ -1,0 +1,380 @@
+package core
+
+// Property tests for the native binary payload path: for every registered
+// Corona message type, the binary encoding must round-trip byte-stably
+// and produce exactly the struct the JSON path produces — whether the
+// type travels natively (the seven hot types) or through the JSON
+// fallback (replicateMsg). Messages are exercised through the codec
+// envelope, the way they actually reach the wire, including lazy
+// materialization and verbatim re-encoding of forwarded payloads.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"corona/internal/codec"
+	"corona/internal/honeycomb"
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+func init() {
+	RegisterPayloadTypes(codec.RegisterPayload)
+}
+
+// randString draws a printable string, sometimes empty, occasionally long
+// (diff-sized).
+func randString(rng *rand.Rand) string {
+	n := rng.Intn(24)
+	if rng.Intn(10) == 0 {
+		n = 0
+	} else if rng.Intn(10) == 0 {
+		n = 2000 + rng.Intn(2000)
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(' ' + rng.Intn(95))
+	}
+	return string(b)
+}
+
+func randAddr(rng *rand.Rand) pastry.Addr {
+	return pastry.Addr{ID: ids.Random(rng), Endpoint: randString(rng)}
+}
+
+// randFloat draws finite floats across magnitudes (JSON cannot carry NaN
+// or Inf, and Corona's estimators never produce them).
+func randFloat(rng *rand.Rand) float64 {
+	f := math.Exp(rng.Float64()*40-20) * float64(rng.Intn(3)-1)
+	return f
+}
+
+func randClusterSet(rng *rand.Rand) *honeycomb.ClusterSet {
+	cs := honeycomb.NewClusterSet(16, 3)
+	for i, n := 0, rng.Intn(30); i < n; i++ {
+		cs.Add(honeycomb.ChannelFactors{
+			Q:      rng.Float64() * 500,
+			S:      rng.Float64() + 0.01,
+			U:      rng.Float64() * 1e5,
+			Level:  rng.Intn(4),
+			Orphan: rng.Intn(6) == 0,
+		})
+	}
+	return cs
+}
+
+func randPollCtl(rng *rand.Rand) *pollCtlMsg {
+	return &pollCtlMsg{
+		URL:         randString(rng),
+		Level:       rng.Intn(6) - 1,
+		Epoch:       rng.Uint64() >> uint(rng.Intn(64)),
+		Q:           rng.Intn(100000),
+		SizeBytes:   rng.Intn(1 << 20),
+		IntervalSec: randFloat(rng),
+	}
+}
+
+func randUpdate(rng *rand.Rand) *updateMsg {
+	return &updateMsg{
+		URL:     randString(rng),
+		Version: rng.Uint64() >> uint(rng.Intn(64)),
+		Diff:    randString(rng),
+		Bytes:   rng.Intn(1 << 20),
+	}
+}
+
+// payloadGenerators builds one random payload per registered message
+// type — all nine registrations, including the wedgeFwd wrapper in each
+// of its shapes and the JSON-fallback replicateMsg.
+var payloadGenerators = map[string]func(rng *rand.Rand) any{
+	msgSubscribe: func(rng *rand.Rand) any {
+		return &subscribeMsg{URL: randString(rng), Client: randString(rng), Entry: randAddr(rng)}
+	},
+	msgUnsubscribe: func(rng *rand.Rand) any {
+		return &subscribeMsg{URL: randString(rng), Client: randString(rng), Entry: randAddr(rng), Remove: true}
+	},
+	msgReplicate: func(rng *rand.Rand) any {
+		m := &replicateMsg{
+			URL:         randString(rng),
+			Count:       rng.Intn(1000),
+			SizeBytes:   rng.Intn(1 << 20),
+			IntervalSec: randFloat(rng),
+			LastVersion: rng.Uint64() >> uint(rng.Intn(64)),
+			Level:       rng.Intn(5),
+			Epoch:       rng.Uint64() >> uint(rng.Intn(64)),
+		}
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			m.Subscribers = append(m.Subscribers, replicatedSub{Client: randString(rng), Entry: randAddr(rng)})
+		}
+		return m
+	},
+	msgPollCtl: func(rng *rand.Rand) any { return randPollCtl(rng) },
+	msgUpdate:  func(rng *rand.Rand) any { return randUpdate(rng) },
+	msgReport: func(rng *rand.Rand) any {
+		return &reportMsg{URL: randString(rng), ObservedVersion: rng.Uint64(), Diff: randString(rng), Bytes: rng.Intn(1 << 20)}
+	},
+	msgMaintain: func(rng *rand.Rand) any {
+		m := &maintainMsg{Row: rng.Intn(10)}
+		if rng.Intn(8) != 0 {
+			m.Clusters = randClusterSet(rng)
+		}
+		return m
+	},
+	msgWedgeFwd: func(rng *rand.Rand) any {
+		m := &wedgeFwdMsg{URL: randString(rng), Level: rng.Intn(5)}
+		switch rng.Intn(3) {
+		case 0:
+			m.InnerType = msgPollCtl
+			m.PollCtl = randPollCtl(rng)
+		case 1:
+			m.InnerType = msgUpdate
+			m.Update = randUpdate(rng)
+		default:
+			m.InnerType = msgUpdate // dead-end shape: no wrapped payload
+		}
+		return m
+	},
+	msgNotify: func(rng *rand.Rand) any {
+		return &notifyMsg{Client: randString(rng), URL: randString(rng), Version: rng.Uint64(), Diff: randString(rng)}
+	},
+}
+
+func wireMessage(msgType string, payload any, rng *rand.Rand) pastry.Message {
+	return pastry.Message{
+		Type:    msgType,
+		Key:     ids.Random(rng),
+		From:    randAddr(rng),
+		Hops:    rng.Intn(10),
+		Cover:   rng.Intn(5),
+		Payload: payload,
+	}
+}
+
+// decodeAndMaterialize runs a body back through a codec the way the
+// overlay does on local delivery.
+func decodeAndMaterialize(t *testing.T, c codec.Codec, body []byte) pastry.Message {
+	t.Helper()
+	msg, err := c.Decode(body)
+	if err != nil {
+		t.Fatalf("%s decode: %v", c.Name(), err)
+	}
+	if err := msg.MaterializePayload(); err != nil {
+		t.Fatalf("%s materialize: %v", c.Name(), err)
+	}
+	return msg
+}
+
+// TestBinaryPayloadEquivalentToJSONPath is the core equivalence property:
+// for every registered message type, sending through the binary codec
+// yields exactly the payload that sending through the JSON codec yields.
+func TestBinaryPayloadEquivalentToJSONPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for msgType, gen := range payloadGenerators {
+		t.Run(msgType, func(t *testing.T) {
+			for i := 0; i < 40; i++ {
+				msg := wireMessage(msgType, gen(rng), rng)
+				jsonBody, err := codec.JSON.Encode(msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				binBody, err := codec.Binary.Encode(msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				viaJSON := decodeAndMaterialize(t, codec.JSON, jsonBody)
+				viaBinary := decodeAndMaterialize(t, codec.Binary, binBody)
+				if viaBinary.Type != viaJSON.Type || viaBinary.Key != viaJSON.Key ||
+					viaBinary.From != viaJSON.From || viaBinary.Hops != viaJSON.Hops ||
+					viaBinary.Cover != viaJSON.Cover {
+					t.Fatalf("envelope diverges:\n bin  %+v\n json %+v", viaBinary, viaJSON)
+				}
+				if !reflect.DeepEqual(viaBinary.Payload, viaJSON.Payload) {
+					t.Fatalf("payload diverges:\n bin  %#v\n json %#v", viaBinary.Payload, viaJSON.Payload)
+				}
+				if !reflect.DeepEqual(viaBinary.Payload, msg.Payload) {
+					t.Fatalf("payload changed by round trip:\n got  %#v\n want %#v", viaBinary.Payload, msg.Payload)
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryPayloadByteStable pins the two re-encode paths to the exact
+// original bytes: a forwarded message (raw blob retained, never decoded)
+// and a materialized-then-re-sent message must both reproduce the
+// encoding, so any hop's output is indistinguishable from the origin's.
+func TestBinaryPayloadByteStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for msgType, gen := range payloadGenerators {
+		t.Run(msgType, func(t *testing.T) {
+			for i := 0; i < 40; i++ {
+				msg := wireMessage(msgType, gen(rng), rng)
+				body, err := codec.Binary.Encode(msg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Zero-copy forward: decode, re-encode without materializing.
+				fwd, err := codec.Binary.Decode(body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fwdBody, err := codec.Binary.Encode(fwd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fwdBody, body) {
+					t.Fatal("verbatim forward re-encode not byte-identical")
+				}
+				// Materialized re-send: decode, materialize, re-encode.
+				mat := decodeAndMaterialize(t, codec.Binary, body)
+				matBody, err := codec.Binary.Encode(mat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(matBody, body) {
+					t.Fatal("materialized re-encode not byte-identical")
+				}
+			}
+		})
+	}
+}
+
+// TestForwardedPayloadStaysLazy pins the zero-copy property itself: a
+// decoded message exposes its raw payload blob, and re-encoding consumed
+// it verbatim rather than materializing a struct.
+func TestForwardedPayloadStaysLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	msg := wireMessage(msgUpdate, randUpdate(rng), rng)
+	body, err := codec.Binary.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.Binary.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != nil {
+		t.Fatalf("payload decoded eagerly: %#v", got.Payload)
+	}
+	raw, binary, ok := got.RawPayload()
+	if !ok || !binary || len(raw) == 0 {
+		t.Fatalf("raw payload not retained: ok=%v binary=%v len=%d", ok, binary, len(raw))
+	}
+	want, err := msg.Payload.(*updateMsg).AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatal("retained blob differs from the native payload encoding")
+	}
+	// Materializing clears the blob, so a mutated struct cannot be
+	// shadowed by stale bytes.
+	if err := got.MaterializePayload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := got.RawPayload(); ok {
+		t.Fatal("raw blob survived materialization")
+	}
+}
+
+// TestReplicateStaysOnJSONFallback pins the fallback rule: a registered
+// type without the binary contract travels as JSON payload bytes inside
+// the binary envelope.
+func TestReplicateStaysOnJSONFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	msg := wireMessage(msgReplicate, payloadGenerators[msgReplicate](rng), rng)
+	body, err := codec.Binary.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.Binary.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, binary, ok := got.RawPayload()
+	if !ok || binary {
+		t.Fatalf("replicate should fall back to JSON payload bytes: ok=%v binary=%v", ok, binary)
+	}
+	if len(raw) == 0 || raw[0] != '{' {
+		t.Fatalf("fallback blob does not look like JSON: %q", raw)
+	}
+}
+
+// binaryPayload is both halves of the native contract, for table-driven
+// fuzzing.
+type binaryPayload interface {
+	codec.BinaryMarshaler
+	codec.BinaryUnmarshaler
+}
+
+// fuzzTargets constructs one empty payload of each natively-encoded type.
+var fuzzTargets = []func() binaryPayload{
+	func() binaryPayload { return &subscribeMsg{} },
+	func() binaryPayload { return &notifyMsg{} },
+	func() binaryPayload { return &pollCtlMsg{} },
+	func() binaryPayload { return &updateMsg{} },
+	func() binaryPayload { return &reportMsg{} },
+	func() binaryPayload { return &maintainMsg{} },
+	func() binaryPayload { return &wedgeFwdMsg{} },
+}
+
+// FuzzBinaryPayloadDecode throws arbitrary bytes at every native decoder:
+// none may panic, and anything accepted must re-encode byte-stably.
+func FuzzBinaryPayloadDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(46))
+	seedFor := func(m codec.BinaryMarshaler) []byte {
+		b, _ := m.AppendBinary(nil)
+		return b
+	}
+	f.Add(uint8(0), seedFor(&subscribeMsg{URL: "u", Client: "c", Entry: randAddr(rng)}))
+	f.Add(uint8(1), seedFor(&notifyMsg{Client: "c", URL: "u", Version: 3, Diff: "d"}))
+	f.Add(uint8(2), seedFor(randPollCtl(rng)))
+	f.Add(uint8(3), seedFor(randUpdate(rng)))
+	f.Add(uint8(4), seedFor(&reportMsg{URL: "u", ObservedVersion: 9}))
+	f.Add(uint8(5), seedFor(&maintainMsg{Row: 2, Clusters: randClusterSet(rng)}))
+	f.Add(uint8(6), seedFor(&wedgeFwdMsg{URL: "u", InnerType: msgUpdate, Update: randUpdate(rng)}))
+	f.Add(uint8(6), []byte{})
+	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
+		target := fuzzTargets[int(which)%len(fuzzTargets)]
+		m := target()
+		if err := m.DecodeBinary(data); err != nil {
+			return
+		}
+		b1, err := m.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := target()
+		if err := m2.DecodeBinary(b1); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		b2, err := m2.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("encoding not byte-stable")
+		}
+	})
+}
+
+// FuzzBinaryEnvelopeDecode drives the whole codec with arbitrary bodies:
+// Decode plus MaterializePayload must never panic.
+func FuzzBinaryEnvelopeDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(47))
+	for msgType, gen := range payloadGenerators {
+		if body, err := codec.Binary.Encode(wireMessage(msgType, gen(rng), rng)); err == nil {
+			f.Add(body)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := codec.Binary.Decode(data)
+		if err != nil {
+			return
+		}
+		_ = msg.MaterializePayload()
+	})
+}

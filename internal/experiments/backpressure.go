@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"corona/internal/pastry"
+	"corona/internal/stats"
+)
+
+// BackpressureSampler makes transport-level backpressure visible in the
+// harness: it periodically snapshots the per-peer send queues of a set of
+// overlay nodes (any whose transport implements pastry.QueueReporter —
+// netwire in live/deployment runs) into a stats.BackpressureMonitor.
+// Schedule Sample at the figure bucket cadence, next to LoadSampler.
+type BackpressureSampler struct {
+	nodes   []*pastry.Node
+	monitor *stats.BackpressureMonitor
+}
+
+// NewBackpressureSampler creates a sampler over the given overlay nodes.
+func NewBackpressureSampler(nodes []*pastry.Node) *BackpressureSampler {
+	return &BackpressureSampler{nodes: nodes, monitor: stats.NewBackpressureMonitor()}
+}
+
+// Sample snapshots every node's per-peer queues once.
+func (s *BackpressureSampler) Sample() {
+	for _, n := range s.nodes {
+		self := n.Self()
+		for _, q := range n.PeerQueues() {
+			s.monitor.Observe(stats.QueueSample{
+				Name:     fmt.Sprintf("%s→%s", self.Endpoint, q.Endpoint),
+				Depth:    q.Depth,
+				Capacity: q.Capacity,
+				Drops:    q.Drops,
+			})
+		}
+	}
+}
+
+// Monitor exposes the accumulated per-queue state.
+func (s *BackpressureSampler) Monitor() *stats.BackpressureMonitor {
+	return s.monitor
+}
+
+// Report renders the worst queues (all when limit <= 0), for the
+// paper-shaped text output next to the figure tables.
+func (s *BackpressureSampler) Report(limit int) string {
+	return s.monitor.Render(limit)
+}

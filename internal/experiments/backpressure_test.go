@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"corona/internal/clock"
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+// queueStubTransport reports canned per-peer queue stats, standing in for
+// netwire in the sampler wiring test.
+type queueStubTransport struct {
+	stats []pastry.PeerQueueStat
+}
+
+func (t *queueStubTransport) Send(pastry.Addr, pastry.Message) error { return nil }
+
+func (t *queueStubTransport) PeerQueues() []pastry.PeerQueueStat { return t.stats }
+
+func TestBackpressureSampler(t *testing.T) {
+	transport := &queueStubTransport{stats: []pastry.PeerQueueStat{
+		{Endpoint: "10.0.0.2:9001", Depth: 5, Capacity: 8, Drops: 3},
+	}}
+	node := pastry.NewNode(pastry.DefaultConfig(),
+		pastry.Addr{ID: ids.HashString("n1"), Endpoint: "10.0.0.1:9001"},
+		transport, clock.Real{})
+
+	s := NewBackpressureSampler([]*pastry.Node{node})
+	s.Sample()
+	transport.stats[0].Depth = 7
+	transport.stats[0].Drops = 4
+	s.Sample()
+
+	reports := s.Monitor().Queues()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	r := reports[0]
+	if r.Name != "10.0.0.1:9001→10.0.0.2:9001" || r.PeakDepth != 7 || r.Capacity != 8 || r.Drops != 4 || r.Samples != 2 {
+		t.Fatalf("report = %+v", r)
+	}
+	if !strings.Contains(s.Report(0), "10.0.0.2:9001") {
+		t.Fatalf("rendered report missing queue:\n%s", s.Report(0))
+	}
+}

@@ -1,0 +1,133 @@
+package honeycomb
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomClusterSet builds a populated set the way owners do: through Add.
+func randomClusterSet(rng *rand.Rand) *ClusterSet {
+	cs := NewClusterSet(16, 3)
+	n := rng.Intn(40)
+	for i := 0; i < n; i++ {
+		cs.Add(ChannelFactors{
+			Q:      rng.Float64() * 1000,
+			S:      rng.Float64()*2 + 0.01,
+			U:      rng.Float64() * 1e6,
+			Level:  rng.Intn(4),
+			Orphan: rng.Intn(8) == 0,
+		})
+	}
+	return cs
+}
+
+func TestClusterSetBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		cs := randomClusterSet(rng)
+		b, err := cs.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got ClusterSet
+		if err := got.DecodeBinary(b); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(&got, cs) {
+			t.Fatalf("round trip changed the set:\n got %+v\nwant %+v", &got, cs)
+		}
+		// Byte-stable: re-encoding the decoded set reproduces the bytes.
+		b2, err := got.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatal("re-encode not byte-identical")
+		}
+	}
+}
+
+func TestClusterSetBinaryMatchesJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		cs := randomClusterSet(rng)
+		jb, err := json.Marshal(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON ClusterSet
+		if err := json.Unmarshal(jb, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		bb, err := cs.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaBinary ClusterSet
+		if err := viaBinary.DecodeBinary(bb); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaBinary, viaJSON) {
+			t.Fatalf("binary path diverges from JSON path:\n bin  %+v\n json %+v", viaBinary, viaJSON)
+		}
+	}
+}
+
+func TestClusterSetDecodeTruncated(t *testing.T) {
+	cs := randomClusterSet(rand.New(rand.NewSource(9)))
+	b, err := cs.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		var got ClusterSet
+		if err := got.DecodeBinary(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(b))
+		}
+	}
+}
+
+func TestClusterSetDecodeRejectsHostileGeometry(t *testing.T) {
+	huge := NewClusterSet(1, 0)
+	b, _ := huge.AppendBinary(nil)
+	// Patch the bins varint to a huge value by re-encoding by hand:
+	// bins and maxLevel are the first two svarints.
+	hostile := append([]byte{0xfe, 0xff, 0xff, 0x0f}, b[2:]...) // bins ≈ 16M
+	var got ClusterSet
+	if err := got.DecodeBinary(hostile); err == nil {
+		t.Fatal("oversized geometry accepted")
+	}
+}
+
+func FuzzClusterSetDecode(f *testing.F) {
+	cs := randomClusterSet(rand.New(rand.NewSource(10)))
+	seed, _ := cs.AppendBinary(nil)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got ClusterSet
+		if err := got.DecodeBinary(data); err != nil {
+			return
+		}
+		// Anything that decodes must re-encode byte-stably.
+		b1, err := got.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var again ClusterSet
+		if err := again.DecodeBinary(b1); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		b2, err := again.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("encoding not byte-stable")
+		}
+	})
+}

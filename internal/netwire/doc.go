@@ -34,8 +34,13 @@
 // reads. A connection opens with a one-byte hello naming the codec for
 // every frame that follows:
 //
-//	'b'  compact binary envelope (codec.Binary, the default)
+//	'B'  compact binary envelope with varint Hops/Cover trailer
+//	     (codec.Binary, the default)
 //	'j'  JSON envelope (codec.JSON, the seed format)
+//
+// ('b' was PR 1's binary envelope, which carried Hops/Cover before the
+// payload; its ID is retired rather than reused so a skewed peer fails
+// closed — unknown hello, connection dropped — instead of misparsing.)
 //
 // After the hello, the stream is a sequence of frames:
 //
@@ -49,7 +54,40 @@
 // both envelope layouts). Messages within a frame, and frames within a
 // connection, preserve the sender's enqueue order.
 //
-// Payload types are decoded through the codec package's registry keyed by
-// message type, so the same application structs flow over the wire that
-// flow by reference under simulation.
+// # Payload formats
+//
+// Within a binary-codec body, the payload region is a length-prefixed
+// blob in one of two forms, selected by the envelope's payload-format
+// flag (bit 2 of the flags byte):
+//
+//   - native binary: the payload type's own AppendBinary encoding
+//     (codec.BinaryMarshaler). Corona's hot types — subscribe/unsubscribe,
+//     notify, pollctl, update, report, maintain (including the sparse
+//     honeycomb.ClusterSet form), and the wedgefwd wrapper — travel this
+//     way; their field layouts are documented at their implementations in
+//     internal/core/messages_wire.go and internal/honeycomb/wire.go.
+//   - JSON: the payload struct as a JSON object.
+//
+// The rule for senders: a payload encodes natively iff its message type
+// is registered with a constructor implementing codec.BinaryUnmarshaler;
+// every other payload — unregistered types, and registered types without
+// the binary contract (replicate) — falls back to JSON payload bytes with
+// the flag clear. Receivers decode strictly by the flag, so new native
+// formats roll out per message type with no connection-level negotiation.
+// A receiver that sees the binary flag on a type it has no binary decoder
+// for (version skew) keeps the envelope and drops the payload, the same
+// treatment an unknown-shaped JSON payload gets.
+//
+// The binary envelope orders its fields so everything except the Hops and
+// Cover counters — which differ per broadcast recipient — forms a
+// contiguous prefix, with the two counters as a varint trailer. A node
+// fanning a broadcast out to N routing contacts therefore encodes the
+// envelope and payload once and appends a fresh 2-varint trailer per
+// contact; a node forwarding a received message re-sends the retained
+// payload blob verbatim, never re-marshaling it (see internal/codec).
+//
+// Payload types are decoded lazily through the codec package's registry
+// keyed by message type, so the same application structs flow over the
+// wire that flow by reference under simulation, and a message that is
+// only forwarded never materializes its payload at all.
 package netwire

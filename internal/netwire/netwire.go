@@ -211,9 +211,32 @@ func (t *Transport) DialBudget() time.Duration {
 
 // Dropped returns how many messages were discarded locally: backpressure
 // drops, encode failures, and messages abandoned when a peer stayed
-// unreachable through the retry budget.
+// unreachable through the retry budget. It implements pastry.DropCounter.
 func (t *Transport) Dropped() uint64 {
 	return t.dropCount.Load()
+}
+
+// PeerQueues snapshots every live peer's outbound queue — instantaneous
+// depth against capacity plus that peer's cumulative local drops —
+// implementing pastry.QueueReporter. Retired (idle) peers drop out of the
+// report; their drops remain in the transport-wide Dropped total.
+func (t *Transport) PeerQueues() []pastry.PeerQueueStat {
+	t.mu.Lock()
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	out := make([]pastry.PeerQueueStat, len(peers))
+	for i, p := range peers {
+		out[i] = pastry.PeerQueueStat{
+			Endpoint: p.endpoint,
+			Depth:    len(p.queue),
+			Capacity: cap(p.queue),
+			Drops:    p.drops.Load(),
+		}
+	}
+	return out
 }
 
 // Close shuts the listener, all writer goroutines, and every connection —
@@ -417,11 +440,23 @@ type peer struct {
 	endpoint string
 	queue    chan outMsg
 
+	// drops counts messages to this peer discarded locally (backpressure,
+	// encode failure, exhausted retry budget); the transport-wide
+	// dropCount accumulates the same events across all peers.
+	drops atomic.Uint64
+
 	// mu guards retired and is held across the queue insert, so
 	// retirement (which requires an empty queue) cannot slip between an
 	// enqueue's liveness check and its insert.
 	mu      sync.Mutex
 	retired bool
+}
+
+// drop records n locally discarded messages against this peer and the
+// transport total.
+func (p *peer) drop(n uint64) {
+	p.drops.Add(n)
+	p.t.dropCount.Add(n)
 }
 
 // enqueue applies the transport's backpressure policy. ok=false means
@@ -447,7 +482,7 @@ func (p *peer) enqueue(to pastry.Addr, msg pastry.Message) (ok bool, err error) 
 	case <-p.t.closing:
 		return false, errClosed
 	default:
-		p.t.dropCount.Add(1)
+		p.drop(1)
 		return true, nil // backpressure loss is not a destination failure
 	}
 }
@@ -534,7 +569,7 @@ func (p *peer) writeLoop() {
 		for _, m := range batch {
 			body, err := c.Encode(m.msg)
 			if err != nil || len(body) > maxFrame-frameOverhead {
-				p.t.dropCount.Add(1)
+				p.drop(1)
 				continue
 			}
 			bodies = append(bodies, body)
@@ -551,7 +586,7 @@ func (p *peer) writeLoop() {
 					return
 				}
 				p.t.fault(batch[len(batch)-1].to, err)
-				p.t.dropCount.Add(uint64(len(bodies)))
+				p.drop(uint64(len(bodies)))
 				continue
 			}
 		}
@@ -561,7 +596,7 @@ func (p *peer) writeLoop() {
 			p.t.fault(batch[len(batch)-1].to, err)
 			// Frames flushed before the error are on the wire; only the
 			// remainder was lost.
-			p.t.dropCount.Add(uint64(len(bodies) - sent))
+			p.drop(uint64(len(bodies) - sent))
 		}
 	}
 }

@@ -44,6 +44,12 @@ func newCollector() *collector {
 }
 
 func (c *collector) deliver(m pastry.Message) {
+	// The transport hands over lazily-decoded payloads (the overlay
+	// materializes just before running a handler); do the same here so
+	// assertions see typed structs.
+	if err := m.MaterializePayload(); err != nil {
+		panic(err)
+	}
 	c.mu.Lock()
 	c.msgs = append(c.msgs, m)
 	c.mu.Unlock()
@@ -148,6 +154,42 @@ func TestSendToDeadEndpointReportsFault(t *testing.T) {
 	}
 	if a.Dropped() == 0 {
 		t.Fatal("undeliverable message not counted as dropped")
+	}
+}
+
+// TestPeerQueueStats covers the backpressure observability surface:
+// per-peer queue depth/capacity snapshots and per-peer drop counters.
+func TestPeerQueueStats(t *testing.T) {
+	a, err := netwire.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.QueueLen = 4
+	a.DialTimeout = 100 * time.Millisecond
+	a.DialAttempts = 1
+
+	dead := pastry.Addr{ID: ids.HashString("dead"), Endpoint: "127.0.0.1:1"}
+	for i := 0; i < 32; i++ {
+		if err := a.Send(dead, pastry.Message{Type: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The per-peer and transport-wide counters are bumped one after the
+	// other, so any single snapshot pair can disagree transiently; poll
+	// until the counters are both nonzero and agree (they quiesce once
+	// every queued message has been dropped).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		qs := a.PeerQueues()
+		if len(qs) == 1 && qs[0].Endpoint == dead.Endpoint && qs[0].Capacity == 4 &&
+			qs[0].Drops > 0 && qs[0].Drops == a.Dropped() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("per-peer drops never surfaced/converged; queues = %+v, dropped = %d", qs, a.Dropped())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

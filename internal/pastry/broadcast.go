@@ -31,31 +31,58 @@ func (n *Node) Broadcast(level int, msgType string, payload any) {
 }
 
 // forwardBroadcast re-forwards a received broadcast deeper into the DAG.
-// msg.Cover-1 is the first routing row this node is responsible for.
+// msg.Cover-1 is the first routing row this node is responsible for. The
+// payload is never decoded here: the retained wire blob (and, across
+// contacts, the whole encoded prefix) is re-sent verbatim.
 func (n *Node) forwardBroadcast(msg Message) {
 	n.fanOut(msg, msg.Cover-1)
 }
 
+// hop is one fan-out destination with its coverage tag.
+type hop struct {
+	to    Addr
+	cover int
+}
+
 // fanOut sends copies of msg to all routing contacts in rows >= fromRow,
 // tagging each copy with the recipient's own coverage depth.
+//
+// The destination list is gathered under RLock into a pooled scratch
+// buffer sized from the table's row occupancy, so a broadcast storm does
+// not allocate a fresh slice (or grow it) per message while holding the
+// lock. All copies share one encode-once cell: a codec encodes the
+// envelope-plus-payload prefix a single time and only the varint
+// Hops/Cover trailer is written per contact.
 func (n *Node) fanOut(msg Message, fromRow int) {
+	hops, _ := n.fanScratch.Get().(*[]hop)
+	if hops == nil {
+		hops = new([]hop)
+	}
 	n.mu.RLock()
 	maxRows := n.cfg.MaxTableRows
-	type hop struct {
-		to    Addr
-		cover int
+	if fromRow < 0 {
+		fromRow = 0
 	}
-	var hops []hop
+	if need := n.table.contactCount(fromRow); cap(*hops) < need {
+		*hops = make([]hop, 0, need)
+	} else {
+		*hops = (*hops)[:0]
+	}
 	for r := fromRow; r < maxRows; r++ {
-		for _, a := range n.table.row(r) {
-			hops = append(hops, hop{to: a, cover: r + 2}) // depth r+1, stored +1
-		}
+		n.table.eachInRow(r, func(a Addr) {
+			*hops = append(*hops, hop{to: a, cover: r + 2}) // depth r+1, stored +1
+		})
 	}
 	n.mu.RUnlock()
-	for _, h := range hops {
-		out := msg
-		out.Hops = msg.Hops + 1
-		out.Cover = h.cover
-		n.send(h.to, out)
+	if len(*hops) > 0 {
+		msg.Hops++ // same for every contact; only Cover varies below
+		msg.ShareEncoding()
+		for _, h := range *hops {
+			out := msg
+			out.Cover = h.cover
+			n.send(h.to, out)
+		}
 	}
+	*hops = (*hops)[:0]
+	n.fanScratch.Put(hops)
 }

@@ -78,6 +78,9 @@ func (n *Node) Joined() bool {
 }
 
 func (n *Node) handleProtocol(msg Message) {
+	if err := msg.MaterializePayload(); err != nil {
+		return
+	}
 	switch msg.Type {
 	case msgJoin:
 		n.handleJoin(msg)

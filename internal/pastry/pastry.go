@@ -41,7 +41,8 @@ func (a Addr) String() string {
 
 // Message is the overlay message envelope. Payloads are application-defined;
 // under simnet they are passed by reference (and must be treated as
-// immutable), under netwire they are serialized as JSON.
+// immutable), under netwire they are serialized by the codec package —
+// natively binary for registered hot types, JSON otherwise.
 type Message struct {
 	// Type selects the application handler at the destination.
 	Type string `json:"type"`
@@ -53,8 +54,133 @@ type Message struct {
 	Hops int `json:"hops"`
 	// Cover is the prefix-broadcast coverage depth (see Node.Broadcast).
 	Cover int `json:"cover,omitempty"`
-	// Payload is the application body.
+	// Payload is the application body. On messages decoded from the wire
+	// it stays nil until MaterializePayload runs (the overlay materializes
+	// before invoking a local handler), so a node that only forwards a
+	// message never pays for payload decoding.
 	Payload any `json:"payload"`
+
+	// raw retains the encoded payload body exactly as it arrived off the
+	// wire, so forwarding (routed next-hop or broadcast fan-out) re-sends
+	// the bytes verbatim instead of decode-struct→re-marshal. rawBinary
+	// records which encoding the blob is in: the native binary payload
+	// format or the JSON fallback. The slice aliases the receive buffer
+	// and must be treated as immutable. Materializing the typed payload
+	// clears raw, because a handler may mutate the struct and re-send it.
+	raw       []byte
+	rawBinary bool
+	hasRaw    bool
+
+	// shared, when non-nil, is an encode-once cell attached by fanOut to
+	// every copy of a broadcast: codecs cache the hop-invariant encoded
+	// prefix (everything but the varint Hops/Cover trailer) here, so the
+	// payload region is encoded once per hop and shared across all
+	// routing contacts.
+	shared *sharedEncoding
+}
+
+// sharedEncoding caches, per codec ID, the encoded hop-invariant prefix of
+// a message fanned out to many contacts. Writer goroutines of different
+// peers encode concurrently, hence the mutex. Copies sharing a cell must
+// differ only in Hops and Cover — fanOut, the only producer, guarantees it.
+type sharedEncoding struct {
+	mu      sync.Mutex
+	byCodec map[byte][]byte
+}
+
+// payloadDecoder resolves a retained raw payload blob into its registered
+// typed struct. The codec package installs it from init, before any
+// message can be decoded; transports that never serialize (simnet) never
+// set raw, so a nil decoder is only reachable when no codec is linked in.
+var payloadDecoder func(msgType string, raw []byte, binary bool) (any, error)
+
+// SetPayloadDecoder installs the raw-payload resolver. It is called once,
+// at init time, by the codec package.
+func SetPayloadDecoder(f func(msgType string, raw []byte, binary bool) (any, error)) {
+	payloadDecoder = f
+}
+
+// SetRawPayload attaches the wire-encoded payload body to the message,
+// deferring typed decoding until MaterializePayload. binary reports
+// whether raw is in the native binary payload format (as opposed to the
+// JSON fallback). Codecs call this from Decode.
+func (m *Message) SetRawPayload(raw []byte, binary bool) {
+	m.raw = raw
+	m.rawBinary = binary
+	m.hasRaw = true
+	m.Payload = nil
+}
+
+// RawPayload returns the retained encoded payload body and its encoding.
+// ok is false when the message has no retained blob (locally constructed,
+// or already materialized). Codecs use it to re-send forwarded payloads
+// verbatim.
+func (m Message) RawPayload() (raw []byte, binary bool, ok bool) {
+	return m.raw, m.rawBinary, m.hasRaw
+}
+
+// MaterializePayload decodes the retained raw payload into its registered
+// typed struct, storing it in Payload. It is idempotent and a no-op for
+// messages without a retained blob. The blob is cleared on the first call:
+// once a handler can see (and mutate) the typed struct, re-encoding must
+// go through the struct, not the stale bytes.
+func (m *Message) MaterializePayload() error {
+	if !m.hasRaw {
+		return nil
+	}
+	raw, binary := m.raw, m.rawBinary
+	m.raw, m.hasRaw = nil, false
+	if m.Payload != nil || payloadDecoder == nil {
+		return nil
+	}
+	p, err := payloadDecoder(m.Type, raw, binary)
+	if err != nil {
+		return err
+	}
+	m.Payload = p
+	return nil
+}
+
+// ShareEncoding attaches a fresh encode-once cell to the message. Every
+// value copy made afterwards shares the cell; the caller asserts that all
+// such copies differ only in Hops and Cover.
+func (m *Message) ShareEncoding() {
+	m.shared = &sharedEncoding{}
+}
+
+// SharesEncoding reports whether the message carries an encode-once cell,
+// so codecs can skip the separate prefix buffer for unicast messages
+// (where caching would be a dead store).
+func (m Message) SharesEncoding() bool {
+	return m.shared != nil
+}
+
+// CachedEncodePrefix returns the encoded hop-invariant prefix previously
+// stored for the given codec ID, or ok=false when the message has no
+// sharing cell or nothing is cached yet.
+func (m Message) CachedEncodePrefix(codecID byte) (prefix []byte, ok bool) {
+	if m.shared == nil {
+		return nil, false
+	}
+	m.shared.mu.Lock()
+	defer m.shared.mu.Unlock()
+	prefix, ok = m.shared.byCodec[codecID]
+	return prefix, ok
+}
+
+// StoreEncodePrefix caches the encoded hop-invariant prefix for the given
+// codec ID. It is a no-op when the message has no sharing cell. The stored
+// slice must not be mutated afterwards.
+func (m Message) StoreEncodePrefix(codecID byte, prefix []byte) {
+	if m.shared == nil {
+		return
+	}
+	m.shared.mu.Lock()
+	defer m.shared.mu.Unlock()
+	if m.shared.byCodec == nil {
+		m.shared.byCodec = make(map[byte][]byte, 1)
+	}
+	m.shared.byCodec[codecID] = prefix
 }
 
 // Transport delivers messages between overlay nodes.
@@ -88,6 +214,32 @@ type ByteCounter interface {
 	// WireBytes returns total bytes sent to and received from the wire
 	// (or, under simulation, their codec-measured equivalents).
 	WireBytes() (sent, received uint64)
+}
+
+// PeerQueueStat describes one peer's outbound send queue at a transport:
+// its instantaneous depth against capacity, plus how many messages to that
+// peer were dropped locally (backpressure, encode failure, retry budget
+// exhausted).
+type PeerQueueStat struct {
+	Endpoint string
+	Depth    int
+	Capacity int
+	Drops    uint64
+}
+
+// QueueReporter is implemented by transports with bounded per-peer send
+// queues (netwire). The overlay and the experiment harness surface the
+// reports so backpressure is observable instead of silent loss.
+type QueueReporter interface {
+	// PeerQueues snapshots every live peer's queue state.
+	PeerQueues() []PeerQueueStat
+}
+
+// DropCounter is implemented by transports that count messages discarded
+// locally before reaching the wire.
+type DropCounter interface {
+	// Dropped returns the total local drop count.
+	Dropped() uint64
 }
 
 // ErrUnreachable is returned by transports when the destination is down.
@@ -150,6 +302,11 @@ type Node struct {
 	// uses it to trigger subscription-state handoff checks.
 	onFault func(Addr)
 
+	// fanScratch pools fan-out destination buffers (see fanOut); pooled
+	// rather than a single per-node buffer because concurrent transports
+	// may broadcast from several goroutines at once.
+	fanScratch sync.Pool
+
 	stats Stats
 }
 
@@ -165,6 +322,9 @@ type Stats struct {
 	// counters when it implements ByteCounter (zero otherwise).
 	WireBytesSent     uint64
 	WireBytesReceived uint64
+	// WireDropped mirrors the transport's local drop counter when it
+	// implements DropCounter (zero otherwise).
+	WireDropped uint64
 }
 
 // NewNode creates an overlay node. The node does not join a ring until
@@ -207,7 +367,19 @@ func (n *Node) Stats() Stats {
 	if bc, ok := n.transport.(ByteCounter); ok {
 		s.WireBytesSent, s.WireBytesReceived = bc.WireBytes()
 	}
+	if dc, ok := n.transport.(DropCounter); ok {
+		s.WireDropped = dc.Dropped()
+	}
 	return s
+}
+
+// PeerQueues snapshots the transport's per-peer send queues, or nil when
+// the transport has none (simnet delivers synchronously).
+func (n *Node) PeerQueues() []PeerQueueStat {
+	if qr, ok := n.transport.(QueueReporter); ok {
+		return qr.PeerQueues()
+	}
+	return nil
 }
 
 // OnFault registers a callback invoked when the node detects that a peer
@@ -331,6 +503,13 @@ func (n *Node) deliverLocal(msg Message) {
 	n.stats.RouteHopsTotal += uint64(msg.Hops)
 	n.mu.Unlock()
 	if h != nil {
+		// Payload decoding is deferred until a local handler actually
+		// needs the typed struct; a message that was only forwarded never
+		// gets here. An undecodable payload drops the message, matching
+		// the transport's treatment of undecodable envelopes.
+		if err := msg.MaterializePayload(); err != nil {
+			return
+		}
 		h(msg)
 	}
 }

@@ -107,6 +107,32 @@ func (t *routingTable) row(r int) []Addr {
 	return out
 }
 
+// eachInRow visits every non-empty entry of row r without allocating.
+func (t *routingTable) eachInRow(r int, f func(Addr)) {
+	if r < 0 || r >= t.maxRows || t.rows[r] == nil {
+		return
+	}
+	for _, a := range t.rows[r] {
+		if !a.IsZero() {
+			f(a)
+		}
+	}
+}
+
+// contactCount returns the number of non-empty entries in rows >= fromRow,
+// so fan-out can size its destination buffer in one allocation.
+func (t *routingTable) contactCount(fromRow int) int {
+	n := 0
+	for r := fromRow; r >= 0 && r < t.maxRows; r++ {
+		for _, a := range t.rows[r] {
+			if !a.IsZero() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // each visits every non-empty entry.
 func (t *routingTable) each(f func(Addr)) {
 	for _, row := range t.rows {

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// QueueSample is one observation of a bounded send queue: its
+// instantaneous depth against capacity and the cumulative drop counter at
+// sampling time. Names identify the queue across samples (for netwire,
+// "node→peer-endpoint").
+type QueueSample struct {
+	Name     string
+	Depth    int
+	Capacity int
+	Drops    uint64
+}
+
+// queueTrack is the accumulated history of one queue.
+type queueTrack struct {
+	name      string
+	peakDepth int
+	capacity  int
+	drops     uint64 // latest cumulative counter
+	samples   int
+}
+
+// BackpressureMonitor folds periodic queue snapshots into per-queue peak
+// depths and drop totals, making transport backpressure observable at
+// experiment scale: a queue whose peak approaches capacity, or whose drop
+// counter moves, marks a peer the sender cannot keep up with.
+type BackpressureMonitor struct {
+	queues map[string]*queueTrack
+}
+
+// NewBackpressureMonitor creates an empty monitor.
+func NewBackpressureMonitor() *BackpressureMonitor {
+	return &BackpressureMonitor{queues: make(map[string]*queueTrack)}
+}
+
+// Observe folds one snapshot of a queue into the monitor. Drops is a
+// cumulative counter; the monitor keeps the latest value.
+func (m *BackpressureMonitor) Observe(s QueueSample) {
+	q := m.queues[s.Name]
+	if q == nil {
+		q = &queueTrack{name: s.Name}
+		m.queues[s.Name] = q
+	}
+	if s.Depth > q.peakDepth {
+		q.peakDepth = s.Depth
+	}
+	if s.Capacity > q.capacity {
+		q.capacity = s.Capacity
+	}
+	if s.Drops > q.drops {
+		q.drops = s.Drops
+	}
+	q.samples++
+}
+
+// QueueReport is the accumulated state of one queue.
+type QueueReport struct {
+	Name      string
+	PeakDepth int
+	Capacity  int
+	Drops     uint64
+	Samples   int
+}
+
+// PeakFill returns the peak observed occupancy as a fraction of capacity
+// (0 when capacity is unknown).
+func (r QueueReport) PeakFill() float64 {
+	if r.Capacity == 0 {
+		return 0
+	}
+	return float64(r.PeakDepth) / float64(r.Capacity)
+}
+
+// Queues returns per-queue reports, worst first (by drops, then peak
+// fill).
+func (m *BackpressureMonitor) Queues() []QueueReport {
+	out := make([]QueueReport, 0, len(m.queues))
+	for _, q := range m.queues {
+		out = append(out, QueueReport{
+			Name:      q.name,
+			PeakDepth: q.peakDepth,
+			Capacity:  q.capacity,
+			Drops:     q.drops,
+			Samples:   q.samples,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Drops != out[j].Drops {
+			return out[i].Drops > out[j].Drops
+		}
+		if out[i].PeakFill() != out[j].PeakFill() {
+			return out[i].PeakFill() > out[j].PeakFill()
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalDrops sums the latest drop counters across all queues.
+func (m *BackpressureMonitor) TotalDrops() uint64 {
+	var total uint64
+	for _, q := range m.queues {
+		total += q.drops
+	}
+	return total
+}
+
+// Render returns the worst `limit` queues as an aligned table (all queues
+// when limit <= 0).
+func (m *BackpressureMonitor) Render(limit int) string {
+	reports := m.Queues()
+	if limit > 0 && len(reports) > limit {
+		reports = reports[:limit]
+	}
+	t := NewTable("queue", "peak", "cap", "fill%", "drops", "samples")
+	for _, r := range reports {
+		t.AddRow(r.Name, r.PeakDepth, r.Capacity, fmt.Sprintf("%.1f", 100*r.PeakFill()), r.Drops, r.Samples)
+	}
+	return t.Render()
+}

@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBackpressureMonitor(t *testing.T) {
+	m := NewBackpressureMonitor()
+	m.Observe(QueueSample{Name: "a→b", Depth: 3, Capacity: 16, Drops: 0})
+	m.Observe(QueueSample{Name: "a→b", Depth: 9, Capacity: 16, Drops: 2})
+	m.Observe(QueueSample{Name: "a→b", Depth: 1, Capacity: 16, Drops: 2})
+	m.Observe(QueueSample{Name: "a→c", Depth: 16, Capacity: 16, Drops: 0})
+
+	reports := m.Queues()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	// a→b has drops, so it sorts first despite a→c's full queue.
+	if reports[0].Name != "a→b" || reports[0].PeakDepth != 9 || reports[0].Drops != 2 || reports[0].Samples != 3 {
+		t.Fatalf("worst queue = %+v", reports[0])
+	}
+	if reports[1].Name != "a→c" || reports[1].PeakFill() != 1 {
+		t.Fatalf("second queue = %+v", reports[1])
+	}
+	if m.TotalDrops() != 2 {
+		t.Fatalf("total drops = %d", m.TotalDrops())
+	}
+	rendered := m.Render(1)
+	if !strings.Contains(rendered, "a→b") || strings.Contains(rendered, "a→c") {
+		t.Fatalf("Render(1) should keep only the worst queue:\n%s", rendered)
+	}
+}

@@ -1,0 +1,175 @@
+// Package wirebin holds the primitive append/read operations shared by
+// Corona's native binary wire formats: the codec package's message
+// envelope and the per-type payload encoders in core and honeycomb.
+//
+// Conventions: integers are unsigned LEB128 varints, byte strings are
+// varint-length-prefixed, float64s are fixed 8-byte little-endian IEEE 754
+// bit patterns (bit-exact and byte-stable, unlike a decimal rendering),
+// and booleans are one byte (0 or 1). Append functions grow dst and
+// return it, in the append-style idiom; reads go through a Reader cursor
+// that latches the first error so decoders can read a whole record
+// straight through and check once.
+package wirebin
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrShort is latched by a Reader that runs out of bytes or hits a
+// malformed varint.
+var ErrShort = errors.New("wirebin: short or malformed buffer")
+
+// AppendUvarint appends v as an unsigned LEB128 varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendSint appends v as a zigzag-encoded signed varint, for integer
+// fields that may legitimately be negative (levels, rows).
+func AppendSint(dst []byte, v int) []byte {
+	return binary.AppendVarint(dst, int64(v))
+}
+
+// AppendBytes appends a varint length prefix followed by b.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends s with a varint length prefix.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendFloat64 appends the fixed 8-byte little-endian bit pattern of f.
+func AppendFloat64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// AppendBool appends one byte: 1 for true, 0 for false.
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// Reader is a cursor over an encoded buffer that latches the first error:
+// after a short read every subsequent call returns zero values, and Err
+// reports what went wrong.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader returns a cursor over buf. The returned values of Bytes and
+// Take alias buf; callers that retain them must treat buf as immutable.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Err returns the latched error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns how many bytes remain unread.
+func (r *Reader) Len() int { return len(r.buf) }
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	b := r.Take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Take reads exactly n bytes, aliasing the underlying buffer.
+func (r *Reader) Take(n int) []byte {
+	if r.err != nil || n < 0 || len(r.buf) < n {
+		if r.err == nil {
+			r.err = ErrShort
+		}
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+// Uvarint reads an unsigned LEB128 varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = ErrShort
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Int reads a varint and narrows it to int, latching ErrShort on values
+// that do not fit (a malformed or hostile encoding, never a Corona
+// counter).
+func (r *Reader) Int() int {
+	v := r.Uvarint()
+	if v > math.MaxInt32 {
+		if r.err == nil {
+			r.err = ErrShort
+		}
+		return 0
+	}
+	return int(v)
+}
+
+// Sint reads a zigzag-encoded signed varint and narrows it to int,
+// latching ErrShort on values outside the int32 range.
+func (r *Reader) Sint() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 || v > math.MaxInt32 || v < math.MinInt32 {
+		r.err = ErrShort
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return int(v)
+}
+
+// Bytes reads a varint-length-prefixed byte string, aliasing the buffer.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.err = ErrShort
+		return nil
+	}
+	return r.Take(int(n))
+}
+
+// String reads a varint-length-prefixed string (copying out of the buffer).
+func (r *Reader) String() string {
+	return string(r.Bytes())
+}
+
+// Float64 reads a fixed 8-byte little-endian IEEE 754 value.
+func (r *Reader) Float64() float64 {
+	b := r.Take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// Bool reads a one-byte boolean; any nonzero byte is true.
+func (r *Reader) Bool() bool {
+	return r.Byte() != 0
+}

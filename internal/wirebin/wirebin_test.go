@@ -1,0 +1,89 @@
+package wirebin
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<40)
+	b = AppendSint(b, -17)
+	b = AppendSint(b, 123456)
+	b = AppendString(b, "hello")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendFloat64(b, -math.Pi)
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+
+	r := NewReader(b)
+	if v := r.Uvarint(); v != 0 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := r.Uvarint(); v != 1<<40 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := r.Sint(); v != -17 {
+		t.Fatalf("sint = %d", v)
+	}
+	if v := r.Sint(); v != 123456 {
+		t.Fatalf("sint = %d", v)
+	}
+	if s := r.String(); s != "hello" {
+		t.Fatalf("string = %q", s)
+	}
+	if bs := r.Bytes(); !bytes.Equal(bs, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v", bs)
+	}
+	if f := r.Float64(); f != -math.Pi {
+		t.Fatalf("float = %v", f)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools scrambled")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d trailing bytes", r.Len())
+	}
+}
+
+func TestFloatBitExact(t *testing.T) {
+	// The fixed bit-pattern encoding must survive values a decimal
+	// rendering would mangle, including negative zero and NaN payloads.
+	for _, f := range []float64{0, math.Copysign(0, -1), math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(1), math.NaN()} {
+		b := AppendFloat64(nil, f)
+		got := NewReader(b).Float64()
+		if math.Float64bits(got) != math.Float64bits(f) {
+			t.Fatalf("bits changed: %x -> %x", math.Float64bits(f), math.Float64bits(got))
+		}
+	}
+}
+
+func TestErrorLatches(t *testing.T) {
+	r := NewReader([]byte{5}) // claims 5 string bytes, has none
+	_ = r.Bytes()
+	if r.Err() == nil {
+		t.Fatal("short read not detected")
+	}
+	// Every later read must return zero values without panicking.
+	if r.Uvarint() != 0 || r.Sint() != 0 || r.Byte() != 0 || r.Float64() != 0 || r.Bool() || r.String() != "" {
+		t.Fatal("reads after error should be zero")
+	}
+}
+
+func TestTruncationAlwaysErrs(t *testing.T) {
+	full := AppendString(AppendSint(AppendUvarint(nil, 300), -5), "abcdef")
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Uvarint()
+		r.Sint()
+		_ = r.String()
+		if r.Err() == nil {
+			t.Fatalf("cut at %d/%d decoded cleanly", cut, len(full))
+		}
+	}
+}

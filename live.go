@@ -161,6 +161,34 @@ func (ln *LiveNode) Unsubscribe(client, url string) error {
 // Stats exposes the node's activity counters.
 func (ln *LiveNode) Stats() core.Stats { return ln.node.Stats() }
 
+// PeerQueueStat describes one peer's outbound send queue on this node's
+// transport: instantaneous depth against capacity, plus messages to that
+// peer dropped locally (backpressure, encode failure, retry exhaustion).
+type PeerQueueStat struct {
+	Endpoint string
+	Depth    int
+	Capacity int
+	Drops    uint64
+}
+
+// PeerQueues snapshots the transport's per-peer send queues, making
+// backpressure toward slow or dead peers observable. The transport-wide
+// drop total is in WireDropped.
+func (ln *LiveNode) PeerQueues() []PeerQueueStat {
+	qs := ln.overlay.PeerQueues()
+	out := make([]PeerQueueStat, len(qs))
+	for i, q := range qs {
+		out[i] = PeerQueueStat{Endpoint: q.Endpoint, Depth: q.Depth, Capacity: q.Capacity, Drops: q.Drops}
+	}
+	return out
+}
+
+// WireDropped returns how many outbound messages this node's transport
+// discarded locally before they reached the wire.
+func (ln *LiveNode) WireDropped() uint64 {
+	return ln.transport.Dropped()
+}
+
 // Close stops the protocol and the transport.
 func (ln *LiveNode) Close() error {
 	ln.node.Stop()
