@@ -20,16 +20,20 @@ build:
 test:
 	$(GO) test ./...
 
-# The wire layer is the concurrency hot spot; run it under the race
-# detector explicitly.
+# The wire layer and the durable store are the concurrency hot spots;
+# run them under the race detector explicitly.
 race:
-	$(GO) test -race ./internal/netwire/ ./internal/codec/ ./internal/pastry/
+	$(GO) test -race ./internal/netwire/ ./internal/codec/ ./internal/pastry/ ./internal/store/
 
 # Wire-layer benchmarks (payload encode, fan-out, round trip, end-to-end
-# dissemination), recorded machine-readably in BENCH_wire.json.
+# dissemination) recorded in BENCH_wire.json, and durable-store
+# benchmarks (append throughput, WAL/snapshot replay vs channel count,
+# full restart Open) recorded in BENCH_store.json.
 bench:
 	$(GO) test -run xxx -bench 'Wire|UpdateEncode|UpdateDecodeForward|FanOutEncode|UpdateDissemination' -benchmem . ./internal/core/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_wire.json
+	$(GO) test -run xxx -bench 'Store' -benchmem ./internal/store/ \
+		| $(GO) run ./cmd/bench2json -o BENCH_store.json
 
 # Every benchmark, including the figure regenerations.
 bench-all:

@@ -6,6 +6,15 @@
 //
 //	corona-node -bind 127.0.0.1:9001 -im 127.0.0.1:9101                  # bootstrap
 //	corona-node -bind 127.0.0.1:9002 -im 127.0.0.1:9102 -seed-node 127.0.0.1:9001
+//	corona-node -bind 127.0.0.1:9001 -im 127.0.0.1:9101 -data /var/lib/corona
+//
+// -data makes channel state durable: subscriptions, ownership, polling
+// levels and version progress are journaled to a write-ahead log (with
+// snapshot compaction) under the given directory, and a node restarted
+// from the same directory and address recovers them, rejoins the ring,
+// and keeps delivering updates without clients re-subscribing. SIGINT or
+// SIGTERM triggers a graceful shutdown that flushes the log; a hard kill
+// loses at most the records inside the group-commit window.
 //
 // IM protocol (one command per line):
 //
@@ -25,8 +34,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"corona"
@@ -42,6 +55,7 @@ func main() {
 	poll := flag.Duration("poll", 30*time.Minute, "polling interval τ")
 	maintenance := flag.Duration("maintenance", 0, "maintenance interval (default = τ)")
 	nodes := flag.Int("n", 0, "node count hint for the optimizer (0 = estimate)")
+	dataDir := flag.String("data", "", "data directory for durable channel state (empty = in-memory only)")
 	flag.Parse()
 
 	cfg := corona.LiveConfig{
@@ -51,6 +65,7 @@ func main() {
 		PollInterval:        *poll,
 		MaintenanceInterval: *maintenance,
 		NodeCountHint:       *nodes,
+		DataDir:             *dataDir,
 	}
 	if *seedNode != "" {
 		cfg.Seeds = []string{*seedNode}
@@ -59,19 +74,39 @@ func main() {
 	if err != nil {
 		log.Fatalf("starting node: %v", err)
 	}
-	defer node.Close()
 	log.Printf("corona-node: overlay at %s, IM at %s, scheme %s", node.Addr(), *imBind, cfg.Scheme)
 
 	ln, err := net.Listen("tcp", *imBind)
 	if err != nil {
+		node.Close()
 		log.Fatalf("IM listener: %v", err)
 	}
+
+	// A blocking Accept loop never reaches a defer, so shutdown runs off
+	// the signal handler: close the IM listener (unblocking Accept), then
+	// stop the node, which flushes the durable store.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	var shuttingDown atomic.Bool
+	go func() {
+		sig := <-sigs
+		log.Printf("corona-node: %v, shutting down", sig)
+		shuttingDown.Store(true)
+		ln.Close()
+	}()
+
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if shuttingDown.Load() {
+				break
+			}
 			log.Fatalf("accept: %v", err)
 		}
 		go serveIM(conn, node)
+	}
+	if err := node.Close(); err != nil {
+		log.Fatalf("shutdown: %v", err)
 	}
 }
 

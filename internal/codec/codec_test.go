@@ -86,6 +86,46 @@ func TestRoundTripZeroKeyNilPayload(t *testing.T) {
 	}
 }
 
+// TestRegisteredJSONFallbackRoundTrip pins the fallback rule for
+// registered types without the native binary contract: inside the binary
+// envelope the payload region travels as JSON bytes, flagged as such,
+// and round-trips byte-stably. Every production Corona type now encodes
+// natively, so this dedicated test is what keeps the fallback path — the
+// road new message types roll out on — exercised.
+func TestRegisteredJSONFallbackRoundTrip(t *testing.T) {
+	want := sampleMessage() // codec.typed has no AppendBinary/DecodeBinary
+	body, err := codec.Binary.Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.Binary.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, binary, ok := got.RawPayload()
+	if !ok || binary {
+		t.Fatalf("registered non-binary type should ride the JSON fallback: ok=%v binary=%v", ok, binary)
+	}
+	if len(raw) == 0 || raw[0] != '{' {
+		t.Fatalf("fallback blob does not look like JSON: %q", raw)
+	}
+	// Forward re-encode consumes the retained blob verbatim.
+	reBody, err := codec.Binary.Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reBody) != string(body) {
+		t.Fatal("fallback forward re-encode not byte-identical")
+	}
+	if err := got.MaterializePayload(); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := got.Payload.(*testPayload)
+	if !ok || *p != *want.Payload.(*testPayload) {
+		t.Fatalf("fallback payload = %#v", got.Payload)
+	}
+}
+
 func TestUnregisteredPayloadDecodesGeneric(t *testing.T) {
 	for _, c := range []codec.Codec{codec.JSON, codec.Binary} {
 		t.Run(c.Name(), func(t *testing.T) {

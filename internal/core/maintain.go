@@ -163,6 +163,7 @@ func (n *Node) optimizePhase() {
 		if next > cur {
 			floodAt = cur
 		}
+		n.emitMetaLocked(ch, false)
 		changes = append(changes, change{
 			ch: ch, newLevel: next, epoch: ch.epoch, floodAt: floodAt,
 			q: ch.subs.count, size: ch.sizeBytes,
@@ -219,6 +220,12 @@ func (n *Node) handlePollCtl(msg pastry.Message) {
 		// Owners keep polling their channels even outside the wedge —
 		// they are the level-K fallback.
 		n.stopPollingLocked(ch)
+	}
+	// Level bookkeeping for channels this node answers for survives a
+	// restart; plain wedge membership is rebuilt by the owner's next
+	// poll-control broadcast and stays memory-only.
+	if ch.isOwner || ch.isReplica {
+		n.emitMetaLocked(ch, false)
 	}
 }
 

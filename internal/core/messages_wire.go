@@ -15,9 +15,10 @@ import (
 // (updates, poll control, their wedge-forward wrapper), the periodic
 // aggregation exchange, and the per-subscription control paths; encoding
 // them natively removes the JSON marshal/unmarshal from every hop.
-// replicateMsg deliberately keeps the JSON fallback: it flows point to
-// point at replication cadence, and keeping one registered type on the
-// fallback path keeps that path exercised in production traffic.
+// replicateMsg joined the native set when restart reconciliation made
+// replication traffic hot (recovered owners re-push their whole state on
+// rejoin); the JSON fallback path is exercised by a dedicated codec test
+// instead (codec.TestRegisteredJSONFallbackRoundTrip).
 //
 // Conventions (package wirebin): uvarint for unsigned counters, zigzag
 // svarint for int fields, length-prefixed strings, fixed 8-byte floats,
@@ -86,6 +87,47 @@ func (m *notifyMsg) DecodeBinary(src []byte) error {
 	m.Version = r.Uvarint()
 	m.Diff = r.String()
 	return wireErr("notify", r)
+}
+
+// --- replicateMsg (corona.replicate) -------------------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *replicateMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendUvarint(dst, uint64(len(m.Subscribers)))
+	for _, s := range m.Subscribers {
+		dst = wirebin.AppendString(dst, s.Client)
+		dst = appendAddr(dst, s.Entry)
+	}
+	dst = wirebin.AppendSint(dst, m.Count)
+	dst = wirebin.AppendSint(dst, m.SizeBytes)
+	dst = wirebin.AppendFloat64(dst, m.IntervalSec)
+	dst = wirebin.AppendUvarint(dst, m.LastVersion)
+	dst = wirebin.AppendSint(dst, m.Level)
+	return wirebin.AppendUvarint(dst, m.Epoch), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *replicateMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	// Each subscriber costs at least one length byte, the 20-byte entry
+	// identifier, and one endpoint length byte.
+	n := r.ListLen(ids.Bytes + 2)
+	m.Subscribers = nil
+	if n > 0 {
+		m.Subscribers = make([]replicatedSub, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m.Subscribers = append(m.Subscribers, replicatedSub{Client: r.String(), Entry: readAddr(r)})
+		}
+	}
+	m.Count = r.Sint()
+	m.SizeBytes = r.Sint()
+	m.IntervalSec = r.Float64()
+	m.LastVersion = r.Uvarint()
+	m.Level = r.Sint()
+	m.Epoch = r.Uvarint()
+	return wireErr("replicate", r)
 }
 
 // --- pollCtlMsg (corona.pollctl) -----------------------------------------

@@ -2,11 +2,13 @@ package core
 
 // Property tests for the native binary payload path: for every registered
 // Corona message type, the binary encoding must round-trip byte-stably
-// and produce exactly the struct the JSON path produces — whether the
-// type travels natively (the seven hot types) or through the JSON
-// fallback (replicateMsg). Messages are exercised through the codec
-// envelope, the way they actually reach the wire, including lazy
-// materialization and verbatim re-encoding of forwarded payloads.
+// and produce exactly the struct the JSON path produces. All nine
+// registrations travel natively (replicateMsg joined when restart
+// reconciliation made replication hot); the registered-type JSON
+// fallback itself is pinned by a dedicated test in the codec package.
+// Messages are exercised through the codec envelope, the way they
+// actually reach the wire, including lazy materialization and verbatim
+// re-encoding of forwarded payloads.
 
 import (
 	"bytes"
@@ -88,7 +90,7 @@ func randUpdate(rng *rand.Rand) *updateMsg {
 
 // payloadGenerators builds one random payload per registered message
 // type — all nine registrations, including the wedgeFwd wrapper in each
-// of its shapes and the JSON-fallback replicateMsg.
+// of its shapes.
 var payloadGenerators = map[string]func(rng *rand.Rand) any{
 	msgSubscribe: func(rng *rand.Rand) any {
 		return &subscribeMsg{URL: randString(rng), Client: randString(rng), Entry: randAddr(rng)}
@@ -280,10 +282,10 @@ func TestForwardedPayloadStaysLazy(t *testing.T) {
 	}
 }
 
-// TestReplicateStaysOnJSONFallback pins the fallback rule: a registered
-// type without the binary contract travels as JSON payload bytes inside
-// the binary envelope.
-func TestReplicateStaysOnJSONFallback(t *testing.T) {
+// TestReplicateTravelsNatively pins replicateMsg to the native binary
+// path: restart reconciliation re-pushes whole owner states through it,
+// so it must not ride the JSON fallback anymore.
+func TestReplicateTravelsNatively(t *testing.T) {
 	rng := rand.New(rand.NewSource(45))
 	msg := wireMessage(msgReplicate, payloadGenerators[msgReplicate](rng), rng)
 	body, err := codec.Binary.Encode(msg)
@@ -295,11 +297,15 @@ func TestReplicateStaysOnJSONFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw, binary, ok := got.RawPayload()
-	if !ok || binary {
-		t.Fatalf("replicate should fall back to JSON payload bytes: ok=%v binary=%v", ok, binary)
+	if !ok || !binary || len(raw) == 0 {
+		t.Fatalf("replicate should travel natively: ok=%v binary=%v len=%d", ok, binary, len(raw))
 	}
-	if len(raw) == 0 || raw[0] != '{' {
-		t.Fatalf("fallback blob does not look like JSON: %q", raw)
+	want, err := msg.Payload.(*replicateMsg).AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatal("retained blob differs from the native replicate encoding")
 	}
 }
 
@@ -319,6 +325,7 @@ var fuzzTargets = []func() binaryPayload{
 	func() binaryPayload { return &reportMsg{} },
 	func() binaryPayload { return &maintainMsg{} },
 	func() binaryPayload { return &wedgeFwdMsg{} },
+	func() binaryPayload { return &replicateMsg{} },
 }
 
 // FuzzBinaryPayloadDecode throws arbitrary bytes at every native decoder:
@@ -336,6 +343,7 @@ func FuzzBinaryPayloadDecode(f *testing.F) {
 	f.Add(uint8(4), seedFor(&reportMsg{URL: "u", ObservedVersion: 9}))
 	f.Add(uint8(5), seedFor(&maintainMsg{Row: 2, Clusters: randClusterSet(rng)}))
 	f.Add(uint8(6), seedFor(&wedgeFwdMsg{URL: "u", InnerType: msgUpdate, Update: randUpdate(rng)}))
+	f.Add(uint8(7), seedFor(payloadGenerators[msgReplicate](rng).(*replicateMsg)))
 	f.Add(uint8(6), []byte{})
 	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
 		target := fuzzTargets[int(which)%len(fuzzTargets)]

@@ -9,6 +9,7 @@ import (
 	"corona/internal/honeycomb"
 	"corona/internal/ids"
 	"corona/internal/pastry"
+	"corona/internal/store"
 	"corona/internal/webserver"
 )
 
@@ -56,9 +57,12 @@ func (s *subscriberSet) add(client string, entry pastry.Addr, countOnly bool) bo
 	if s.ids == nil {
 		s.ids = make(map[string]pastry.Addr)
 	}
-	if _, dup := s.ids[client]; dup {
-		s.ids[client] = entry // refresh the entry point
-		return false
+	if prev, dup := s.ids[client]; dup {
+		s.ids[client] = entry
+		// A refreshed entry point is a real change: it must replicate and
+		// persist, or notifications after a failover/restart chase the
+		// client's previous, possibly dead, entry node.
+		return prev != entry
 	}
 	s.ids[client] = entry
 	s.count = len(s.ids)
@@ -96,6 +100,10 @@ type channelState struct {
 	isReplica   bool // one of the f additional owners
 	ownerPrefix int  // prefix digits the owner shares with the channel
 
+	// recoveredOwner marks state restored from the durable store whose
+	// ownership claim awaits reconciliation against the live ring.
+	recoveredOwner bool
+
 	subs subscriberSet
 
 	sizeBytes   int
@@ -127,6 +135,7 @@ type Node struct {
 	fetcher Fetcher
 	notify  Notifier
 	sink    DetectionSink
+	durable store.Sink // nil unless the node persists state (live mode)
 	rng     *rand.Rand
 
 	mu       sync.Mutex
@@ -206,6 +215,39 @@ func (n *Node) ChannelLevel(url string) (level int, polling bool, ok bool) {
 		return 0, false, false
 	}
 	return ch.level, ch.polling, true
+}
+
+// ChannelInfo is a snapshot of one channel's state at this node, for
+// tests and operational introspection.
+type ChannelInfo struct {
+	URL         string
+	Level       int
+	Epoch       uint64
+	Polling     bool
+	Owner       bool
+	Replica     bool
+	Subscribers int
+	LastVersion uint64
+}
+
+// Channel reports this node's view of a channel, if it tracks one.
+func (n *Node) Channel(url string) (ChannelInfo, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch, ok := n.channels[ids.HashString(url)]
+	if !ok {
+		return ChannelInfo{}, false
+	}
+	return ChannelInfo{
+		URL:         ch.url,
+		Level:       ch.level,
+		Epoch:       ch.epoch,
+		Polling:     ch.polling,
+		Owner:       ch.isOwner,
+		Replica:     ch.isReplica,
+		Subscribers: ch.subs.count,
+		LastVersion: ch.lastVersion,
+	}, true
 }
 
 // EachPolled visits every channel this node currently polls, passing the

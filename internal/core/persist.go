@@ -1,0 +1,156 @@
+package core
+
+import (
+	"corona/internal/ids"
+	"corona/internal/pastry"
+	"corona/internal/store"
+)
+
+// This file is the node's durability seam: mutation handlers in
+// subscribe.go, maintain.go, and polling.go call the emit helpers below,
+// which are no-ops until a store.Sink is attached (simulations and most
+// tests never pay for persistence), and the restore/reconcile pair
+// rebuilds node state from a recovered image after a restart.
+
+// SetStateSink attaches the durable state sink. Call before Start; live
+// deployments pass the node's *store.Store, everything else leaves the
+// sink nil.
+func (n *Node) SetStateSink(sink store.Sink) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.durable = sink
+}
+
+// emitMetaLocked persists a channel's current metadata — ownership,
+// level, epoch, version, tradeoff factors — and, when replaceSubs is set,
+// the whole subscriber set. Callers hold n.mu.
+func (n *Node) emitMetaLocked(ch *channelState, replaceSubs bool) {
+	if n.durable == nil {
+		return
+	}
+	rec := store.Record{
+		Op:          store.OpMeta,
+		URL:         ch.url,
+		Owner:       ch.isOwner,
+		Replica:     ch.isReplica,
+		Level:       ch.level,
+		Epoch:       ch.epoch,
+		Version:     ch.lastVersion,
+		Count:       ch.subs.count,
+		SizeBytes:   ch.sizeBytes,
+		IntervalSec: ch.est.ewma,
+		ReplaceSubs: replaceSubs,
+	}
+	if replaceSubs {
+		rec.Subs = make([]store.Sub, 0, len(ch.subs.ids))
+		for client, entry := range ch.subs.ids {
+			rec.Subs = append(rec.Subs, store.Sub{Client: client, EntryID: entry.ID, EntryEndpoint: entry.Endpoint})
+		}
+	}
+	n.durable.StateChanged(rec)
+}
+
+// emitSubLocked persists one subscription add or remove. Callers hold n.mu.
+func (n *Node) emitSubLocked(ch *channelState, client string, entry pastry.Addr, removed bool) {
+	if n.durable == nil {
+		return
+	}
+	op := store.OpSubscribe
+	if removed {
+		op = store.OpUnsubscribe
+	}
+	n.durable.StateChanged(store.Record{
+		Op:  op,
+		URL: ch.url,
+		Sub: store.Sub{Client: client, EntryID: entry.ID, EntryEndpoint: entry.Endpoint},
+	})
+}
+
+// emitVersionLocked persists version progress for a channel this node is
+// answerable for (owner or replica). Callers hold n.mu.
+func (n *Node) emitVersionLocked(ch *channelState) {
+	if n.durable == nil || !(ch.isOwner || ch.isReplica) {
+		return
+	}
+	n.durable.StateChanged(store.Record{Op: store.OpVersion, URL: ch.url, Version: ch.lastVersion})
+}
+
+// RestoreChannels seeds the node's channel table from a recovered durable
+// image, before the node joins the overlay. Ownership is not assumed:
+// ReconcileRecovered re-derives it against the live ring once the join
+// completes.
+func (n *Node) RestoreChannels(channels []store.Channel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range channels {
+		if c.URL == "" {
+			continue
+		}
+		ch := n.getChannel(c.URL)
+		ch.level = c.Level
+		ch.epoch = c.Epoch
+		ch.lastVersion = c.Version
+		ch.sizeBytes = c.SizeBytes
+		if c.IntervalSec > 0 {
+			ch.est.ewma = c.IntervalSec
+		}
+		if len(c.Subs) > 0 && !n.cfg.CountSubscribersOnly {
+			ch.subs.ids = make(map[string]pastry.Addr, len(c.Subs))
+			for _, s := range c.Subs {
+				ch.subs.ids[s.Client] = pastry.Addr{ID: s.EntryID, Endpoint: s.EntryEndpoint}
+			}
+			ch.subs.count = len(ch.subs.ids)
+		} else {
+			ch.subs.count = c.Count
+		}
+		ch.recoveredOwner = c.Owner || c.Replica
+	}
+}
+
+// ReconcileRecovered runs once the node has rejoined the ring: recovered
+// channels this node still roots resume ownership (polling restarts,
+// state re-replicates to the current neighbors); channels whose root
+// moved while the node was down hand their durable subscriptions to the
+// current owner through the ordinary subscribe path, so no client has to
+// re-subscribe either way.
+func (n *Node) ReconcileRecovered() {
+	type handoff struct {
+		id   ids.ID
+		url  string
+		subs []replicatedSub
+	}
+	n.mu.Lock()
+	var resumed []*channelState
+	var handoffs []handoff
+	for _, ch := range n.channels {
+		if !ch.recoveredOwner {
+			continue
+		}
+		ch.recoveredOwner = false
+		if n.overlay.IsRoot(ch.id) {
+			n.becomeOwnerLocked(ch)
+			resumed = append(resumed, ch)
+			continue
+		}
+		// The root moved. Release any recovered claim and re-inject the
+		// subscriptions; the channel state itself stays as a warm cache.
+		ch.isOwner, ch.isReplica = false, false
+		h := handoff{id: ch.id, url: ch.url}
+		for client, entry := range ch.subs.ids {
+			h.subs = append(h.subs, replicatedSub{Client: client, Entry: entry})
+		}
+		if len(h.subs) > 0 {
+			handoffs = append(handoffs, h)
+		}
+		n.emitMetaLocked(ch, true)
+	}
+	n.mu.Unlock()
+	for _, ch := range resumed {
+		n.replicateChannel(ch)
+	}
+	for _, h := range handoffs {
+		for _, s := range h.subs {
+			n.overlay.Route(h.id, msgSubscribe, &subscribeMsg{URL: h.url, Client: s.Client, Entry: s.Entry})
+		}
+	}
+}

@@ -111,6 +111,7 @@ func (n *Node) updateDetected(ch *channelState, res fetchedUpdate) {
 	}
 	isOwner := ch.isOwner
 	n.stats.UpdatesDetected++
+	n.emitVersionLocked(ch)
 	n.mu.Unlock()
 
 	if n.sink != nil {
@@ -169,6 +170,7 @@ func (n *Node) handleUpdate(msg pastry.Message) {
 		ch.lastVersion = p.Version
 		ch.est.observe(n.now())
 		n.stats.UpdatesReceived++
+		n.emitVersionLocked(ch)
 	}
 	isOwner := ch.isOwner
 	n.mu.Unlock()
@@ -226,6 +228,7 @@ func (n *Node) handleReport(msg pastry.Message) {
 	ch.lastVersion = p.ObservedVersion
 	ch.est.observe(n.now())
 	level := ch.level
+	n.emitVersionLocked(ch)
 	n.mu.Unlock()
 
 	n.overlay.Broadcast(level, msgUpdate, &updateMsg{

@@ -37,6 +37,9 @@ func (n *Node) handleSubscribe(msg pastry.Message) {
 		changed = ch.subs.add(p.Client, p.Entry, n.cfg.CountSubscribersOnly)
 	}
 	n.becomeOwnerLocked(ch)
+	if changed {
+		n.emitSubLocked(ch, p.Client, p.Entry, p.Remove)
+	}
 	n.mu.Unlock()
 	if changed {
 		n.replicateChannel(ch)
@@ -71,6 +74,7 @@ func (n *Node) becomeOwnerLocked(ch *channelState) {
 	ch.ownerPrefix = base.CommonPrefix(n.Self().ID, ch.id)
 	ch.orphan = !n.wedgeReachable(ch.id, env.MaxLevel-1)
 	n.startPollingLocked(ch)
+	n.emitMetaLocked(ch, false)
 }
 
 // replicateChannel pushes owner state to the f closest ring neighbors.
@@ -126,6 +130,11 @@ func (n *Node) handleReplicate(msg pastry.Message) {
 		for _, sub := range p.Subscribers {
 			ch.subs.ids[sub.Client] = sub.Entry
 		}
+	} else if p.Count == 0 {
+		// An emptied channel replicates with no subscriber list; drop any
+		// stale identities so a later promotion cannot resurrect clients
+		// that unsubscribed.
+		ch.subs.ids = nil
 	}
 	ch.sizeBytes = p.SizeBytes
 	if p.IntervalSec > 0 && ch.est.ewma == 0 {
@@ -138,6 +147,11 @@ func (n *Node) handleReplicate(msg pastry.Message) {
 		ch.level = p.Level
 		ch.epoch = p.Epoch
 	}
+	// Replica state is exactly what a restart must not lose: persist the
+	// pushed subscriber set wholesale. An emptied channel (Count 0, no
+	// list) must also replace durably, or the store would resurrect
+	// unsubscribed clients on restart.
+	n.emitMetaLocked(ch, p.Subscribers != nil || p.Count == 0)
 }
 
 // handlePeerFault runs when the overlay detects a dead peer: replicas

@@ -593,10 +593,31 @@ func (p *peer) writeLoop() {
 		if sent, err := p.writeFrames(conn, bw, bodies); err != nil {
 			conn.Close()
 			conn, bw = nil, nil
-			p.t.fault(batch[len(batch)-1].to, err)
-			// Frames flushed before the error are on the wire; only the
-			// remainder was lost.
-			p.drop(uint64(len(bodies) - sent))
+			// A write failure on an established connection usually means
+			// the peer restarted since the last batch (the classic stale
+			// connection): redial ONCE — a single attempt, not the full
+			// backoff budget, so a genuinely dead peer still faults fast
+			// — and retry the unsent remainder before dropping anything.
+			remaining := bodies[sent:]
+			var rerr error
+			conn, bw, rerr = p.dialOnce(p.t.retryPolicy())
+			if rerr == errClosed {
+				return
+			}
+			if rerr == nil {
+				var resent int
+				if resent, rerr = p.writeFrames(conn, bw, remaining); rerr != nil {
+					conn.Close()
+					conn, bw = nil, nil
+					remaining = remaining[resent:]
+				} else {
+					remaining = nil
+				}
+			}
+			if len(remaining) > 0 {
+				p.t.fault(batch[len(batch)-1].to, err)
+				p.drop(uint64(len(remaining)))
+			}
 		}
 	}
 }
@@ -616,21 +637,34 @@ func (p *peer) connect() (net.Conn, *bufio.Writer, error) {
 			}
 			backoff *= 2
 		}
-		conn, err := net.DialTimeout("tcp", p.endpoint, r.dial)
+		conn, bw, err := p.dialOnce(r)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		bw := bufio.NewWriterSize(conn, bufSize)
-		if err := bw.WriteByte(p.t.codecFor().ID()); err != nil {
-			conn.Close()
-			lastErr = err
-			continue
-		}
-		p.t.bytesSent.Add(1)
 		return conn, bw, nil
 	}
 	return nil, nil, lastErr
+}
+
+// dialOnce makes a single connection attempt and sends the hello byte.
+func (p *peer) dialOnce(r retryPolicy) (net.Conn, *bufio.Writer, error) {
+	select {
+	case <-p.t.closing:
+		return nil, nil, errClosed
+	default:
+	}
+	conn, err := net.DialTimeout("tcp", p.endpoint, r.dial)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriterSize(conn, bufSize)
+	if err := bw.WriteByte(p.t.codecFor().ID()); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	p.t.bytesSent.Add(1)
+	return conn, bw, nil
 }
 
 // writeFrames packs encoded bodies into one or more frames (splitting

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// lockDir on platforms without flock degrades to holding the lock file
+// open without mutual exclusion; concurrent stores on one directory are
+// then the operator's responsibility.
+func lockDir(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+}

@@ -1,0 +1,342 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"corona/internal/ids"
+	"corona/internal/wirebin"
+)
+
+// Op identifies a record kind in the WAL.
+type Op uint8
+
+const (
+	// OpSubscribe adds or refreshes one subscriber of a channel.
+	OpSubscribe Op = 1
+	// OpUnsubscribe removes one subscriber of a channel.
+	OpUnsubscribe Op = 2
+	// OpMeta upserts channel metadata (ownership, level, epoch, version,
+	// tradeoff factors) and, when ReplaceSubs is set, replaces the durable
+	// subscriber set wholesale.
+	OpMeta Op = 3
+	// OpVersion advances a channel's last observed content version.
+	OpVersion Op = 4
+	// OpSubsChunk upserts a batch of subscribers without touching the
+	// rest of the set. Append splits oversized OpMeta subscriber
+	// replacements into one capped OpMeta followed by OpSubsChunk
+	// records, so no WAL frame outgrows MaxRecordBytes.
+	OpSubsChunk Op = 5
+)
+
+// Sub is one durable subscriber: the client identity plus the overlay
+// address of its entry node, which delivers its notifications.
+type Sub struct {
+	Client        string
+	EntryID       ids.ID
+	EntryEndpoint string
+}
+
+// Record is one logged state mutation. Which fields are meaningful
+// depends on Op; the rest are ignored by apply and omitted from the
+// encoding.
+type Record struct {
+	Op  Op
+	URL string
+
+	// OpSubscribe / OpUnsubscribe.
+	Sub Sub
+
+	// OpMeta; Subs is shared with OpSubsChunk.
+	Owner       bool
+	Replica     bool
+	Level       int
+	Epoch       uint64
+	Count       int
+	SizeBytes   int
+	IntervalSec float64
+	ReplaceSubs bool
+	Subs        []Sub
+
+	// OpMeta and OpVersion.
+	Version uint64
+}
+
+// Sink receives state-change records; core.Node holds one (nil when the
+// node runs without durability, so simulations pay nothing).
+type Sink interface {
+	StateChanged(rec Record)
+}
+
+// Channel is the materialized durable image of one channel — the unit of
+// snapshots and of recovery.
+type Channel struct {
+	URL         string
+	Owner       bool
+	Replica     bool
+	Level       int
+	Epoch       uint64
+	Version     uint64
+	Count       int
+	SizeBytes   int
+	IntervalSec float64
+	Subs        []Sub
+
+	// index maps client to Subs position, built lazily once the set is
+	// large enough that linear scans hurt. Never serialized.
+	index map[string]int
+}
+
+// indexThreshold is the subscriber-set size past which a channel keeps a
+// client index instead of scanning.
+const indexThreshold = 64
+
+// upsertSub adds or refreshes one subscriber.
+func (ch *Channel) upsertSub(s Sub) {
+	if ch.index == nil && len(ch.Subs) >= indexThreshold {
+		ch.index = make(map[string]int, len(ch.Subs))
+		for i := range ch.Subs {
+			ch.index[ch.Subs[i].Client] = i
+		}
+	}
+	if ch.index != nil {
+		if i, ok := ch.index[s.Client]; ok {
+			ch.Subs[i] = s
+			return
+		}
+		ch.index[s.Client] = len(ch.Subs)
+		ch.Subs = append(ch.Subs, s)
+		return
+	}
+	for i := range ch.Subs {
+		if ch.Subs[i].Client == s.Client {
+			ch.Subs[i] = s
+			return
+		}
+	}
+	ch.Subs = append(ch.Subs, s)
+}
+
+// removeSub deletes one subscriber by client identity.
+func (ch *Channel) removeSub(client string) {
+	i := -1
+	if ch.index != nil {
+		pos, ok := ch.index[client]
+		if !ok {
+			return
+		}
+		i = pos
+	} else {
+		for j := range ch.Subs {
+			if ch.Subs[j].Client == client {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return
+		}
+	}
+	ch.Subs = append(ch.Subs[:i], ch.Subs[i+1:]...)
+	if ch.index != nil {
+		delete(ch.index, client)
+		for j := i; j < len(ch.Subs); j++ {
+			ch.index[ch.Subs[j].Client] = j
+		}
+	}
+}
+
+// replaceSubs installs a whole new subscriber set.
+func (ch *Channel) replaceSubs(subs []Sub) {
+	ch.Subs = append([]Sub(nil), subs...)
+	ch.index = nil
+}
+
+// OpMeta flag bits.
+const (
+	metaOwner   = 1 << 0
+	metaReplica = 1 << 1
+	metaSubs    = 1 << 2
+)
+
+func appendSub(dst []byte, s Sub) []byte {
+	dst = wirebin.AppendString(dst, s.Client)
+	dst = append(dst, s.EntryID[:]...)
+	return wirebin.AppendString(dst, s.EntryEndpoint)
+}
+
+func readSub(r *wirebin.Reader) Sub {
+	var s Sub
+	s.Client = r.String()
+	copy(s.EntryID[:], r.Take(ids.Bytes))
+	s.EntryEndpoint = r.String()
+	return s
+}
+
+// readSubs reads a count-prefixed subscriber list. ListLen validates the
+// count against the bytes actually available (each sub costs at least
+// 1+20+1 bytes) before anything is allocated; there is no absolute cap,
+// so whatever the encoder wrote, the decoder accepts — a channel can
+// never make its own durable state undecodable.
+func readSubs(r *wirebin.Reader) []Sub {
+	n := r.ListLen(ids.Bytes + 2)
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	subs := make([]Sub, 0, n)
+	for i := 0; i < n; i++ {
+		subs = append(subs, readSub(r))
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return subs
+}
+
+// appendRecord encodes rec's payload (the bytes a WAL frame carries).
+func appendRecord(dst []byte, rec Record) []byte {
+	dst = append(dst, byte(rec.Op))
+	dst = wirebin.AppendString(dst, rec.URL)
+	switch rec.Op {
+	case OpSubscribe:
+		dst = appendSub(dst, rec.Sub)
+	case OpUnsubscribe:
+		dst = wirebin.AppendString(dst, rec.Sub.Client)
+	case OpMeta:
+		var flags byte
+		if rec.Owner {
+			flags |= metaOwner
+		}
+		if rec.Replica {
+			flags |= metaReplica
+		}
+		if rec.ReplaceSubs {
+			flags |= metaSubs
+		}
+		dst = append(dst, flags)
+		dst = wirebin.AppendSint(dst, rec.Level)
+		dst = wirebin.AppendUvarint(dst, rec.Epoch)
+		dst = wirebin.AppendUvarint(dst, rec.Version)
+		dst = wirebin.AppendSint(dst, rec.Count)
+		dst = wirebin.AppendSint(dst, rec.SizeBytes)
+		dst = wirebin.AppendFloat64(dst, rec.IntervalSec)
+		if rec.ReplaceSubs {
+			dst = wirebin.AppendUvarint(dst, uint64(len(rec.Subs)))
+			for _, s := range rec.Subs {
+				dst = appendSub(dst, s)
+			}
+		}
+	case OpVersion:
+		dst = wirebin.AppendUvarint(dst, rec.Version)
+	case OpSubsChunk:
+		dst = wirebin.AppendUvarint(dst, uint64(len(rec.Subs)))
+		for _, s := range rec.Subs {
+			dst = appendSub(dst, s)
+		}
+	}
+	return dst
+}
+
+// decodeRecord parses one WAL frame payload.
+func decodeRecord(payload []byte) (Record, error) {
+	r := wirebin.NewReader(payload)
+	var rec Record
+	rec.Op = Op(r.Byte())
+	rec.URL = r.String()
+	switch rec.Op {
+	case OpSubscribe:
+		rec.Sub = readSub(r)
+	case OpUnsubscribe:
+		rec.Sub.Client = r.String()
+	case OpMeta:
+		flags := r.Byte()
+		rec.Owner = flags&metaOwner != 0
+		rec.Replica = flags&metaReplica != 0
+		rec.ReplaceSubs = flags&metaSubs != 0
+		rec.Level = r.Sint()
+		rec.Epoch = r.Uvarint()
+		rec.Version = r.Uvarint()
+		rec.Count = r.Sint()
+		rec.SizeBytes = r.Sint()
+		rec.IntervalSec = r.Float64()
+		if rec.ReplaceSubs {
+			rec.Subs = readSubs(r)
+		}
+	case OpVersion:
+		rec.Version = r.Uvarint()
+	case OpSubsChunk:
+		rec.Subs = readSubs(r)
+	default:
+		return Record{}, fmt.Errorf("store: unknown record op %d", rec.Op)
+	}
+	if err := r.Err(); err != nil {
+		return Record{}, fmt.Errorf("store: decoding %v record: %w", rec.Op, err)
+	}
+	if r.Len() != 0 {
+		return Record{}, fmt.Errorf("store: %v record has %d trailing bytes", rec.Op, r.Len())
+	}
+	return rec, nil
+}
+
+// apply folds one record into the materialized image. All operations are
+// idempotent upserts (see doc.go), so replaying overlapping history is
+// harmless.
+func (rec Record) apply(state map[string]*Channel) {
+	if rec.URL == "" {
+		return
+	}
+	ch := state[rec.URL]
+	if ch == nil {
+		ch = &Channel{URL: rec.URL, Level: -1}
+		state[rec.URL] = ch
+	}
+	switch rec.Op {
+	case OpSubscribe:
+		ch.upsertSub(rec.Sub)
+		ch.Count = len(ch.Subs)
+	case OpUnsubscribe:
+		ch.removeSub(rec.Sub.Client)
+		ch.Count = len(ch.Subs)
+	case OpMeta:
+		ch.Owner = rec.Owner
+		ch.Replica = rec.Replica
+		ch.Level = rec.Level
+		ch.Epoch = rec.Epoch
+		if rec.Version > ch.Version {
+			ch.Version = rec.Version
+		}
+		ch.SizeBytes = rec.SizeBytes
+		ch.IntervalSec = rec.IntervalSec
+		if rec.ReplaceSubs {
+			ch.replaceSubs(rec.Subs)
+			ch.Count = len(ch.Subs)
+		} else if len(ch.Subs) == 0 {
+			// Counting-mode totals carry no identities; the meta record is
+			// authoritative. With identities present, the set itself is.
+			ch.Count = rec.Count
+		}
+	case OpVersion:
+		if rec.Version > ch.Version {
+			ch.Version = rec.Version
+		}
+	case OpSubsChunk:
+		for _, s := range rec.Subs {
+			ch.upsertSub(s)
+		}
+		ch.Count = len(ch.Subs)
+	}
+}
+
+// imageSlice snapshots the materialized map as a deterministic, sorted
+// slice of deep copies.
+func imageSlice(state map[string]*Channel) []Channel {
+	out := make([]Channel, 0, len(state))
+	for _, ch := range state {
+		c := *ch
+		c.Subs = append([]Sub(nil), ch.Subs...)
+		c.index = nil
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].URL < out[b].URL })
+	return out
+}

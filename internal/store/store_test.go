@@ -1,0 +1,357 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"corona/internal/ids"
+)
+
+// openT opens a store in dir with a huge commit window (tests flush
+// explicitly) unless overridden.
+func openT(t *testing.T, dir string, opts Options) (*Store, []Channel) {
+	t.Helper()
+	opts.Dir = dir
+	if opts.CommitWindow == 0 {
+		opts.CommitWindow = time.Hour
+	}
+	s, recovered, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, recovered
+}
+
+func sub(i int) Sub {
+	return Sub{
+		Client:        fmt.Sprintf("client-%d", i),
+		EntryID:       ids.HashString(fmt.Sprintf("entry-%d", i)),
+		EntryEndpoint: fmt.Sprintf("10.0.0.%d:9001", i%250+1),
+	}
+}
+
+func subscribeRec(url string, i int) Record {
+	return Record{Op: OpSubscribe, URL: url, Sub: sub(i)}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		subscribeRec("http://a/feed.xml", 1),
+		{Op: OpUnsubscribe, URL: "http://a/feed.xml", Sub: Sub{Client: "client-1"}},
+		{
+			Op: OpMeta, URL: "http://b", Owner: true, Replica: false, Level: -1,
+			Epoch: 9, Version: 1 << 40, Count: 3, SizeBytes: 4096, IntervalSec: 812.25,
+		},
+		{
+			Op: OpMeta, URL: "http://c", Replica: true, Level: 4, ReplaceSubs: true,
+			Subs: []Sub{sub(1), sub(2), sub(3)},
+		},
+		{Op: OpMeta, URL: "http://d", ReplaceSubs: true}, // empty replacement
+		{Op: OpVersion, URL: "http://b", Version: 77},
+	}
+	for i, rec := range recs {
+		b := appendRecord(nil, rec)
+		got, err := decodeRecord(b)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("record %d round trip:\n got  %+v\n want %+v", i, got, rec)
+		}
+		// Byte-stable re-encode.
+		if b2 := appendRecord(nil, got); string(b2) != string(b) {
+			t.Fatalf("record %d encoding not byte-stable", i)
+		}
+	}
+}
+
+func TestRecoverAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	s, recovered := openT(t, dir, Options{})
+	if len(recovered) != 0 {
+		t.Fatalf("fresh dir recovered %d channels", len(recovered))
+	}
+	s.Append(subscribeRec("http://a", 1))
+	s.Append(subscribeRec("http://a", 2))
+	s.Append(Record{Op: OpMeta, URL: "http://a", Owner: true, Level: 2, Epoch: 5, SizeBytes: 4096, IntervalSec: 60})
+	s.Append(Record{Op: OpVersion, URL: "http://a", Version: 12})
+	s.Append(subscribeRec("http://b", 3))
+	s.Append(Record{Op: OpUnsubscribe, URL: "http://b", Sub: Sub{Client: "client-3"}})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, recovered := openT(t, dir, Options{})
+	defer s2.Close()
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d channels, want 2", len(recovered))
+	}
+	a := recovered[0]
+	if a.URL != "http://a" || !a.Owner || a.Level != 2 || a.Epoch != 5 || a.Version != 12 || a.Count != 2 || len(a.Subs) != 2 {
+		t.Fatalf("channel a = %+v", a)
+	}
+	if a.Subs[0] != sub(1) || a.Subs[1] != sub(2) {
+		t.Fatalf("subs = %+v", a.Subs)
+	}
+	b := recovered[1]
+	if b.URL != "http://b" || b.Count != 0 || len(b.Subs) != 0 {
+		t.Fatalf("channel b = %+v (unsubscribe not applied)", b)
+	}
+}
+
+func TestGroupCommitWindowFlushes(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{CommitWindow: 2 * time.Millisecond})
+	s.Append(subscribeRec("http://a", 1))
+	// No Sync, no Close: the window flusher alone must make it durable.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		flushed := len(s.pending) == 0
+		s.mu.Unlock()
+		if flushed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group commit window never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Abort() // crash after the window: the record must survive
+	_, recovered := openT(t, dir, Options{})
+	if len(recovered) != 1 || recovered[0].Count != 1 {
+		t.Fatalf("recovered = %+v", recovered)
+	}
+}
+
+func TestAbortLosesOnlyUnflushedWindow(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{}) // 1h window: nothing flushes on its own
+	s.Append(subscribeRec("http://a", 1))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Append(subscribeRec("http://a", 2)) // inside the window at crash time
+	s.Abort()
+
+	_, recovered := openT(t, dir, Options{})
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d channels", len(recovered))
+	}
+	if got := recovered[0]; got.Count != 1 || len(got.Subs) != 1 || got.Subs[0].Client != "client-1" {
+		t.Fatalf("recovered channel = %+v, want only the synced subscriber", got)
+	}
+}
+
+func TestCompactionRotatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{CompactEvery: 10})
+	for i := 0; i < 35; i++ { // crosses the threshold multiple times
+		s.Append(subscribeRec(fmt.Sprintf("http://c/%d", i%7), i))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one generation remains on disk.
+	snaps, wals, _ := scanDir(dir)
+	if len(snaps) != 1 || len(wals) != 1 {
+		t.Fatalf("files after compaction: snaps=%v wals=%v", snaps, wals)
+	}
+
+	_, recovered := openT(t, dir, Options{})
+	if len(recovered) != 7 {
+		t.Fatalf("recovered %d channels, want 7", len(recovered))
+	}
+	for _, ch := range recovered {
+		if ch.Count != 5 || len(ch.Subs) != 5 {
+			t.Fatalf("channel %s has %d subs, want 5", ch.URL, len(ch.Subs))
+		}
+	}
+}
+
+func TestRecoverySurvivesCompactionCrashWindow(t *testing.T) {
+	// Simulate a crash between snapshot rename and old-WAL deletion: both
+	// snap-(G+1) and wal-G on disk. Idempotent replay must not corrupt.
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	s.Append(subscribeRec("http://a", 1))
+	s.Append(Record{Op: OpMeta, URL: "http://a", Owner: true, Level: 3, Epoch: 2, SizeBytes: 1024, IntervalSec: 30})
+	s.Append(Record{Op: OpUnsubscribe, URL: "http://a", Sub: Sub{Client: "client-1"}})
+	s.Append(subscribeRec("http://a", 2))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Open gen is 1; hand-craft snap-2 containing the full image while
+	// leaving wal-1 in place, as a compaction crash would.
+	if err := writeSnapshot(dir, 2, s.Channels()); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recovered := openT(t, dir, Options{})
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d channels", len(recovered))
+	}
+	got := recovered[0]
+	if got.Count != 1 || len(got.Subs) != 1 || got.Subs[0].Client != "client-2" || !got.Owner || got.Level != 3 {
+		t.Fatalf("overlap replay corrupted state: %+v", got)
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	s.Append(subscribeRec("http://a", 1))
+	if err := s.Compact(); err != nil { // snapshot now holds the channel
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _, _ := scanDir(dir)
+	if len(snaps) != 1 {
+		t.Fatalf("want one snapshot, have %v", snaps)
+	}
+	path := snapPath(dir, snaps[0])
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff // body corruption the CRC must catch
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot is rejected wholesale; with no other snapshot and an
+	// empty post-compaction WAL, recovery is empty — but must not fail.
+	_, recovered := openT(t, dir, Options{})
+	if len(recovered) != 0 {
+		t.Fatalf("corrupt snapshot yielded channels: %+v", recovered)
+	}
+}
+
+func TestOpenRefusesLockedDir(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	defer s.Close()
+	if _, _, err := Open(Options{Dir: dir, CommitWindow: time.Hour}); err == nil {
+		t.Fatal("second store on a live data dir must be refused")
+	}
+	// Releasing the first store releases the lock.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := openT(t, dir, Options{})
+	s2.Close()
+}
+
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000009.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, recovered := openT(t, dir, Options{})
+	defer s.Close()
+	if len(recovered) != 0 {
+		t.Fatalf("recovered from garbage: %+v", recovered)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000009.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stale temp file not swept")
+	}
+}
+
+// TestHugeSubscriberSetRoundTrips pins the fix for the encode/decode
+// asymmetry: a channel far beyond any per-record cap (here 100k
+// subscribers, well past the 8192-per-record split and the old 64k
+// decoder cap) must survive WAL replay and snapshot compaction intact.
+func TestHugeSubscriberSetRoundTrips(t *testing.T) {
+	const n = 100_000
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{CompactEvery: 1 << 30})
+	subs := make([]Sub, n)
+	for i := range subs {
+		subs[i] = sub(i)
+	}
+	s.Append(Record{
+		Op: OpMeta, URL: "http://big", Owner: true, Level: 1,
+		ReplaceSubs: true, Subs: subs,
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL replay path.
+	s2, recovered := openT(t, dir, Options{})
+	if len(recovered) != 1 || len(recovered[0].Subs) != n || recovered[0].Count != n {
+		t.Fatalf("WAL replay: %d channels, %d subs", len(recovered), len(recovered[0].Subs))
+	}
+	// Snapshot path: compact, reopen.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recovered = openT(t, dir, Options{})
+	if len(recovered) != 1 || len(recovered[0].Subs) != n {
+		t.Fatalf("snapshot replay: %d channels, %d subs", len(recovered), len(recovered[0].Subs))
+	}
+	for i, got := range recovered[0].Subs {
+		if got != subs[i] {
+			t.Fatalf("sub %d differs after recovery", i)
+		}
+	}
+}
+
+// TestAppendsDuringCompactionSurvive overlaps appends with a compaction
+// (whose file IO now runs outside the lock): records appended while the
+// rotation is in flight must land in the new generation, not the doomed
+// old WAL.
+func TestAppendsDuringCompactionSurvive(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{CompactEvery: 1 << 30})
+	for i := 0; i < 2000; i++ {
+		s.Append(subscribeRec(fmt.Sprintf("http://c/%d", i%50), i))
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Compact() }()
+	for i := 2000; i < 2400; i++ {
+		s.Append(subscribeRec(fmt.Sprintf("http://c/%d", i%50), i))
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recovered := openT(t, dir, Options{})
+	total := 0
+	for _, ch := range recovered {
+		total += len(ch.Subs)
+	}
+	if total != 2400 {
+		t.Fatalf("recovered %d subscribers, want 2400", total)
+	}
+}
+
+func TestAppendAfterCloseIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Append(subscribeRec("http://a", 1)) // must not panic or write
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, recovered := openT(t, dir, Options{})
+	if len(recovered) != 0 {
+		t.Fatalf("append after close leaked: %+v", recovered)
+	}
+}

@@ -142,6 +142,27 @@ func (r *Reader) Sint() int {
 	return int(v)
 }
 
+// ListLen reads a list's varint count prefix and validates it against
+// the bytes remaining: each element of an encoded list costs at least
+// minElemSize bytes, so a count claiming more than the buffer can hold
+// is hostile geometry, never a list. Such counts (and counts beyond
+// int32) latch ErrShort and return 0, so decoders can size allocations
+// by the returned value safely.
+func (r *Reader) ListLen(minElemSize int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if n > uint64(len(r.buf)/minElemSize+1) || n > math.MaxInt32 {
+		r.err = ErrShort
+		return 0
+	}
+	return int(n)
+}
+
 // Bytes reads a varint-length-prefixed byte string, aliasing the buffer.
 func (r *Reader) Bytes() []byte {
 	n := r.Uvarint()

@@ -75,6 +75,26 @@ func TestErrorLatches(t *testing.T) {
 	}
 }
 
+func TestListLen(t *testing.T) {
+	// A plausible count passes and leaves the cursor on the elements.
+	b := AppendUvarint(nil, 3)
+	b = append(b, make([]byte, 30)...) // 3 elements of >= 10 bytes fit
+	r := NewReader(b)
+	if n := r.ListLen(10); n != 3 || r.Err() != nil {
+		t.Fatalf("ListLen = %d, err %v", n, r.Err())
+	}
+	// A count claiming more than the buffer holds latches ErrShort.
+	r = NewReader(AppendUvarint(nil, 1000))
+	if n := r.ListLen(10); n != 0 || r.Err() == nil {
+		t.Fatalf("hostile count accepted: n=%d err=%v", n, r.Err())
+	}
+	// Counts beyond int32 are hostile regardless of element size.
+	r = NewReader(append(AppendUvarint(nil, 1<<40), make([]byte, 64)...))
+	if n := r.ListLen(0); n != 0 || r.Err() == nil {
+		t.Fatalf("giant count accepted: n=%d err=%v", n, r.Err())
+	}
+}
+
 func TestTruncationAlwaysErrs(t *testing.T) {
 	full := AppendString(AppendSint(AppendUvarint(nil, 300), -5), "abcdef")
 	for cut := 0; cut < len(full); cut++ {

@@ -11,6 +11,7 @@ import (
 	"corona/internal/im"
 	"corona/internal/netwire"
 	"corona/internal/pastry"
+	"corona/internal/store"
 )
 
 // LiveConfig configures one deployed Corona node.
@@ -37,6 +38,16 @@ type LiveConfig struct {
 	// Seed drives poll-phase randomness; zero derives it from the bind
 	// address.
 	Seed int64
+	// DataDir, when set, makes the node's channel state durable: owner
+	// and replica state is written through a group-committed WAL with
+	// snapshot compaction, and a node restarted from the same directory
+	// recovers its subscriptions, rejoins the ring, and keeps delivering
+	// without clients re-subscribing. Empty keeps everything in memory.
+	DataDir string
+	// CommitWindow is the store's group-commit window (how much recent
+	// state a hard kill may lose). Zero uses the store default; negative
+	// fsyncs every record.
+	CommitWindow time.Duration
 }
 
 // LiveNode is one Corona overlay member speaking TCP, polling real HTTP
@@ -47,6 +58,7 @@ type LiveNode struct {
 	node      *core.Node
 	notifier  *im.Gateway
 	service   *im.Service
+	store     *store.Store // nil when DataDir is unset
 }
 
 func init() {
@@ -104,12 +116,29 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	// node because the gateway needs the node as its Subscriber).
 	node.SetNotifier(gateway)
 
+	// Durable state: recover the previous incarnation's channel image
+	// before joining, so the ring sees a member that already holds its
+	// subscriptions. Ownership is reconciled after the join lands.
+	var st *store.Store
+	if cfg.DataDir != "" {
+		var recovered []store.Channel
+		var err error
+		st, recovered, err = store.Open(store.Options{Dir: cfg.DataDir, CommitWindow: cfg.CommitWindow})
+		if err != nil {
+			transport.Close()
+			return nil, fmt.Errorf("corona: opening data dir: %w", err)
+		}
+		node.SetStateSink(st)
+		node.RestoreChannels(recovered)
+	}
+
 	ln := &LiveNode{
 		transport: transport,
 		overlay:   overlay,
 		node:      node,
 		notifier:  gateway,
 		service:   service,
+		store:     st,
 	}
 	if len(cfg.Seeds) == 0 {
 		overlay.Bootstrap()
@@ -120,20 +149,29 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		// seed.
 		joined := false
 		for _, seed := range cfg.Seeds {
-			if err := overlay.Join(pastry.Addr{ID: idFromEndpoint(seed), Endpoint: seed}); err != nil {
+			seedAddr := pastry.Addr{ID: idFromEndpoint(seed), Endpoint: seed}
+			if err := overlay.Join(seedAddr); err != nil {
 				continue
 			}
-			if waitJoined(overlay, transport.DialBudget()+2*time.Second) {
+			if waitJoined(overlay, seedAddr, transport.DialBudget()+2*time.Second) {
 				joined = true
 				break
 			}
 		}
 		if !joined {
 			transport.Close()
+			if st != nil {
+				st.Close()
+			}
 			return nil, fmt.Errorf("corona: no seed reachable among %v", cfg.Seeds)
 		}
 	}
 	node.Start()
+	if st != nil {
+		// Resume ownership of recovered channels this node still roots;
+		// hand the rest to their current owners via the replicate path.
+		node.ReconcileRecovered()
+	}
 	return ln, nil
 }
 
@@ -189,18 +227,52 @@ func (ln *LiveNode) WireDropped() uint64 {
 	return ln.transport.Dropped()
 }
 
-// Close stops the protocol and the transport.
+// Close stops the protocol and the transport, then flushes and closes
+// the durable store so no committed-window state is lost on a graceful
+// shutdown.
 func (ln *LiveNode) Close() error {
 	ln.node.Stop()
-	return ln.transport.Close()
+	err := ln.transport.Close()
+	if ln.store != nil {
+		if serr := ln.store.Close(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
-// waitJoined polls for join-handshake completion up to the deadline.
-func waitJoined(overlay *pastry.Node, timeout time.Duration) bool {
+// kill simulates a crash for recovery tests: the node and transport die
+// and the store is abandoned without a flush, losing whatever sat inside
+// the current group-commit window.
+func (ln *LiveNode) kill() {
+	ln.node.Stop()
+	ln.transport.Close()
+	if ln.store != nil {
+		ln.store.Abort()
+	}
+}
+
+// Channel reports this node's view of a channel (ownership, level,
+// subscriber count), if it tracks one.
+func (ln *LiveNode) Channel(url string) (core.ChannelInfo, bool) {
+	return ln.node.Channel(url)
+}
+
+// waitJoined polls for join-handshake completion up to the deadline,
+// re-sending the join once a second: a reply can vanish into a stale
+// one-directional connection at the seed (a restarted node rejoining on
+// its old address is exactly that case), and the join protocol itself is
+// fire-and-forget, so the retry has to live here.
+func waitJoined(overlay *pastry.Node, seed pastry.Addr, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	resend := time.Now().Add(time.Second)
 	for time.Now().Before(deadline) {
 		if overlay.Joined() {
 			return true
+		}
+		if now := time.Now(); now.After(resend) {
+			overlay.Join(seed)
+			resend = now.Add(time.Second)
 		}
 		time.Sleep(25 * time.Millisecond)
 	}

@@ -97,6 +97,172 @@ func TestLiveNodeEndToEnd(t *testing.T) {
 	}
 }
 
+// reservePorts grabs n distinct loopback ports and releases them, so a
+// test can restart a node on the same address (the node identifier is
+// derived from the advertised address, so a restarted node must rebind
+// its old port to keep its ring position).
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// loginAndWaitUpdate logs handle in on node's IM service and waits for
+// one UPDATE notification, returning false on deadline.
+func loginAndWaitUpdate(t *testing.T, node *LiveNode, handle string, timeout time.Duration) bool {
+	t.Helper()
+	got := make(chan im.Message, 64)
+	node.IM().Register(handle)
+	if err := node.IM().Login(handle, func(m im.Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(timeout)
+	for {
+		select {
+		case m := <-got:
+			if strings.HasPrefix(m.Body, "UPDATE") {
+				return true
+			}
+		case <-deadline:
+			return false
+		}
+	}
+}
+
+// TestLiveNodeRestartRecovery is the durability acceptance scenario: a
+// live node holding subscriptions is hard-killed (no flush beyond what
+// the group-commit window already made durable), restarted from its
+// DataDir on the same address, rejoins the ring, and the durable
+// subscription delivers the next update with no client re-subscription.
+func TestLiveNodeRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time TCP test")
+	}
+	feedURL, stopOrigin := startTestOrigin(t, 500*time.Millisecond)
+	defer stopOrigin()
+
+	addrs := reservePorts(t, 3)
+	dataDirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	start := func(i int, seeds []string) *LiveNode {
+		n, err := StartLiveNode(LiveConfig{
+			Bind:          addrs[i],
+			Seeds:         seeds,
+			PollInterval:  300 * time.Millisecond,
+			NodeCountHint: 3,
+			DataDir:       dataDirs[i],
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		return n
+	}
+	nodes := make([]*LiveNode, 3)
+	for i := range nodes {
+		var seeds []string
+		if i > 0 {
+			seeds = []string{nodes[0].Addr()}
+		}
+		nodes[i] = start(i, seeds)
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}()
+
+	// Subscribe alice through node 0 and wait for the flow to be live.
+	service := nodes[0].IM()
+	service.Register("alice")
+	got := make(chan im.Message, 64)
+	if err := service.Login("alice", func(m im.Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+	service.Send("alice", nodes[0].Gateway().Handle(), "subscribe "+feedURL)
+	deadline := time.After(20 * time.Second)
+	for sawUpdate := false; !sawUpdate; {
+		select {
+		case m := <-got:
+			if strings.HasPrefix(m.Body, "UPDATE") {
+				sawUpdate = true
+			}
+			if strings.HasPrefix(m.Body, "error") {
+				t.Fatalf("gateway error: %s", m.Body)
+			}
+		case <-deadline:
+			t.Fatal("subscription never delivered before the kill")
+		}
+	}
+
+	// Find the channel's owner and give the group-commit window (2ms
+	// default, against a far older subscription) no benefit of the doubt.
+	ownerIdx := -1
+	for i, n := range nodes {
+		if info, ok := n.Channel(feedURL); ok && info.Owner {
+			ownerIdx = i
+			break
+		}
+	}
+	if ownerIdx < 0 {
+		t.Fatal("no node owns the channel")
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Hard-kill the owner: transport dies, store is abandoned unflushed.
+	nodes[ownerIdx].kill()
+	time.Sleep(200 * time.Millisecond)
+
+	// Restart it from its data directory on the same address, joining
+	// through a surviving node.
+	seedIdx := (ownerIdx + 1) % 3
+	restarted := start(ownerIdx, []string{nodes[seedIdx].Addr()})
+	nodes[ownerIdx] = restarted
+
+	info, ok := restarted.Channel(feedURL)
+	if !ok {
+		t.Fatal("restarted node recovered no channel state")
+	}
+	if !info.Owner || info.Subscribers != 1 {
+		t.Fatalf("restarted node state = %+v, want recovered ownership with 1 subscriber", info)
+	}
+
+	// No one re-subscribes. If the owner was also alice's entry node the
+	// IM session died with the process, so log in again (an IM-layer
+	// reconnect, not a subscription); otherwise the original login keeps
+	// listening.
+	if ownerIdx == 0 {
+		if !loginAndWaitUpdate(t, restarted, "alice", 30*time.Second) {
+			t.Fatal("no update delivered after restart")
+		}
+		return
+	}
+	deadline = time.After(30 * time.Second)
+	for {
+		select {
+		case m := <-got:
+			if strings.HasPrefix(m.Body, "UPDATE") {
+				return // durable subscription survived the restart
+			}
+		case <-deadline:
+			t.Fatal("no update delivered after restart")
+		}
+	}
+}
+
 func TestLiveNodeValidation(t *testing.T) {
 	if _, err := StartLiveNode(LiveConfig{}); err == nil {
 		t.Fatal("empty bind accepted")
