@@ -20,20 +20,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The wire layer and the durable store are the concurrency hot spots;
-# run them under the race detector explicitly.
+# The wire layer, the durable store, and the client edge are the
+# concurrency hot spots; run them under the race detector explicitly.
 race:
-	$(GO) test -race ./internal/netwire/ ./internal/codec/ ./internal/pastry/ ./internal/store/
+	$(GO) test -race ./internal/netwire/ ./internal/codec/ ./internal/pastry/ ./internal/store/ ./internal/clientproto/ ./client/
 
 # Wire-layer benchmarks (payload encode, fan-out, round trip, end-to-end
-# dissemination) recorded in BENCH_wire.json, and durable-store
-# benchmarks (append throughput, WAL/snapshot replay vs channel count,
-# full restart Open) recorded in BENCH_store.json.
+# dissemination) recorded in BENCH_wire.json; durable-store benchmarks
+# (append throughput, WAL/snapshot replay vs channel count, full restart
+# Open) recorded in BENCH_store.json; client-edge benchmarks
+# (notification fan-out through the gateway into clientproto frame
+# encode) recorded in BENCH_client.json.
 bench:
 	$(GO) test -run xxx -bench 'Wire|UpdateEncode|UpdateDecodeForward|FanOutEncode|UpdateDissemination' -benchmem . ./internal/core/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_wire.json
 	$(GO) test -run xxx -bench 'Store' -benchmem ./internal/store/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_store.json
+	$(GO) test -run xxx -bench 'Client' -benchmem ./internal/clientproto/ \
+		| $(GO) run ./cmd/bench2json -o BENCH_client.json
 
 # Every benchmark, including the figure regenerations.
 bench-all:

@@ -1,0 +1,406 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"corona/internal/clientproto"
+	"corona/internal/im"
+)
+
+// fakeBackend is a minimal clientproto.Backend: it records subscriptions
+// and lets the test push notifications at attached clients.
+type fakeBackend struct {
+	name string
+
+	mu         sync.Mutex
+	subs       map[string][]string // client -> urls, in arrival order
+	nakSub     string              // nak any subscribe for this URL
+	nakTimes   int                 // ... only this many times (0 = forever)
+	deliverers map[string]*attachRec
+}
+
+type attachRec struct {
+	fn func(im.Notification)
+}
+
+func newFakeBackend(name string) *fakeBackend {
+	return &fakeBackend{
+		name:       name,
+		subs:       make(map[string][]string),
+		deliverers: make(map[string]*attachRec),
+	}
+}
+
+func (b *fakeBackend) Subscribe(client, url string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if url == b.nakSub {
+		if b.nakTimes == 0 {
+			return fmt.Errorf("no such channel")
+		}
+		b.nakTimes--
+		if b.nakTimes == 0 {
+			b.nakSub = ""
+		}
+		return fmt.Errorf("transient refusal")
+	}
+	b.subs[client] = append(b.subs[client], url)
+	return nil
+}
+
+func (b *fakeBackend) Unsubscribe(client, url string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs[client] = append(b.subs[client], "-"+url)
+	return nil
+}
+
+func (b *fakeBackend) Attach(client string, deliver func(im.Notification)) func() {
+	rec := &attachRec{fn: deliver}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deliverers[client] = rec
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.deliverers[client] == rec {
+			delete(b.deliverers, client)
+		}
+	}
+}
+
+func (b *fakeBackend) Info() clientproto.ServerInfo {
+	return clientproto.ServerInfo{Node: b.name}
+}
+
+func (b *fakeBackend) subscribed(client string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.subs[client]...)
+}
+
+// notify pushes one notification at the attached client, reporting
+// whether one was attached.
+func (b *fakeBackend) notify(client string, n im.Notification) bool {
+	b.mu.Lock()
+	rec, ok := b.deliverers[client]
+	b.mu.Unlock()
+	if ok {
+		rec.fn(n)
+	}
+	return ok
+}
+
+func (b *fakeBackend) waitAttached(t *testing.T, client string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		b.mu.Lock()
+		_, ok := b.deliverers[client]
+		b.mu.Unlock()
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s: %s never attached", b.name, client)
+}
+
+func startServer(t *testing.T, b clientproto.Backend) *clientproto.Server {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := clientproto.Serve(l, b)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func testOptions() Options {
+	return Options{
+		Handle:    "alice",
+		RetryWait: 20 * time.Millisecond,
+		// Pings off: tests drive liveness through explicit closes.
+		PingInterval: -1,
+	}
+}
+
+func TestDialSubscribeNotify(t *testing.T) {
+	b := newFakeBackend("n1")
+	s := startServer(t, b)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, []string{s.Addr()}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Subscribe(ctx, "http://x/f.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.subscribed("alice"); len(got) == 0 || got[0] != "http://x/f.xml" {
+		t.Fatalf("server-side subs = %v", got)
+	}
+
+	at := time.Unix(1700000000, 0)
+	b.notify("alice", im.Notification{Client: "alice", Channel: "http://x/f.xml", Version: 7, Diff: "dd", At: at})
+	select {
+	case n := <-c.Notifications():
+		if n.Client != "alice" || n.Channel != "http://x/f.xml" || n.Version != 7 || n.Diff != "dd" || !n.At.Equal(at) {
+			t.Fatalf("notification = %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification delivered")
+	}
+
+	// ServerInfo arrived with the login ack.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if info, ok := c.ServerInfo(); ok {
+			if info.Node != "n1" {
+				t.Fatalf("ServerInfo.Node = %q", info.Node)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no ServerInfo received")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSubscribeNak(t *testing.T) {
+	b := newFakeBackend("n1")
+	b.nakSub = "http://bad/f.xml"
+	s := startServer(t, b)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, []string{s.Addr()}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe(ctx, "http://bad/f.xml"); err == nil {
+		t.Fatal("refused subscribe returned nil")
+	}
+	if got := c.Subscriptions(); len(got) != 0 {
+		t.Fatalf("refused URL stayed in desired set: %v", got)
+	}
+}
+
+func TestDialFailsWhenAllDown(t *testing.T) {
+	// A listener that is closed immediately: connection refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, []string{addr}, testOptions()); err == nil {
+		t.Fatal("Dial succeeded with no server")
+	}
+	if _, err := Dial(ctx, nil, testOptions()); err == nil {
+		t.Fatal("Dial succeeded with no addresses")
+	}
+	if _, err := Dial(ctx, []string{addr}, Options{}); err == nil {
+		t.Fatal("Dial succeeded without a handle")
+	}
+}
+
+func TestFailoverResumesAndReplaysSubscriptions(t *testing.T) {
+	b1 := newFakeBackend("n1")
+	b2 := newFakeBackend("n2")
+	s1 := startServer(t, b1)
+	s2 := startServer(t, b2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, []string{s1.Addr(), s2.Addr()}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe(ctx, "http://x/a.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(ctx, "http://x/b.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Addr(); got != s1.Addr() {
+		t.Fatalf("serving addr = %s, want %s", got, s1.Addr())
+	}
+
+	// Kill node 1. The SDK must fail over to node 2, resume, and replay
+	// both subscriptions without the application doing anything.
+	s1.Close()
+	b2.waitAttached(t, "alice")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		subs := b2.subscribed("alice")
+		if len(subs) >= 2 {
+			seen := map[string]bool{}
+			for _, s := range subs {
+				seen[s] = true
+			}
+			if !seen["http://x/a.xml"] || !seen["http://x/b.xml"] {
+				t.Fatalf("replayed subs = %v", subs)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriptions never replayed: %v", b2.subscribed("alice"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Addr(); got != s2.Addr() {
+		t.Fatalf("after failover serving addr = %s, want %s", got, s2.Addr())
+	}
+
+	// Notifications keep flowing from the new node.
+	b2.notify("alice", im.Notification{Client: "alice", Channel: "http://x/a.xml", Version: 2})
+	select {
+	case n := <-c.Notifications():
+		if n.Channel != "http://x/a.xml" || n.Version != 2 {
+			t.Fatalf("post-failover notification = %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification after failover")
+	}
+
+	// Subscribe during the failed-over state still works.
+	if err := c.Subscribe(ctx, "http://x/c.xml"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayRetriesNakedSubscription(t *testing.T) {
+	b1 := newFakeBackend("n1")
+	b2 := newFakeBackend("n2")
+	// The failover node refuses the replayed subscription twice
+	// (a transient condition, e.g. mid-handoff), then accepts.
+	b2.nakSub = "http://x/f.xml"
+	b2.nakTimes = 2
+	s1 := startServer(t, b1)
+	s2 := startServer(t, b2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, []string{s1.Addr(), s2.Addr()}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe(ctx, "http://x/f.xml"); err != nil {
+		t.Fatal(err)
+	}
+
+	s1.Close()
+	// The replay is naked twice; the watcher must keep retrying until
+	// the node accepts, with no application involvement.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(b2.subscribed("alice")) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("naked replay never retried to success")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSubscribeBlocksThroughReconnect(t *testing.T) {
+	b1 := newFakeBackend("n1")
+	b2 := newFakeBackend("n2")
+	s1 := startServer(t, b1)
+	s2 := startServer(t, b2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, []string{s1.Addr(), s2.Addr()}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Close the serving node, then immediately Subscribe: the call must
+	// ride out the reconnect and land on node 2.
+	s1.Close()
+	if err := c.Subscribe(ctx, "http://x/f.xml"); err != nil {
+		t.Fatalf("subscribe across reconnect: %v", err)
+	}
+	subs := b2.subscribed("alice")
+	if len(subs) == 0 {
+		t.Fatal("subscription did not land on the failover node")
+	}
+}
+
+func TestNotificationOverflowDropsOldest(t *testing.T) {
+	b := newFakeBackend("n1")
+	s := startServer(t, b)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	opts := testOptions()
+	opts.NotifyBuffer = 1
+	c, err := Dial(ctx, []string{s.Addr()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	b.waitAttached(t, "alice")
+	for v := uint64(1); v <= 3; v++ {
+		b.notify("alice", im.Notification{Client: "alice", Channel: "u", Version: v})
+	}
+	// The stream stays current: eventually version 3 is readable and two
+	// drops are counted.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.NotificationsDropped() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped = %d, want 2", c.NotificationsDropped())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case n := <-c.Notifications():
+		if n.Version != 3 {
+			t.Fatalf("surviving notification v%d, want v3", n.Version)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("nothing readable after overflow")
+	}
+}
+
+func TestCloseEndsNotificationStream(t *testing.T) {
+	b := newFakeBackend("n1")
+	s := startServer(t, b)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, []string{s.Addr()}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-c.Notifications():
+		if ok {
+			t.Fatal("notification after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Notifications channel not closed by Close")
+	}
+	if err := c.Subscribe(ctx, "http://x/f.xml"); err != ErrClosed {
+		t.Fatalf("Subscribe after Close = %v, want ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}

@@ -1,69 +1,66 @@
-// Command corona-client is a minimal subscriber for a live Corona node's
-// IM port: it logs in, subscribes to the given URLs, and prints
-// notifications as they arrive — the "feed reader" end of the system.
+// Command corona-client is a subscriber for a live Corona cloud, built on
+// the corona/client SDK: it connects to one of the given nodes' client
+// ports, subscribes to the given URLs, and prints notifications as they
+// arrive — the "feed reader" end of the system. Given several node
+// addresses it survives node failure: the SDK resumes the session and
+// replays the subscriptions against the next address.
 //
 // Usage:
 //
-//	corona-client -node 127.0.0.1:9101 -handle alice \
+//	corona-client -nodes 127.0.0.1:9201,127.0.0.1:9202 -handle alice \
 //	    http://127.0.0.1:8080/feed/0.xml http://127.0.0.1:8080/feed/1.xml
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
-	"strconv"
 	"strings"
+	"time"
+
+	"corona/client"
 )
 
 func main() {
-	nodeAddr := flag.String("node", "127.0.0.1:9101", "corona-node IM address")
-	handle := flag.String("handle", "reader", "IM handle to log in as")
+	nodeList := flag.String("nodes", "127.0.0.1:9201", "comma-separated corona-node client addresses (failover order)")
+	handle := flag.String("handle", "reader", "subscriber handle")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout (dial, subscribe)")
 	flag.Parse()
 	urls := flag.Args()
 	if len(urls) == 0 {
-		log.Fatal("usage: corona-client -node <addr> -handle <name> <url>...")
+		log.Fatal("usage: corona-client -nodes <addr,addr,...> -handle <name> <url>...")
 	}
-
-	conn, err := net.Dial("tcp", *nodeAddr)
-	if err != nil {
-		log.Fatalf("connecting to node: %v", err)
-	}
-	defer conn.Close()
-	out := bufio.NewWriter(conn)
-	send := func(line string) {
-		fmt.Fprintln(out, line)
-		out.Flush()
-	}
-	send("LOGIN " + *handle)
-	for _, u := range urls {
-		send("SUBSCRIBE " + u)
-	}
-	log.Printf("corona-client: logged in as %s, watching %d channels", *handle, len(urls))
-
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "MSG "):
-			rest := strings.TrimPrefix(line, "MSG ")
-			sp := strings.IndexByte(rest, ' ')
-			if sp < 0 {
-				continue
-			}
-			body, err := strconv.Unquote(rest[sp+1:])
-			if err != nil {
-				body = rest[sp+1:]
-			}
-			fmt.Printf("--- from %s ---\n%s\n", rest[:sp], body)
-		case strings.HasPrefix(line, "ERR "):
-			log.Printf("node error: %s", strings.TrimPrefix(line, "ERR "))
+	var addrs []string
+	for _, a := range strings.Split(*nodeList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatalf("connection lost: %v", err)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	conn, err := client.Dial(ctx, addrs, client.Options{Handle: *handle})
+	cancel()
+	if err != nil {
+		log.Fatalf("connecting: %v", err)
+	}
+	defer conn.Close()
+	for _, u := range urls {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		err := conn.Subscribe(ctx, u)
+		cancel()
+		if err != nil {
+			log.Fatalf("subscribe %s: %v", u, err)
+		}
+	}
+	log.Printf("corona-client: %s via %s, watching %d channels", *handle, conn.Addr(), len(urls))
+	if info, ok := conn.ServerInfo(); ok {
+		log.Printf("corona-client: node %s, %d ring peers, store enabled=%v",
+			info.Node, len(info.Peers), info.StoreEnabled)
+	}
+
+	for n := range conn.Notifications() {
+		fmt.Printf("--- %s v%d at %s ---\n%s\n",
+			n.Channel, n.Version, n.At.Format(time.RFC3339), n.Diff)
 	}
 }

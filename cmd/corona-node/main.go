@@ -1,12 +1,14 @@
 // Command corona-node runs one live Corona overlay node: it joins (or
-// bootstraps) a TCP ring, polls real HTTP feeds, and serves clients over a
-// line-oriented IM protocol on a separate port.
+// bootstraps) a TCP ring, polls real HTTP feeds, and serves clients on
+// two ports — the versioned binary client protocol (-client; what the
+// corona/client SDK and corona-client speak) and the legacy line-oriented
+// IM protocol (-im).
 //
 // Usage:
 //
-//	corona-node -bind 127.0.0.1:9001 -im 127.0.0.1:9101                  # bootstrap
-//	corona-node -bind 127.0.0.1:9002 -im 127.0.0.1:9102 -seed-node 127.0.0.1:9001
-//	corona-node -bind 127.0.0.1:9001 -im 127.0.0.1:9101 -data /var/lib/corona
+//	corona-node -bind 127.0.0.1:9001 -client 127.0.0.1:9201 -im 127.0.0.1:9101
+//	corona-node -bind 127.0.0.1:9002 -client 127.0.0.1:9202 -im 127.0.0.1:9102 -seed-node 127.0.0.1:9001
+//	corona-node -bind 127.0.0.1:9001 -client 127.0.0.1:9201 -data /var/lib/corona
 //
 // -data makes channel state durable: subscriptions, ownership, polling
 // levels and version progress are journaled to a write-ahead log (with
@@ -16,11 +18,14 @@
 // SIGTERM triggers a graceful shutdown that flushes the log; a hard kill
 // loses at most the records inside the group-commit window.
 //
-// IM protocol (one command per line):
+// The binary client protocol is specified in internal/clientproto; use
+// the corona/client package to speak it.
+//
+// Legacy IM protocol (one command per line):
 //
 //	LOGIN <handle>          register/login; notifications follow as MSG lines
-//	SUBSCRIBE <url>         subscribe to a channel
-//	UNSUBSCRIBE <url>       unsubscribe
+//	SUBSCRIBE <url>         subscribe to a channel (acked with OK/ERR)
+//	UNSUBSCRIBE <url>       unsubscribe (acked with OK/ERR)
 //	QUIT                    disconnect (handle goes offline; messages buffer)
 //
 // Server lines:
@@ -38,6 +43,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -48,7 +54,8 @@ import (
 
 func main() {
 	bind := flag.String("bind", "127.0.0.1:9001", "overlay TCP listen address")
-	imBind := flag.String("im", "127.0.0.1:9101", "IM line-protocol listen address")
+	clientBind := flag.String("client", "127.0.0.1:9201", "binary client-protocol listen address (empty = disabled)")
+	imBind := flag.String("im", "127.0.0.1:9101", "legacy IM line-protocol listen address (empty = disabled)")
 	seedNode := flag.String("seed-node", "", "existing member to join through (empty = bootstrap)")
 	scheme := flag.String("scheme", "lite", "lite, fast, fair, fair-sqrt, fair-log")
 	fastTarget := flag.Duration("fast-target", 30*time.Second, "Corona-Fast detection target")
@@ -66,6 +73,7 @@ func main() {
 		MaintenanceInterval: *maintenance,
 		NodeCountHint:       *nodes,
 		DataDir:             *dataDir,
+		ClientBind:          *clientBind,
 	}
 	if *seedNode != "" {
 		cfg.Seeds = []string{*seedNode}
@@ -74,7 +82,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("starting node: %v", err)
 	}
-	log.Printf("corona-node: overlay at %s, IM at %s, scheme %s", node.Addr(), *imBind, cfg.Scheme)
+	log.Printf("corona-node: overlay at %s, client at %s, IM at %s, scheme %s",
+		node.Addr(), node.ClientAddr(), *imBind, cfg.Scheme)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	if *imBind == "" {
+		// Client-protocol only: block until a shutdown signal.
+		sig := <-sigs
+		shutdown(node, sig)
+		return
+	}
 
 	ln, err := net.Listen("tcp", *imBind)
 	if err != nil {
@@ -85,12 +104,10 @@ func main() {
 	// A blocking Accept loop never reaches a defer, so shutdown runs off
 	// the signal handler: close the IM listener (unblocking Accept), then
 	// stop the node, which flushes the durable store.
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	var shuttingDown atomic.Bool
+	var sig os.Signal
 	go func() {
-		sig := <-sigs
-		log.Printf("corona-node: %v, shutting down", sig)
+		sig = <-sigs
 		shuttingDown.Store(true)
 		ln.Close()
 	}()
@@ -105,6 +122,13 @@ func main() {
 		}
 		go serveIM(conn, node)
 	}
+	shutdown(node, sig)
+}
+
+// shutdown is the single graceful-exit path: stop the node (flushing
+// the durable store) and report.
+func shutdown(node *corona.LiveNode, sig os.Signal) {
+	log.Printf("corona-node: %v, shutting down", sig)
 	if err := node.Close(); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
@@ -125,19 +149,43 @@ func parseScheme(s string) corona.Scheme {
 	}
 }
 
-// serveIM bridges one TCP client to the node's IM service.
+// subscriber is the node surface serveIM drives (LiveNode implements it;
+// tests substitute fakes).
+type subscriber interface {
+	Subscribe(client, url string) error
+	Unsubscribe(client, url string) error
+}
+
+// imService is the IM surface serveIM drives.
+type imService interface {
+	Register(handle string)
+	Login(handle string, deliver im.DeliverFunc) error
+	Logout(handle string)
+}
+
+// serveIM bridges one TCP client to the node's IM service, acking every
+// command: a SUBSCRIBE or UNSUBSCRIBE that cannot be issued replies ERR
+// instead of silently vanishing into a fire-and-forget IM send.
 func serveIM(conn net.Conn, node *corona.LiveNode) {
+	serveIMOn(conn, node, node.IM())
+}
+
+func serveIMOn(conn net.Conn, node subscriber, service imService) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	out := bufio.NewWriter(conn)
+	// reply is called from this goroutine (command acks) and from IM
+	// delivery callbacks on gateway pacing timers (MSG lines); the mutex
+	// keeps the two from interleaving partial lines in the writer.
+	var outMu sync.Mutex
 	reply := func(format string, args ...any) {
+		outMu.Lock()
+		defer outMu.Unlock()
 		fmt.Fprintf(out, format+"\n", args...)
 		out.Flush()
 	}
 	var handle string
-	service := node.IM()
-	gateway := node.Gateway()
 	defer func() {
 		if handle != "" {
 			service.Logout(handle)
@@ -169,9 +217,17 @@ func serveIM(conn net.Conn, node *corona.LiveNode) {
 			handle = h
 			reply("OK logged in as %s", h)
 		case cmd == "SUBSCRIBE" && len(fields) == 2 && handle != "":
-			service.Send(handle, gateway.Handle(), "subscribe "+fields[1])
+			if err := node.Subscribe(handle, fields[1]); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK subscribed %s", fields[1])
 		case cmd == "UNSUBSCRIBE" && len(fields) == 2 && handle != "":
-			service.Send(handle, gateway.Handle(), "unsubscribe "+fields[1])
+			if err := node.Unsubscribe(handle, fields[1]); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("OK unsubscribed %s", fields[1])
 		case cmd == "QUIT":
 			reply("OK bye")
 			return

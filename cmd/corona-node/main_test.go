@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"corona/internal/clock"
+	"corona/internal/im"
+)
+
+// fakeSub records subscription calls; failing ones must surface as ERR
+// lines instead of vanishing into fire-and-forget IM sends.
+type fakeSub struct {
+	subs, unsubs []string
+	fail         bool
+}
+
+func (f *fakeSub) Subscribe(client, url string) error {
+	if f.fail {
+		return fmt.Errorf("overlay unreachable")
+	}
+	f.subs = append(f.subs, client+" "+url)
+	return nil
+}
+
+func (f *fakeSub) Unsubscribe(client, url string) error {
+	f.unsubs = append(f.unsubs, client+" "+url)
+	return nil
+}
+
+func runIMSession(t *testing.T, node subscriber, service imService, lines []string) []string {
+	t.Helper()
+	clientEnd, serverEnd := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		serveIMOn(serverEnd, node, service)
+	}()
+	var replies []string
+	sc := bufio.NewScanner(clientEnd)
+	clientEnd.SetDeadline(time.Now().Add(5 * time.Second))
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(clientEnd, l); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("no reply to %q: %v", l, sc.Err())
+		}
+		replies = append(replies, sc.Text())
+	}
+	clientEnd.Close()
+	<-done
+	return replies
+}
+
+func TestServeIMAcksSubscribeCommands(t *testing.T) {
+	node := &fakeSub{}
+	service := im.NewService(clock.Real{})
+	replies := runIMSession(t, node, service, []string{
+		"LOGIN alice",
+		"SUBSCRIBE http://x/f.xml",
+		"UNSUBSCRIBE http://x/f.xml",
+		"QUIT",
+	})
+	want := []string{"OK logged in as alice", "OK subscribed http://x/f.xml", "OK unsubscribed http://x/f.xml", "OK bye"}
+	for i, w := range want {
+		if replies[i] != w {
+			t.Fatalf("reply[%d] = %q, want %q", i, replies[i], w)
+		}
+	}
+	if len(node.subs) != 1 || node.subs[0] != "alice http://x/f.xml" {
+		t.Fatalf("node subs = %v", node.subs)
+	}
+	if len(node.unsubs) != 1 {
+		t.Fatalf("node unsubs = %v", node.unsubs)
+	}
+}
+
+func TestServeIMErrsFailedSubscribe(t *testing.T) {
+	node := &fakeSub{fail: true}
+	service := im.NewService(clock.Real{})
+	replies := runIMSession(t, node, service, []string{
+		"LOGIN bob",
+		"SUBSCRIBE http://x/f.xml",
+	})
+	if !strings.HasPrefix(replies[1], "ERR") || !strings.Contains(replies[1], "overlay unreachable") {
+		t.Fatalf("failed subscribe reply = %q, want ERR with the node error", replies[1])
+	}
+}
+
+func TestServeIMRejectsCommandsBeforeLogin(t *testing.T) {
+	node := &fakeSub{}
+	service := im.NewService(clock.Real{})
+	replies := runIMSession(t, node, service, []string{"SUBSCRIBE http://x/f.xml"})
+	if !strings.HasPrefix(replies[0], "ERR") {
+		t.Fatalf("pre-login subscribe reply = %q, want ERR", replies[0])
+	}
+	if len(node.subs) != 0 {
+		t.Fatalf("pre-login subscribe reached the node: %v", node.subs)
+	}
+}

@@ -16,6 +16,11 @@
 //     hours of protocol time in milliseconds (how the paper's figures are
 //     regenerated; see internal/experiments).
 //   - LiveNode: one overlay node speaking TCP, for actual deployments.
+//
+// Subscribers of a deployed cloud use the corona/client package: a Go
+// SDK over the versioned binary client protocol (internal/clientproto)
+// with acknowledged subscriptions, structured notifications, and
+// automatic failover across nodes.
 package corona
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"corona/internal/core"
+	"corona/internal/im"
 )
 
 // Scheme selects the optimization policy (paper Table 1).
@@ -62,20 +68,13 @@ func (s Scheme) coreScheme() core.Scheme {
 	}
 }
 
-// Notification is one update delivered to a subscriber.
-type Notification struct {
-	// Client is the subscriber handle the notification was addressed to.
-	Client string
-	// Channel is the subscribed URL.
-	Channel string
-	// Version is the content version detected.
-	Version uint64
-	// Diff is the delta-encoded change (Corona's wire format; see
-	// internal/diffengine). Empty in version-only mode.
-	Diff string
-	// At is the delivery time.
-	At time.Time
-}
+// Notification is one update delivered to a subscriber: Client (the
+// handle it was addressed to), Channel (the subscribed URL), Version,
+// Diff (the delta-encoded change, see internal/diffengine; empty in
+// version-only mode) and At (the delivery time). It is the same value
+// the gateway produces and the client protocol carries, aliased so the
+// structure cannot drift between the public API and the delivery path.
+type Notification = im.Notification
 
 // Options configures a Cluster or Simulation.
 type Options struct {

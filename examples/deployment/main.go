@@ -1,16 +1,22 @@
-// Deployment: a real multi-process-shaped Corona ring over TCP loopback.
+// Deployment: a real multi-process-shaped Corona ring over TCP loopback,
+// consumed through the client SDK.
 //
 // Five live nodes join a ring over real sockets, poll a real HTTP feed
 // server (conditional GET, ETags), run the difference engine on real RSS
-// bytes, and deliver a diff to a subscriber through the IM gateway — the
-// full §5.2 deployment pipeline at laptop scale. Everything here also
-// works across machines: swap the loopback addresses for real ones
-// (see cmd/corona-node and cmd/corona-feedserver).
+// bytes, and deliver structured notifications to a subscriber speaking
+// the versioned binary client protocol — the full §5.2 deployment
+// pipeline at laptop scale, plus the part the paper's IM buddy could not
+// do: the subscriber is given two node addresses, its entry node is
+// hard-killed mid-stream, and the SDK fails over to the second node and
+// keeps receiving without re-subscribing. Everything here also works
+// across machines: swap the loopback addresses for real ones (see
+// cmd/corona-node and cmd/corona-feedserver).
 //
 //	go run ./examples/deployment
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -18,8 +24,8 @@ import (
 	"time"
 
 	"corona"
+	"corona/client"
 	"corona/internal/feed"
-	"corona/internal/im"
 	"corona/internal/webserver"
 )
 
@@ -40,12 +46,14 @@ func main() {
 	feedURL := "http://" + ln.Addr().String() + path
 	fmt.Println("feed server:", feedURL)
 
-	// 2. Five live overlay nodes over TCP loopback.
+	// 2. Five live overlay nodes over TCP loopback, each serving the
+	// binary client protocol.
 	var nodes []*corona.LiveNode
 	var seeds []string
 	for i := 0; i < 5; i++ {
 		cfg := corona.LiveConfig{
 			Bind:          "127.0.0.1:0",
+			ClientBind:    "127.0.0.1:0",
 			Seeds:         seeds,
 			PollInterval:  time.Second, // demo cadence
 			NodeCountHint: 5,
@@ -61,36 +69,60 @@ func main() {
 	}
 	fmt.Printf("ring of %d nodes up; first node at %s\n", len(nodes), nodes[0].Addr())
 
-	// 3. A client subscribes through the IM front end of node 0.
-	service := nodes[0].IM()
-	gateway := nodes[0].Gateway()
-	service.Register("alice")
-	got := make(chan im.Message, 16)
-	if err := service.Login("alice", func(m im.Message) { got <- m }); err != nil {
+	// 3. A client with two node addresses: entry node first, a sibling as
+	// the failover target.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	conn, err := client.Dial(ctx,
+		[]string{nodes[1].ClientAddr(), nodes[2].ClientAddr()},
+		client.Options{Handle: "alice", RetryWait: 200 * time.Millisecond})
+	if err != nil {
 		log.Fatal(err)
 	}
-	service.Send("alice", gateway.Handle(), "subscribe "+feedURL)
+	defer conn.Close()
+	if err := conn.Subscribe(ctx, feedURL); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice subscribed via %s\n", conn.Addr())
 
-	// 4. Wait for the subscription ack and the first real update diff.
-	deadline := time.After(30 * time.Second)
-	updates := 0
-	for updates < 2 {
+	// 4. Stream updates; after the second one, hard-kill the entry node
+	// and watch delivery continue through the failover target.
+	deadline := time.After(60 * time.Second)
+	updates, killed := 0, false
+	for updates < 4 {
 		select {
-		case m := <-got:
-			if len(m.Body) > 300 {
-				fmt.Printf("\n[IM from %s]\n%.300s\n...\n", m.From, m.Body)
-			} else {
-				fmt.Printf("\n[IM from %s] %s\n", m.From, m.Body)
+		case n, ok := <-conn.Notifications():
+			if !ok {
+				log.Fatal("notification stream closed")
 			}
-			if len(m.Body) > 6 && m.Body[:6] == "UPDATE" {
-				updates++
+			updates++
+			diff := n.Diff
+			if len(diff) > 200 {
+				diff = diff[:200] + "\n..."
+			}
+			fmt.Printf("\n[update %d] %s v%d via %s\n%s\n", updates, n.Channel, n.Version, conn.Addr(), diff)
+			if updates == 2 && !killed {
+				killed = true
+				fmt.Println("\n>>> hard-killing alice's entry node; SDK fails over <<<")
+				nodes[1].Kill()
 			}
 		case <-deadline:
 			log.Fatal("timed out waiting for updates over the live ring")
 		}
 	}
-	st := nodes[0].Stats()
-	fmt.Printf("\nnode0 stats: polls=%d detected=%d received=%d notifications=%d\n",
-		st.PollsIssued, st.UpdatesDetected, st.UpdatesReceived, st.NotificationsSent)
-	fmt.Println("live pipeline verified: TCP overlay -> HTTP polling -> diff engine -> IM delivery")
+
+	var polls, detected, received, notifications uint64
+	for i, n := range nodes {
+		if i == 1 {
+			continue // killed
+		}
+		st := n.Stats()
+		polls += st.PollsIssued
+		detected += st.UpdatesDetected
+		received += st.UpdatesReceived
+		notifications += st.NotificationsSent
+	}
+	fmt.Printf("\nring stats (survivors): polls=%d detected=%d received=%d notifications=%d\n",
+		polls, detected, received, notifications)
+	fmt.Printf("live pipeline verified: TCP overlay -> HTTP polling -> diff engine -> client protocol, with node failover (now served by %s)\n", conn.Addr())
 }

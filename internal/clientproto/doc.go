@@ -1,0 +1,86 @@
+// Package clientproto is Corona's versioned, length-framed binary client
+// protocol: the wire surface between a subscriber (the corona/client SDK)
+// and one node's client port. It replaces the prototype's stringly IM
+// line protocol as the primary ingress; the line protocol survives on a
+// separate port as a thin adapter over the same gateway.
+//
+// # Hello and version negotiation
+//
+// A connection opens with a one-byte hello in each direction, mirroring
+// netwire's codec hello. The client sends the highest protocol version it
+// speaks; the server replies with the negotiated version — the minimum of
+// the client's hello and the server's own maximum — and both sides then
+// speak that version. A server reply of 0 means no common version; the
+// connection is closed. Versions are cumulative: a version-v speaker
+// understands every frame of versions 1..v. The current version is 1.
+//
+// # Framing
+//
+// After the hello, the stream in both directions is a sequence of frames:
+//
+//	+------------+---------+----------------------+
+//	| length u32 | type u8 | body (wirebin fields) |
+//	+------------+---------+----------------------+
+//
+// length is the big-endian byte count of everything after it (type plus
+// body) and is bounded by MaxFrame (1 MiB — bodies carry diffs, not
+// feeds). A frame whose length exceeds the bound, whose type is unknown,
+// or whose body does not decode exactly (short fields or trailing bytes)
+// is a protocol error; the connection is dropped, since the stream
+// position after a framing error is unrecoverable.
+//
+// Body fields use the wirebin conventions: unsigned LEB128 varints,
+// varint-length-prefixed strings and byte strings, one-byte booleans.
+//
+// # Frames
+//
+// Client to server — every request carries a client-chosen request ID
+// that the server echoes in exactly one Ack or Nak reply:
+//
+//	0x01 Login        req uvarint · handle string · resumeToken bytes
+//	0x02 Subscribe    req uvarint · url string
+//	0x03 Unsubscribe  req uvarint · url string
+//	0x04 Ping         req uvarint
+//
+// Server to client:
+//
+//	0x10 Ack          req uvarint · token bytes (non-empty only for Login)
+//	0x11 Nak          req uvarint · reason string
+//	0x12 Notify       channel string · version uvarint · diff string ·
+//	                  at uvarint (Unix nanoseconds)
+//	0x13 ServerInfo   node string · peers list(string) ·
+//	                  store: enabled bool · generation uvarint ·
+//	                  walBytes uvarint · recordsSinceSnapshot uvarint ·
+//	                  err string
+//
+// # Sessions and resumption
+//
+// Login binds the connection to a handle. The Ack for a first login (empty
+// resumeToken) carries a server-minted token; the client presents it on
+// every later Login. The token is a session-displacement guard, not
+// authentication (the system has none, like the prototype's IM buddy): a
+// Login for a handle with a live session on the same node is refused
+// unless it presents the live session's token, in which case the stale
+// connection is closed and the new one takes over — the half-open socket
+// a crashed client leaves behind cannot lock its handle out. A node that
+// has no live session for the handle accepts any token and adopts it, so
+// a client failing over to a sibling node resumes with the token it
+// already holds.
+//
+// Subscriptions live in the overlay (at the channel's owner), not in the
+// session: a reconnecting client replays its subscription set after
+// Login, which re-points the owner's entry-node record at the node it is
+// now connected to. That replay is the client half of failover; the
+// durable store (internal/store) is the server half.
+//
+// After a successful Login, and again after every Ping ack, the server
+// pushes a ServerInfo frame: the node's advertised overlay endpoint, the
+// overlay endpoints of its leaf-set siblings (operator-visible topology,
+// not dialable client ports), and the durable store's health — WAL size,
+// records since the last snapshot, and the latched IO error, empty when
+// the store is healthy or the node runs in-memory.
+//
+// Notify frames are unacknowledged and may arrive at any time after
+// Login; ordering is per-channel by version, with no cross-channel
+// guarantee.
+package clientproto

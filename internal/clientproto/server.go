@@ -1,0 +1,311 @@
+package clientproto
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corona/internal/im"
+)
+
+// Server tunables.
+const (
+	// outQueueLen is the per-connection outbound frame queue depth.
+	// Notifications to a client that cannot drain them are dropped
+	// (and counted); control replies wait for space.
+	outQueueLen = 256
+	// writeTimeout bounds one frame write to a client.
+	writeTimeout = 10 * time.Second
+	// tokenLen is the resume-token size in bytes.
+	tokenLen = 16
+)
+
+// Backend is the node surface the protocol server drives: subscription
+// calls, structured-notification attachment, and the node's ServerInfo
+// advertisement. corona.LiveNode implements it.
+type Backend interface {
+	// Subscribe registers a client's interest in a channel URL, with
+	// this node as the client's entry point.
+	Subscribe(client, url string) error
+	// Unsubscribe removes it.
+	Unsubscribe(client, url string) error
+	// Attach registers a structured-notification deliverer for client,
+	// displacing any previous one; the returned detach removes it.
+	Attach(client string, deliver func(im.Notification)) (detach func())
+	// Info returns the node's current ServerInfo advertisement.
+	Info() ServerInfo
+}
+
+// session is one logged-in connection's server-side state.
+type session struct {
+	conn  net.Conn
+	token []byte
+}
+
+// Server accepts client-protocol connections on a listener and serves
+// them against a Backend.
+type Server struct {
+	backend Backend
+
+	mu       sync.Mutex
+	listener net.Listener
+	sessions map[string]*session // handle -> live session
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	notifyDropped atomic.Uint64
+}
+
+// Serve starts accepting connections from ln. Close stops the server and
+// every live connection.
+func Serve(ln net.Listener, backend Backend) *Server {
+	s := &Server{
+		backend:  backend,
+		listener: ln,
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// NotifyDropped returns how many notification frames were discarded
+// because a client's outbound queue was full.
+func (s *Server) NotifyDropped() uint64 { return s.notifyDropped.Load() }
+
+// Close shuts the listener and every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := s.conns
+	s.conns = map[net.Conn]struct{}{}
+	s.mu.Unlock()
+	for c := range conns {
+		c.Close()
+	}
+	return s.listener.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) forget(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn owns one connection: hello negotiation, then a read loop
+// dispatching requests, with all writes funneled through one writer
+// goroutine so notification delivery (from gateway goroutines) cannot
+// interleave frames with request replies.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.forget(conn)
+	if _, err := Negotiate(conn); err != nil {
+		return
+	}
+
+	// The out channel is never closed (late notification deliverers may
+	// race past detach); the writer exits on readerDone and, after a write
+	// error, keeps draining so no sender can block on a dead connection.
+	out := make(chan Frame, outQueueLen)
+	readerDone := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriter(conn)
+		var buf []byte // reused encode buffer; frames are copied into bw
+		dead := false
+		for {
+			select {
+			case f := <-out:
+				if dead {
+					continue
+				}
+				buf = AppendFrame(buf[:0], f)
+				if len(buf)-4 > MaxFrame {
+					// An oversized frame would make the client's decoder
+					// drop the connection; skip it instead (a >1MiB diff,
+					// in practice) and count the lost notification.
+					if _, isNotify := f.(*Notify); isNotify {
+						s.notifyDropped.Add(1)
+					}
+					continue
+				}
+				conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+				_, err := bw.Write(buf)
+				// Flush when the queue runs dry; consecutive frames
+				// coalesce into one syscall.
+				if err == nil && len(out) == 0 {
+					err = bw.Flush()
+				}
+				if err != nil {
+					conn.Close() // unblocks the reader; it cleans up
+					dead = true
+				}
+			case <-readerDone:
+				if !dead {
+					bw.Flush()
+				}
+				return
+			}
+		}
+	}()
+	defer func() { <-writerDone }()
+	defer close(readerDone)
+
+	// reply enqueues a control frame, waiting for space: acks and naks
+	// are request-paced and must not be lost to a burst of notifications.
+	// The writer drains even after a write error, so this cannot wedge.
+	reply := func(f Frame) { out <- f }
+
+	var handle string
+	var detach func()
+	defer func() {
+		if detach != nil {
+			detach()
+		}
+		if handle != "" {
+			s.endSession(handle, conn)
+		}
+	}()
+
+	br := bufio.NewReader(conn)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			return // EOF, network error, or malformed frame: drop the conn
+		}
+		switch req := f.(type) {
+		case *Login:
+			if handle != "" {
+				reply(&Nak{ReqID: req.ReqID, Reason: "already logged in as " + handle})
+				continue
+			}
+			if req.Handle == "" {
+				reply(&Nak{ReqID: req.ReqID, Reason: "empty handle"})
+				continue
+			}
+			deliver := func(n im.Notification) {
+				nf := &Notify{Channel: n.Channel, Version: n.Version, Diff: n.Diff, At: n.At}
+				select {
+				case out <- nf:
+				default:
+					s.notifyDropped.Add(1)
+				}
+			}
+			token, det, ok := s.beginSession(req.Handle, req.ResumeToken, conn, deliver)
+			if !ok {
+				reply(&Nak{ReqID: req.ReqID, Reason: "handle in use (resume token mismatch)"})
+				continue
+			}
+			handle, detach = req.Handle, det
+			reply(&Ack{ReqID: req.ReqID, Token: token})
+			reply(s.info())
+		case *Subscribe:
+			s.subReply(req.ReqID, handle, req.URL, false, reply)
+		case *Unsubscribe:
+			s.subReply(req.ReqID, handle, req.URL, true, reply)
+		case *Ping:
+			reply(&Ack{ReqID: req.ReqID})
+			reply(s.info())
+		default:
+			return // a server-to-client frame from a client: protocol error
+		}
+	}
+}
+
+// subReply runs one subscribe/unsubscribe request and acks or naks it.
+func (s *Server) subReply(reqID uint64, handle, url string, remove bool, reply func(Frame)) {
+	if handle == "" {
+		reply(&Nak{ReqID: reqID, Reason: "not logged in"})
+		return
+	}
+	if url == "" {
+		reply(&Nak{ReqID: reqID, Reason: "empty url"})
+		return
+	}
+	var err error
+	if remove {
+		err = s.backend.Unsubscribe(handle, url)
+	} else {
+		err = s.backend.Subscribe(handle, url)
+	}
+	if err != nil {
+		reply(&Nak{ReqID: reqID, Reason: err.Error()})
+		return
+	}
+	reply(&Ack{ReqID: reqID})
+}
+
+// info snapshots the backend's ServerInfo as a frame.
+func (s *Server) info() *ServerInfo {
+	si := s.backend.Info()
+	return &si
+}
+
+// beginSession claims handle for conn and attaches its notification
+// deliverer in one atomic step (a same-handle login racing in after the
+// claim must not interleave its attach with ours, or the survivor could
+// end up deliverer-less). A live session for the handle is displaced —
+// its connection closed — only when the presented token matches its
+// token; otherwise the claim is refused. With no live session, a
+// presented token is adopted (failover resume on a node that never saw
+// this client) and an empty one is replaced by a fresh mint.
+func (s *Server) beginSession(handle string, token []byte, conn net.Conn, deliver func(im.Notification)) ([]byte, func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.sessions[handle]; ok {
+		if len(token) == 0 || !bytes.Equal(token, prev.token) {
+			return nil, nil, false
+		}
+		prev.conn.Close() // stale connection; its reader cleans up
+	}
+	if len(token) == 0 {
+		token = make([]byte, tokenLen)
+		rand.Read(token)
+	}
+	s.sessions[handle] = &session{conn: conn, token: token}
+	// Attach under s.mu: the gateway's lock is leaf-level (it never calls
+	// back into the server), and the displaced session's own detach is
+	// identity-guarded, so ordering is now claim+attach as one unit.
+	detach := s.backend.Attach(handle, deliver)
+	return token, detach, true
+}
+
+// endSession releases handle if conn still owns it (a displaced session
+// must not end its successor).
+func (s *Server) endSession(handle string, conn net.Conn) {
+	s.mu.Lock()
+	if sess, ok := s.sessions[handle]; ok && sess.conn == conn {
+		delete(s.sessions, handle)
+	}
+	s.mu.Unlock()
+}

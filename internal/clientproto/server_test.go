@@ -1,0 +1,281 @@
+package clientproto
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"corona/internal/im"
+)
+
+// fakeBackend records subscription calls and lets tests drive attached
+// deliverers directly. Detach is identity-guarded like the gateway's: a
+// displaced session's late detach must not remove its successor.
+type attachRec struct {
+	fn func(im.Notification)
+}
+
+type fakeBackend struct {
+	mu         sync.Mutex
+	subs       []string
+	unsubs     []string
+	failSub    bool
+	deliverers map[string]*attachRec
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{deliverers: make(map[string]*attachRec)}
+}
+
+func (b *fakeBackend) Subscribe(client, url string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failSub {
+		return fmt.Errorf("overlay down")
+	}
+	b.subs = append(b.subs, client+" "+url)
+	return nil
+}
+
+func (b *fakeBackend) Unsubscribe(client, url string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.unsubs = append(b.unsubs, client+" "+url)
+	return nil
+}
+
+func (b *fakeBackend) Attach(client string, deliver func(im.Notification)) func() {
+	rec := &attachRec{fn: deliver}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deliverers[client] = rec
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.deliverers[client] == rec {
+			delete(b.deliverers, client)
+		}
+	}
+}
+
+func (b *fakeBackend) Info() ServerInfo {
+	return ServerInfo{
+		Node:  "overlay:1",
+		Peers: []string{"overlay:2"},
+		Store: StoreInfo{Enabled: true, Generation: 2, WALBytes: 512, RecordsSinceSnapshot: 5},
+	}
+}
+
+func (b *fakeBackend) notify(client string, n im.Notification) bool {
+	b.mu.Lock()
+	rec, ok := b.deliverers[client]
+	b.mu.Unlock()
+	if ok {
+		rec.fn(n)
+	}
+	return ok
+}
+
+func (b *fakeBackend) attached(client string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.deliverers[client]
+	return ok
+}
+
+// testClient is a minimal raw-protocol client for server tests.
+type testClient struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialServer(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Hello(conn); err != nil {
+		t.Fatal(err)
+	}
+	return &testClient{t: t, conn: conn}
+}
+
+func (c *testClient) send(f Frame) {
+	c.t.Helper()
+	if err := WriteFrame(c.conn, f); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *testClient) read() Frame {
+	c.t.Helper()
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := ReadFrame(c.conn)
+	if err != nil {
+		c.t.Fatalf("read frame: %v", err)
+	}
+	return f
+}
+
+func startServer(t *testing.T, b Backend) *Server {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Serve(l, b)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestServerLoginSubscribeNotify(t *testing.T) {
+	b := newFakeBackend()
+	s := startServer(t, b)
+	c := dialServer(t, s.Addr())
+	defer c.conn.Close()
+
+	c.send(&Login{ReqID: 1, Handle: "alice"})
+	ack, ok := c.read().(*Ack)
+	if !ok || ack.ReqID != 1 {
+		t.Fatalf("login reply = %#v", ack)
+	}
+	if len(ack.Token) == 0 {
+		t.Fatal("login ack carried no resume token")
+	}
+	si, ok := c.read().(*ServerInfo)
+	if !ok || si.Node != "overlay:1" || !si.Store.Enabled || si.Store.WALBytes != 512 {
+		t.Fatalf("post-login ServerInfo = %#v", si)
+	}
+
+	c.send(&Subscribe{ReqID: 2, URL: "http://x/f.xml"})
+	if a, ok := c.read().(*Ack); !ok || a.ReqID != 2 {
+		t.Fatalf("subscribe reply = %#v", a)
+	}
+	b.mu.Lock()
+	subs := append([]string(nil), b.subs...)
+	b.mu.Unlock()
+	if len(subs) != 1 || subs[0] != "alice http://x/f.xml" {
+		t.Fatalf("backend subs = %v", subs)
+	}
+
+	// A notification delivered through the attachment arrives as a frame.
+	at := time.Unix(1700000000, 0)
+	if !b.notify("alice", im.Notification{Client: "alice", Channel: "http://x/f.xml", Version: 3, Diff: "d", At: at}) {
+		t.Fatal("alice not attached after login")
+	}
+	n, ok := c.read().(*Notify)
+	if !ok || n.Channel != "http://x/f.xml" || n.Version != 3 || n.Diff != "d" || !n.At.Equal(at) {
+		t.Fatalf("notify frame = %#v", n)
+	}
+
+	c.send(&Unsubscribe{ReqID: 3, URL: "http://x/f.xml"})
+	if a, ok := c.read().(*Ack); !ok || a.ReqID != 3 {
+		t.Fatalf("unsubscribe reply = %#v", a)
+	}
+
+	// Ping is acked and refreshes ServerInfo.
+	c.send(&Ping{ReqID: 4})
+	if a, ok := c.read().(*Ack); !ok || a.ReqID != 4 {
+		t.Fatalf("ping reply = %#v", a)
+	}
+	if _, ok := c.read().(*ServerInfo); !ok {
+		t.Fatal("no ServerInfo after ping")
+	}
+}
+
+func TestServerRequiresLogin(t *testing.T) {
+	b := newFakeBackend()
+	s := startServer(t, b)
+	c := dialServer(t, s.Addr())
+	defer c.conn.Close()
+	c.send(&Subscribe{ReqID: 1, URL: "http://x/f.xml"})
+	nak, ok := c.read().(*Nak)
+	if !ok || nak.ReqID != 1 {
+		t.Fatalf("reply = %#v, want Nak", nak)
+	}
+}
+
+func TestServerNaksFailedSubscribe(t *testing.T) {
+	b := newFakeBackend()
+	b.failSub = true
+	s := startServer(t, b)
+	c := dialServer(t, s.Addr())
+	defer c.conn.Close()
+	c.send(&Login{ReqID: 1, Handle: "alice"})
+	c.read() // ack
+	c.read() // server info
+	c.send(&Subscribe{ReqID: 2, URL: "http://x/f.xml"})
+	nak, ok := c.read().(*Nak)
+	if !ok || nak.Reason != "overlay down" {
+		t.Fatalf("reply = %#v, want Nak(overlay down)", nak)
+	}
+}
+
+func TestServerResumeTokenDisplacesStaleSession(t *testing.T) {
+	b := newFakeBackend()
+	s := startServer(t, b)
+
+	c1 := dialServer(t, s.Addr())
+	defer c1.conn.Close()
+	c1.send(&Login{ReqID: 1, Handle: "alice"})
+	ack := c1.read().(*Ack)
+	token := ack.Token
+	c1.read() // server info
+
+	// A second login without the token is refused.
+	c2 := dialServer(t, s.Addr())
+	defer c2.conn.Close()
+	c2.send(&Login{ReqID: 1, Handle: "alice"})
+	if nak, ok := c2.read().(*Nak); !ok {
+		t.Fatalf("tokenless second login got %#v, want Nak", nak)
+	}
+
+	// With the token it displaces the stale session.
+	c3 := dialServer(t, s.Addr())
+	defer c3.conn.Close()
+	c3.send(&Login{ReqID: 1, Handle: "alice", ResumeToken: token})
+	ack3, ok := c3.read().(*Ack)
+	if !ok {
+		t.Fatalf("resume login refused")
+	}
+	if string(ack3.Token) != string(token) {
+		t.Fatal("resume changed the token")
+	}
+	c3.read() // server info
+
+	// The displaced connection is closed by the server.
+	c1.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		if _, err := ReadFrame(c1.conn); err != nil {
+			break
+		}
+	}
+
+	// The new session receives notifications.
+	deadline := time.Now().Add(5 * time.Second)
+	for !b.attached("alice") && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !b.notify("alice", im.Notification{Client: "alice", Channel: "u", Version: 1}) {
+		t.Fatal("alice not attached after displacement")
+	}
+	if n, ok := c3.read().(*Notify); !ok || n.Version != 1 {
+		t.Fatalf("notify after displacement = %#v", n)
+	}
+}
+
+func TestServerDropsMalformedStream(t *testing.T) {
+	b := newFakeBackend()
+	s := startServer(t, b)
+	c := dialServer(t, s.Addr())
+	defer c.conn.Close()
+	// An unknown frame type drops the connection.
+	c.conn.Write([]byte{0, 0, 0, 2, 0x7F, 0x00})
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := ReadFrame(c.conn); err == nil {
+		t.Fatal("server kept a malformed stream alive")
+	}
+}

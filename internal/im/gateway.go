@@ -18,12 +18,46 @@ type Subscriber interface {
 	Unsubscribe(client, url string) error
 }
 
-// Gateway is the intermediary between the IM service and Corona nodes —
-// the prototype's centralized stop-gap for the single-login constraint
-// (§4). It owns the "corona" buddy handle: inbound messages carry
-// subscription commands; outbound notifications are paced so updates are
-// not sent in bursts ("Corona's implementation limits the rate of updates
-// sent to clients and avoids sending updates in bursts", §4).
+// Notification is one structured update notification: what the node
+// detected, addressed to one subscriber. The client protocol server
+// delivers it as a typed frame; the legacy IM path renders it to text.
+type Notification struct {
+	// Client is the subscriber handle the notification is addressed to.
+	Client string
+	// Channel is the subscribed URL.
+	Channel string
+	// Version is the content version detected.
+	Version uint64
+	// Diff is the delta-encoded change (see internal/diffengine).
+	Diff string
+	// At is the gateway-side emission time.
+	At time.Time
+}
+
+// LegacyBody renders the notification as the prototype's IM message text
+// ("UPDATE <url> v<version>" followed by the diff), the wire form the
+// line protocol has always carried.
+func (n Notification) LegacyBody() string {
+	return fmt.Sprintf("UPDATE %s v%d\n%s", n.Channel, n.Version, n.Diff)
+}
+
+// Deliverer consumes structured notifications for one attached client.
+type Deliverer func(Notification)
+
+// Gateway is the intermediary between clients and Corona nodes — the
+// prototype's centralized stop-gap for the single-login constraint (§4),
+// generalized: it owns the "corona" buddy handle on the IM service and,
+// for clients attached through the binary client protocol, delivers
+// structured notifications directly.
+//
+// Delivery is two-tier. A client with an attached Deliverer (the client
+// protocol server registers one per connection) receives the structured
+// Notification immediately — typed frames need no IM-era pacing. Every
+// other client gets the legacy path: the notification is rendered to IM
+// text and sent through the pacing queue, which spaces outgoing messages
+// so updates are not sent in bursts ("Corona's implementation limits the
+// rate of updates sent to clients and avoids sending updates in bursts",
+// §4).
 type Gateway struct {
 	service *Service
 	clk     clock.Clock
@@ -31,15 +65,25 @@ type Gateway struct {
 	node    Subscriber
 
 	mu       sync.Mutex
+	attached map[string]*attachment
 	queue    []queued
 	draining bool
-	// paceInterval is the gap enforced between outgoing notifications.
+	// paceInterval is the gap enforced between outgoing legacy
+	// notifications.
 	paceInterval time.Duration
 
 	notifyCounts map[string]uint64 // url -> clients notified (counting mode)
+	undeliverable uint64           // notifications with no deliverer and no IM account
 }
 
-// queued is one pending outgoing notification.
+// attachment is one registered structured deliverer; the pointer's
+// identity lets Detach remove only its own registration after a
+// replacement.
+type attachment struct {
+	deliver Deliverer
+}
+
+// queued is one pending outgoing legacy notification.
 type queued struct {
 	to   string
 	body string
@@ -53,6 +97,7 @@ func NewGateway(service *Service, clk clock.Clock, handle string, node Subscribe
 		clk:          clk,
 		handle:       handle,
 		node:         node,
+		attached:     make(map[string]*attachment),
 		paceInterval: 20 * time.Millisecond,
 		notifyCounts: make(map[string]uint64),
 	}
@@ -61,7 +106,7 @@ func NewGateway(service *Service, clk clock.Clock, handle string, node Subscribe
 	return g
 }
 
-// SetPaceInterval adjusts the outgoing notification spacing.
+// SetPaceInterval adjusts the outgoing legacy-notification spacing.
 func (g *Gateway) SetPaceInterval(d time.Duration) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -72,6 +117,34 @@ func (g *Gateway) SetPaceInterval(d time.Duration) {
 
 // Handle returns the gateway's buddy handle.
 func (g *Gateway) Handle() string { return g.handle }
+
+// Attach registers a structured deliverer for client, replacing any
+// previous one (a reconnecting client displaces its stale registration).
+// Notifications for the client bypass the IM text path while attached.
+// The returned detach func removes the registration — but only if it has
+// not already been replaced by a newer Attach, so a slow-dying old
+// connection cannot detach its successor.
+func (g *Gateway) Attach(client string, deliver Deliverer) (detach func()) {
+	a := &attachment{deliver: deliver}
+	g.mu.Lock()
+	g.attached[client] = a
+	g.mu.Unlock()
+	return func() {
+		g.mu.Lock()
+		if g.attached[client] == a {
+			delete(g.attached, client)
+		}
+		g.mu.Unlock()
+	}
+}
+
+// Attached reports whether client currently has a structured deliverer.
+func (g *Gateway) Attached(client string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.attached[client]
+	return ok
+}
 
 // handleInbound parses user commands: "subscribe <url>" and
 // "unsubscribe <url>" (§3.5).
@@ -108,13 +181,25 @@ func (g *Gateway) reply(to, body string) {
 	g.service.Send(g.handle, to, body)
 }
 
-// Notify implements the Corona node's Notifier: the update diff travels to
-// the subscriber as an instant message, through the pacing queue.
+// Notify implements the Corona node's Notifier. An attached client gets
+// the structured notification immediately; everyone else gets the legacy
+// IM rendering through the pacing queue.
 func (g *Gateway) Notify(client, channelURL string, version uint64, diff string) {
-	body := fmt.Sprintf("UPDATE %s v%d\n%s", channelURL, version, diff)
+	n := Notification{
+		Client:  client,
+		Channel: channelURL,
+		Version: version,
+		Diff:    diff,
+		At:      g.clk.Now(),
+	}
 	g.mu.Lock()
-	g.queue = append(g.queue, queued{to: client, body: body})
 	g.notifyCounts[channelURL]++
+	if a, ok := g.attached[client]; ok {
+		g.mu.Unlock()
+		a.deliver(n)
+		return
+	}
+	g.queue = append(g.queue, queued{to: client, body: n.LegacyBody()})
 	start := !g.draining
 	g.draining = true
 	g.mu.Unlock()
@@ -152,6 +237,14 @@ func (g *Gateway) drainOne() {
 		g.clk.AfterFunc(time.Minute, g.drainOne)
 		return
 	}
+	if err == ErrUnknownUser {
+		// No deliverer and no IM account: the client left this node (a
+		// protocol client that failed over elsewhere); its replayed
+		// subscription redirects future notifications.
+		g.mu.Lock()
+		g.undeliverable++
+		g.mu.Unlock()
+	}
 	g.clk.AfterFunc(g.paceInterval, g.drainOne)
 }
 
@@ -162,7 +255,15 @@ func (g *Gateway) Notified(url string) uint64 {
 	return g.notifyCounts[url]
 }
 
-// QueueDepth returns the number of notifications awaiting pacing.
+// Undeliverable returns how many notifications found neither an attached
+// deliverer nor an IM account for their client.
+func (g *Gateway) Undeliverable() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.undeliverable
+}
+
+// QueueDepth returns the number of legacy notifications awaiting pacing.
 func (g *Gateway) QueueDepth() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()

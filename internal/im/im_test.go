@@ -227,3 +227,80 @@ func TestNotifyCountAccumulates(t *testing.T) {
 		t.Fatalf("Notified = %d, want 500", got)
 	}
 }
+
+func TestGatewayAttachedDeliveryBypassesPacing(t *testing.T) {
+	sim := eventsim.New(1)
+	s := NewService(sim)
+	g := NewGateway(s, sim, "corona", &fakeNode{})
+	g.SetPaceInterval(time.Hour) // pacing would stall a legacy queue
+
+	var got []Notification
+	detach := g.Attach("alice", func(n Notification) { got = append(got, n) })
+	for i := uint64(1); i <= 3; i++ {
+		g.Notify("alice", "http://x/f.xml", i, "d")
+	}
+	// No simulated time passes: structured delivery is immediate.
+	if len(got) != 3 || got[0].Version != 1 || got[2].Version != 3 {
+		t.Fatalf("structured notifications = %+v", got)
+	}
+	if got[0].Channel != "http://x/f.xml" || got[0].Client != "alice" || got[0].Diff != "d" {
+		t.Fatalf("notification fields = %+v", got[0])
+	}
+	if g.QueueDepth() != 0 {
+		t.Fatalf("legacy queue depth = %d, want 0", g.QueueDepth())
+	}
+	if g.Notified("http://x/f.xml") != 3 {
+		t.Fatalf("Notified = %d", g.Notified("http://x/f.xml"))
+	}
+
+	// After detach, notifications fall back to the legacy IM path.
+	detach()
+	s.Register("alice")
+	var legacy []string
+	s.Login("alice", func(m Message) { legacy = append(legacy, m.Body) })
+	g.SetPaceInterval(time.Millisecond)
+	g.Notify("alice", "http://x/f.xml", 4, "d4")
+	sim.RunFor(time.Second)
+	if len(legacy) != 1 || !strings.HasPrefix(legacy[0], "UPDATE http://x/f.xml v4") {
+		t.Fatalf("legacy fallback = %v", legacy)
+	}
+}
+
+func TestGatewayAttachReplacesAndGuardsDetach(t *testing.T) {
+	sim := eventsim.New(1)
+	s := NewService(sim)
+	g := NewGateway(s, sim, "corona", &fakeNode{})
+
+	var first, second int
+	detach1 := g.Attach("alice", func(Notification) { first++ })
+	g.Attach("alice", func(Notification) { second++ })
+	// The stale registration's detach must not remove its successor.
+	detach1()
+	if !g.Attached("alice") {
+		t.Fatal("stale detach removed the replacement deliverer")
+	}
+	g.Notify("alice", "u", 1, "")
+	if first != 0 || second != 1 {
+		t.Fatalf("delivery counts = (%d, %d), want (0, 1)", first, second)
+	}
+}
+
+func TestGatewayCountsUndeliverable(t *testing.T) {
+	sim := eventsim.New(1)
+	s := NewService(sim)
+	g := NewGateway(s, sim, "corona", &fakeNode{})
+	g.SetPaceInterval(time.Millisecond)
+	// No deliverer, no IM account: the notification has nowhere to go.
+	g.Notify("ghost", "http://x/f.xml", 1, "d")
+	sim.RunFor(time.Second)
+	if g.Undeliverable() != 1 {
+		t.Fatalf("Undeliverable = %d, want 1", g.Undeliverable())
+	}
+}
+
+func TestNotificationLegacyBody(t *testing.T) {
+	n := Notification{Channel: "http://x/f.xml", Version: 12, Diff: "a\nb"}
+	if got := n.LegacyBody(); got != "UPDATE http://x/f.xml v12\na\nb" {
+		t.Fatalf("LegacyBody = %q", got)
+	}
+}

@@ -373,6 +373,40 @@ func (s *Store) Err() error {
 	return s.err
 }
 
+// Stats is an operator-facing snapshot of the store's durability state.
+type Stats struct {
+	// Generation is the current snapshot/WAL generation.
+	Generation uint64
+	// WALBytes is the current write-ahead log's size on disk, header
+	// included (pending uncommitted frames are not yet counted).
+	WALBytes int64
+	// RecordsSinceSnapshot counts records appended since the last
+	// compaction — what a restart right now would have to replay.
+	RecordsSinceSnapshot int
+	// Channels is the materialized image's channel count.
+	Channels int
+	// Err is the latched first IO error, nil while durability is intact.
+	Err error
+}
+
+// Stats snapshots the store's durability state for observability:
+// WAL growth, replay debt since the last snapshot, and the latched IO
+// error an operator must see before trusting a restart.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Generation:           s.gen,
+		RecordsSinceSnapshot: s.walRecords,
+		Channels:             len(s.state),
+		Err:                  s.err,
+	}
+	if s.wal != nil {
+		st.WALBytes = s.wal.bytes
+	}
+	return st
+}
+
 // Channels returns a copy of the current materialized image (tests,
 // introspection).
 func (s *Store) Channels() []Channel {

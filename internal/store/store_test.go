@@ -355,3 +355,48 @@ func TestAppendAfterCloseIsNoop(t *testing.T) {
 		t.Fatalf("append after close leaked: %+v", recovered)
 	}
 }
+
+func TestStatsTrackWALGrowthAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Options{Dir: dir, CommitWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	st := s.Stats()
+	if st.RecordsSinceSnapshot != 0 || st.Err != nil {
+		t.Fatalf("fresh store stats = %+v", st)
+	}
+	base := st.WALBytes
+	if base <= 0 {
+		t.Fatalf("fresh WAL reports %d bytes, want the header", base)
+	}
+
+	for i := 0; i < 10; i++ {
+		s.Append(Record{Op: OpSubscribe, URL: "http://x/f.xml", Sub: Sub{Client: "alice", EntryEndpoint: "n1:1"}})
+	}
+	st = s.Stats()
+	if st.RecordsSinceSnapshot != 10 {
+		t.Fatalf("RecordsSinceSnapshot = %d, want 10", st.RecordsSinceSnapshot)
+	}
+	if st.WALBytes <= base {
+		t.Fatalf("WALBytes = %d after 10 records, want > %d", st.WALBytes, base)
+	}
+	if st.Channels != 1 {
+		t.Fatalf("Channels = %d, want 1", st.Channels)
+	}
+
+	// Compaction rotates to a fresh generation and resets the counters.
+	gen := st.Generation
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Generation != gen+1 {
+		t.Fatalf("Generation = %d after compaction, want %d", st.Generation, gen+1)
+	}
+	if st.RecordsSinceSnapshot != 0 {
+		t.Fatalf("RecordsSinceSnapshot = %d after compaction, want 0", st.RecordsSinceSnapshot)
+	}
+}

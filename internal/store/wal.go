@@ -40,9 +40,10 @@ func appendWALHeader(dst []byte, gen uint64) []byte {
 
 // walFile is an open, append-only log.
 type walFile struct {
-	f    *os.File
-	path string
-	gen  uint64
+	f     *os.File
+	path  string
+	gen   uint64
+	bytes int64 // file size, header included (observability)
 }
 
 // createWAL creates (truncating any leftover) the generation-gen log and
@@ -52,7 +53,8 @@ func createWAL(path string, gen uint64) (*walFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Write(appendWALHeader(nil, gen)); err != nil {
+	header := appendWALHeader(nil, gen)
+	if _, err := f.Write(header); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -60,7 +62,7 @@ func createWAL(path string, gen uint64) (*walFile, error) {
 		f.Close()
 		return nil, err
 	}
-	return &walFile{f: f, path: path, gen: gen}, nil
+	return &walFile{f: f, path: path, gen: gen, bytes: int64(len(header))}, nil
 }
 
 // commit appends buffered frames and fsyncs — one group commit.
@@ -68,7 +70,9 @@ func (w *walFile) commit(frames []byte) error {
 	if len(frames) == 0 {
 		return nil
 	}
-	if _, err := w.f.Write(frames); err != nil {
+	n, err := w.f.Write(frames)
+	w.bytes += int64(n)
+	if err != nil {
 		return fmt.Errorf("store: wal write: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {

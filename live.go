@@ -2,8 +2,10 @@ package corona
 
 import (
 	"fmt"
+	"net"
 	"time"
 
+	"corona/internal/clientproto"
 	"corona/internal/clock"
 	"corona/internal/codec"
 	"corona/internal/core"
@@ -48,6 +50,11 @@ type LiveConfig struct {
 	// state a hard kill may lose). Zero uses the store default; negative
 	// fsyncs every record.
 	CommitWindow time.Duration
+	// ClientBind, when set, serves the binary client protocol
+	// (internal/clientproto; the corona/client SDK's wire format) on this
+	// TCP address alongside the overlay port. Empty starts no client
+	// listener; ServeClients can start one later.
+	ClientBind string
 }
 
 // LiveNode is one Corona overlay member speaking TCP, polling real HTTP
@@ -58,7 +65,8 @@ type LiveNode struct {
 	node      *core.Node
 	notifier  *im.Gateway
 	service   *im.Service
-	store     *store.Store // nil when DataDir is unset
+	store     *store.Store       // nil when DataDir is unset
+	clients   *clientproto.Server // nil until ServeClients
 }
 
 func init() {
@@ -172,6 +180,12 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		// hand the rest to their current owners via the replicate path.
 		node.ReconcileRecovered()
 	}
+	if cfg.ClientBind != "" {
+		if _, err := ln.ServeClients(cfg.ClientBind); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	return ln, nil
 }
 
@@ -185,8 +199,8 @@ func (ln *LiveNode) IM() *im.Service { return ln.service }
 // Gateway returns the node's IM gateway (the "corona" buddy).
 func (ln *LiveNode) Gateway() *im.Gateway { return ln.notifier }
 
-// Subscribe registers a client directly (bypassing IM), for programmatic
-// use.
+// Subscribe registers a client directly (bypassing the client protocol
+// and IM front ends), with this node as the client's entry point.
 func (ln *LiveNode) Subscribe(client, url string) error {
 	return ln.node.Subscribe(client, url)
 }
@@ -196,8 +210,102 @@ func (ln *LiveNode) Unsubscribe(client, url string) error {
 	return ln.node.Unsubscribe(client, url)
 }
 
-// Stats exposes the node's activity counters.
-func (ln *LiveNode) Stats() core.Stats { return ln.node.Stats() }
+// ServeClients starts serving the binary client protocol on bind and
+// returns the bound address. A node serves at most one client listener,
+// which closes with the node; call it once, before the node is shared
+// across goroutines (StartLiveNode does, when ClientBind is set).
+func (ln *LiveNode) ServeClients(bind string) (addr string, err error) {
+	if ln.clients != nil {
+		return "", fmt.Errorf("corona: client listener already running at %s", ln.clients.Addr())
+	}
+	l, err := net.Listen("tcp", bind)
+	if err != nil {
+		return "", fmt.Errorf("corona: client listener: %w", err)
+	}
+	ln.clients = clientproto.Serve(l, ln)
+	return ln.clients.Addr(), nil
+}
+
+// ClientAddr returns the client-protocol listen address, empty when no
+// client listener is running.
+func (ln *LiveNode) ClientAddr() string {
+	if ln.clients == nil {
+		return ""
+	}
+	return ln.clients.Addr()
+}
+
+// Attach implements clientproto.Backend: it registers a structured
+// notification deliverer for client on the node's gateway.
+func (ln *LiveNode) Attach(client string, deliver func(im.Notification)) (detach func()) {
+	return ln.notifier.Attach(client, deliver)
+}
+
+// Info implements clientproto.Backend: the node's advertisement to
+// connected clients — its overlay endpoint, its leaf-set siblings, and
+// the durable store's health.
+func (ln *LiveNode) Info() clientproto.ServerInfo {
+	si := clientproto.ServerInfo{Node: ln.Addr()}
+	for _, leaf := range ln.overlay.Leaves() {
+		si.Peers = append(si.Peers, leaf.Endpoint)
+	}
+	if ln.store != nil {
+		st := ln.store.Stats()
+		si.Store = clientproto.StoreInfo{
+			Enabled:              true,
+			Generation:           st.Generation,
+			WALBytes:             uint64(st.WALBytes),
+			RecordsSinceSnapshot: uint64(st.RecordsSinceSnapshot),
+		}
+		if st.Err != nil {
+			si.Store.Err = st.Err.Error()
+		}
+	}
+	return si
+}
+
+// StoreStats is the durable store's health as seen through LiveStats:
+// zero-valued with Enabled false for in-memory nodes.
+type StoreStats struct {
+	// Enabled reports whether the node persists state (DataDir set).
+	Enabled bool
+	// Generation is the current snapshot/WAL generation.
+	Generation uint64
+	// WALBytes is the current write-ahead log's on-disk size.
+	WALBytes int64
+	// RecordsSinceSnapshot is the replay debt a restart would pay.
+	RecordsSinceSnapshot int
+	// Err is the store's latched first IO error, empty while durability
+	// is intact. A non-empty value means committed-window guarantees are
+	// gone until the node is restarted on healthy storage.
+	Err string
+}
+
+// LiveStats extends the node's protocol counters with deployment-only
+// state: the durable store's health.
+type LiveStats struct {
+	core.Stats
+	Store StoreStats
+}
+
+// Stats exposes the node's activity counters and, for durable nodes, the
+// store's WAL size, records-since-snapshot, and latched IO error.
+func (ln *LiveNode) Stats() LiveStats {
+	ls := LiveStats{Stats: ln.node.Stats()}
+	if ln.store != nil {
+		st := ln.store.Stats()
+		ls.Store = StoreStats{
+			Enabled:              true,
+			Generation:           st.Generation,
+			WALBytes:             st.WALBytes,
+			RecordsSinceSnapshot: st.RecordsSinceSnapshot,
+		}
+		if st.Err != nil {
+			ls.Store.Err = st.Err.Error()
+		}
+	}
+	return ls
+}
 
 // PeerQueueStat describes one peer's outbound send queue on this node's
 // transport: instantaneous depth against capacity, plus messages to that
@@ -227,10 +335,13 @@ func (ln *LiveNode) WireDropped() uint64 {
 	return ln.transport.Dropped()
 }
 
-// Close stops the protocol and the transport, then flushes and closes
-// the durable store so no committed-window state is lost on a graceful
-// shutdown.
+// Close stops the client listener, the protocol and the transport, then
+// flushes and closes the durable store so no committed-window state is
+// lost on a graceful shutdown.
 func (ln *LiveNode) Close() error {
+	if ln.clients != nil {
+		ln.clients.Close()
+	}
 	ln.node.Stop()
 	err := ln.transport.Close()
 	if ln.store != nil {
@@ -241,10 +352,14 @@ func (ln *LiveNode) Close() error {
 	return err
 }
 
-// kill simulates a crash for recovery tests: the node and transport die
-// and the store is abandoned without a flush, losing whatever sat inside
-// the current group-commit window.
-func (ln *LiveNode) kill() {
+// Kill simulates a crash, for recovery and failover testing: client
+// connections and the transport die abruptly and the store is abandoned
+// without a flush, losing whatever sat inside the current group-commit
+// window. Production shutdown is Close.
+func (ln *LiveNode) Kill() {
+	if ln.clients != nil {
+		ln.clients.Close() // connected clients see an abrupt EOF, as in a crash
+	}
 	ln.node.Stop()
 	ln.transport.Close()
 	if ln.store != nil {

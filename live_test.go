@@ -223,7 +223,7 @@ func TestLiveNodeRestartRecovery(t *testing.T) {
 	time.Sleep(100 * time.Millisecond)
 
 	// Hard-kill the owner: transport dies, store is abandoned unflushed.
-	nodes[ownerIdx].kill()
+	nodes[ownerIdx].Kill()
 	time.Sleep(200 * time.Millisecond)
 
 	// Restart it from its data directory on the same address, joining
