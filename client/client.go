@@ -8,11 +8,14 @@
 //
 // The connection survives node failure: when the serving node dies, the
 // Conn dials the next address in the list, resumes its session with the
-// token minted at first login, and replays its subscription set — which
-// re-points each channel owner's entry-node record at the new node — so
-// the application keeps receiving notifications without re-calling
-// Subscribe. Failover is invisible apart from the gap it takes to
-// reconnect.
+// token minted at first login, and asserts its subscription set with one
+// lease-refresh frame — which re-points each channel owner's entry-node
+// record at the new node, no Subscribe replay — so the application keeps
+// receiving notifications without re-calling Subscribe. The same frame
+// repeats on every ping tick as an entry-node lease heartbeat, letting
+// owners detect and route around dead entry nodes server-side. Failover
+// is invisible apart from the gap it takes to reconnect. (Version-1
+// servers get the old per-URL Subscribe replay instead.)
 //
 //	conn, err := client.Dial(ctx, []string{"10.0.0.1:9201", "10.0.0.2:9201"},
 //		client.Options{Handle: "alice"})
@@ -138,6 +141,7 @@ type Conn struct {
 	curAddr   string
 	connReady chan struct{} // closed while connected; fresh while not
 	token     []byte
+	version   byte // negotiated protocol version of the current connection
 	subs      map[string]struct{}
 	pending   map[uint64]chan result
 	lastInfo  ServerInfo
@@ -397,7 +401,8 @@ func (c *Conn) connect(ctx context.Context, addr string) (net.Conn, error) {
 		return nil, err
 	}
 	conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
-	if _, err := clientproto.Hello(conn); err != nil {
+	version, err := clientproto.Hello(conn)
+	if err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -434,12 +439,15 @@ func (c *Conn) connect(ctx context.Context, addr string) (net.Conn, error) {
 	}
 	conn.SetDeadline(time.Time{})
 
-	// Install, replay the desired subscription set, and only then mark
-	// the Conn connected. Each replayed Subscribe re-points the channel
-	// owner's entry record at this node; keeping connReady unreadied
-	// until the replay frames are written means a concurrent Subscribe
-	// or Unsubscribe call's frame is ordered AFTER the replay, so the
-	// server's final state matches the desired set.
+	// Install, re-assert the desired subscription set, and only then
+	// mark the Conn connected. On a version-2 server one LeaseRefresh
+	// frame carries the whole set: each channel owner refreshes the
+	// subscriber's lease and re-points its entry record at this node —
+	// failover without a Subscribe replay. A version-1 server still gets
+	// the old per-URL replay. Keeping connReady unreadied until the
+	// frames are written means a concurrent Subscribe or Unsubscribe
+	// call's frame is ordered AFTER the re-assert, so the server's final
+	// state matches the desired set.
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -449,27 +457,105 @@ func (c *Conn) connect(ctx context.Context, addr string) (net.Conn, error) {
 	c.cur = conn
 	c.curAddr = addr
 	c.token = token
+	c.version = version
 	replay := make([]string, 0, len(c.subs))
 	for u := range c.subs {
 		replay = append(replay, u)
 	}
 	c.mu.Unlock()
-	for _, u := range replay {
-		id, ch := c.register()
-		if err := c.send(&clientproto.Subscribe{ReqID: id, URL: u}); err != nil {
-			c.unregister(id)
-			break // the read loop will reconnect and replay again
+	if len(replay) > 0 && version >= 2 {
+		for _, chunk := range chunkLeaseURLs(replay) {
+			id, ch := c.register()
+			if err := c.send(&clientproto.LeaseRefresh{ReqID: id, URLs: chunk}); err != nil {
+				c.unregister(id) // the read loop will reconnect and re-assert
+				break
+			}
+			// Watch the reply: a nak (a server that cannot route leases)
+			// falls back to the explicit replay so the subscriptions are
+			// not stranded until the next reconnect.
+			go c.watchLeaseRefresh(chunk, ch)
 		}
-		// Watch the reply: a nak would otherwise strand the subscription
-		// (believed live here, unknown at the node) until the next
-		// reconnect. A concurrent Subscribe call waiting on this URL
-		// re-sends its own request and gets its own ack.
-		go c.watchReplay(u, ch)
+	} else {
+		for _, u := range replay {
+			if !c.replaySubscribe(u) {
+				break // the read loop will reconnect and replay again
+			}
+		}
 	}
 	c.mu.Lock()
 	close(c.connReady)
 	c.mu.Unlock()
 	return conn, nil
+}
+
+// leaseRefreshChunkBytes bounds the URL payload of one LeaseRefresh
+// frame, far below the protocol's 1 MiB MaxFrame: a frame the server
+// would reject as oversized gets resent identically on every reconnect,
+// wedging the connection in a flap loop, so it must never be built.
+const leaseRefreshChunkBytes = 256 * 1024
+
+// chunkLeaseURLs splits a subscription set into LeaseRefresh-sized
+// batches.
+func chunkLeaseURLs(urls []string) [][]string {
+	var chunks [][]string
+	var cur []string
+	size := 0
+	for _, u := range urls {
+		// ~8 bytes of length-prefix/framing slack per URL.
+		if len(cur) > 0 && size+len(u)+8 > leaseRefreshChunkBytes {
+			chunks = append(chunks, cur)
+			cur, size = nil, 0
+		}
+		cur = append(cur, u)
+		size += len(u) + 8
+	}
+	if len(cur) > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
+// watchLeaseRefresh follows one reconnect-time LeaseRefresh: an ack or a
+// disconnect ends it (the owners were told, or the next reconnect
+// re-asserts anyway); a nak falls back to per-URL Subscribe replay.
+func (c *Conn) watchLeaseRefresh(urls []string, ch chan result) {
+	var r result
+	select {
+	case r = <-ch:
+	case <-c.closeCh:
+		return
+	}
+	if r.err != nil || r.nak == "" {
+		return
+	}
+	for _, u := range urls {
+		c.mu.Lock()
+		_, want := c.subs[u]
+		c.mu.Unlock()
+		if !want {
+			continue
+		}
+		if !c.replaySubscribe(u) {
+			return
+		}
+	}
+}
+
+// replaySubscribe sends one re-asserting Subscribe for url and follows
+// the reply with watchReplay (a nak would otherwise strand the
+// subscription — believed live here, unknown at the node — until the
+// next reconnect; a concurrent Subscribe call waiting on this URL sends
+// its own request and gets its own ack). It reports whether the frame
+// was written; a send failure means the connection died and the next
+// reconnect re-asserts everything.
+func (c *Conn) replaySubscribe(url string) bool {
+	id, ch := c.register()
+	if err := c.send(&clientproto.Subscribe{ReqID: id, URL: url}); err != nil {
+		c.unregister(id)
+		return false
+	}
+	go c.watchReplay(url, ch)
+	return true
 }
 
 // watchReplay follows one replayed Subscribe: acks and disconnects end
@@ -627,7 +713,10 @@ func (c *Conn) deliver(n corona.Notification) {
 }
 
 // pingLoop probes connection liveness; the acks also refresh ServerInfo
-// and keep the read deadline fed.
+// and keep the read deadline fed. On version-2 servers each tick also
+// heartbeats the entry-node lease for every subscribed channel, which is
+// what keeps the owners' lease records fresh — an owner that stops
+// hearing these re-routes the subscriber's notifications elsewhere.
 func (c *Conn) pingLoop(conn net.Conn, stop chan struct{}) {
 	t := time.NewTicker(c.opts.PingInterval)
 	defer t.Stop()
@@ -639,6 +728,23 @@ func (c *Conn) pingLoop(conn net.Conn, stop chan struct{}) {
 				c.unregister(id)
 				conn.Close()
 				return
+			}
+			c.mu.Lock()
+			v2 := c.version >= 2
+			urls := make([]string, 0, len(c.subs))
+			for u := range c.subs {
+				urls = append(urls, u)
+			}
+			c.mu.Unlock()
+			if v2 && len(urls) > 0 {
+				for _, chunk := range chunkLeaseURLs(urls) {
+					id, _ := c.register()
+					if err := c.send(&clientproto.LeaseRefresh{ReqID: id, URLs: chunk}); err != nil {
+						c.unregister(id)
+						conn.Close()
+						return
+					}
+				}
 			}
 		case <-stop:
 			return

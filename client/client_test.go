@@ -60,6 +60,19 @@ func (b *fakeBackend) Unsubscribe(client, url string) error {
 	return nil
 }
 
+// RefreshLeases mirrors the real backend's semantics: a lease refresh is
+// an idempotent subscription assert at the channel owner, so the fake
+// records it through Subscribe — including Subscribe's nak injection, so
+// tests can drive the SDK's fallback-to-replay path.
+func (b *fakeBackend) RefreshLeases(client string, urls []string) error {
+	for _, u := range urls {
+		if err := b.Subscribe(client, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (b *fakeBackend) Attach(client string, deliver func(im.Notification)) func() {
 	rec := &attachRec{fn: deliver}
 	b.mu.Lock()
@@ -240,8 +253,10 @@ func TestFailoverResumesAndReplaysSubscriptions(t *testing.T) {
 		t.Fatalf("serving addr = %s, want %s", got, s1.Addr())
 	}
 
-	// Kill node 1. The SDK must fail over to node 2, resume, and replay
-	// both subscriptions without the application doing anything.
+	// Kill node 1. The SDK must fail over to node 2, resume, and
+	// re-assert both subscriptions (one LeaseRefresh frame on a v2
+	// server; the fake maps each refreshed URL through Subscribe) without
+	// the application doing anything.
 	s1.Close()
 	b2.waitAttached(t, "alice")
 	deadline := time.Now().Add(5 * time.Second)

@@ -102,13 +102,16 @@ func main() {
 	}
 
 	// A blocking Accept loop never reaches a defer, so shutdown runs off
-	// the signal handler: close the IM listener (unblocking Accept), then
-	// stop the node, which flushes the durable store.
+	// the signal handler: close the client-protocol listener (draining
+	// its per-connection writer goroutines, so no client dies mid-frame)
+	// alongside the IM listener (unblocking Accept), then stop the node,
+	// which flushes the durable store only after client traffic is done.
 	var shuttingDown atomic.Bool
 	var sig os.Signal
 	go func() {
 		sig = <-sigs
 		shuttingDown.Store(true)
+		node.CloseClients()
 		ln.Close()
 	}()
 

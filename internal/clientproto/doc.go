@@ -12,7 +12,9 @@
 // the client's hello and the server's own maximum — and both sides then
 // speak that version. A server reply of 0 means no common version; the
 // connection is closed. Versions are cumulative: a version-v speaker
-// understands every frame of versions 1..v. The current version is 1.
+// understands every frame of versions 1..v. The current version is 2,
+// which added the LeaseRefresh frame; a client that negotiated version 1
+// must not send it (and the SDK falls back to Subscribe replay).
 //
 // # Framing
 //
@@ -37,10 +39,11 @@
 // Client to server — every request carries a client-chosen request ID
 // that the server echoes in exactly one Ack or Nak reply:
 //
-//	0x01 Login        req uvarint · handle string · resumeToken bytes
-//	0x02 Subscribe    req uvarint · url string
-//	0x03 Unsubscribe  req uvarint · url string
-//	0x04 Ping         req uvarint
+//	0x01 Login         req uvarint · handle string · resumeToken bytes
+//	0x02 Subscribe     req uvarint · url string
+//	0x03 Unsubscribe   req uvarint · url string
+//	0x04 Ping          req uvarint
+//	0x05 LeaseRefresh  req uvarint · urls list(string)        (version 2)
 //
 // Server to client:
 //
@@ -68,10 +71,19 @@
 // already holds.
 //
 // Subscriptions live in the overlay (at the channel's owner), not in the
-// session: a reconnecting client replays its subscription set after
-// Login, which re-points the owner's entry-node record at the node it is
-// now connected to. That replay is the client half of failover; the
-// durable store (internal/store) is the server half.
+// session. A version-2 client reconnecting after failover sends one
+// LeaseRefresh listing its subscription set instead of replaying
+// Subscribe frames: the serving node routes an entry-node lease
+// heartbeat to each channel's owner, which refreshes the subscriber's
+// lease, re-points its entry record at this node, and — being an
+// idempotent subscription assert — re-creates the subscription if an
+// in-memory owner lost it. The SDK repeats the LeaseRefresh on every
+// ping tick, which is what keeps the owner-side lease alive; an owner
+// whose lease for a subscriber expires (its entry node died without the
+// client reappearing) proactively re-routes the entry record to a
+// surviving node. The durable store (internal/store) remains the server
+// half of failover; against a version-1 server the SDK falls back to the
+// old Subscribe replay.
 //
 // After a successful Login, and again after every Ping ack, the server
 // pushes a ServerInfo frame: the node's advertised overlay endpoint, the

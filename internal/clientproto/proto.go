@@ -11,21 +11,23 @@ import (
 )
 
 // Version is the highest protocol version this package speaks.
-const Version = 1
+// Version 2 added the LeaseRefresh frame (entry-node lease heartbeats).
+const Version = 2
 
 // MaxFrame bounds one frame's type+body byte count.
 const MaxFrame = 1 << 20
 
 // Frame type bytes (doc.go).
 const (
-	TypeLogin       = 0x01
-	TypeSubscribe   = 0x02
-	TypeUnsubscribe = 0x03
-	TypePing        = 0x04
-	TypeAck         = 0x10
-	TypeNak         = 0x11
-	TypeNotify      = 0x12
-	TypeServerInfo  = 0x13
+	TypeLogin        = 0x01
+	TypeSubscribe    = 0x02
+	TypeUnsubscribe  = 0x03
+	TypePing         = 0x04
+	TypeLeaseRefresh = 0x05 // version 2
+	TypeAck          = 0x10
+	TypeNak          = 0x11
+	TypeNotify       = 0x12
+	TypeServerInfo   = 0x13
 )
 
 // ErrFrame is returned for malformed frames: unknown type, short body,
@@ -61,6 +63,18 @@ type Unsubscribe struct {
 // Ping is a liveness probe; the server acks it and refreshes ServerInfo.
 type Ping struct {
 	ReqID uint64
+}
+
+// LeaseRefresh (version 2) asserts that the logged-in handle is alive on
+// this connection and still wants the listed channels. The serving node
+// forwards each assertion to the channel's owner as an entry-node lease
+// heartbeat, which refreshes the subscriber's lease and re-points its
+// entry record at this node — so a failed-over client needs no
+// Subscribe replay. The SDK sends one after login on a reconnect and on
+// every ping tick.
+type LeaseRefresh struct {
+	ReqID uint64
+	URLs  []string
 }
 
 // Ack is the success reply to a request. Token is non-empty only on
@@ -111,14 +125,15 @@ type ServerInfo struct {
 	Store StoreInfo
 }
 
-func (f *Login) frameType() byte       { return TypeLogin }
-func (f *Subscribe) frameType() byte   { return TypeSubscribe }
-func (f *Unsubscribe) frameType() byte { return TypeUnsubscribe }
-func (f *Ping) frameType() byte        { return TypePing }
-func (f *Ack) frameType() byte         { return TypeAck }
-func (f *Nak) frameType() byte         { return TypeNak }
-func (f *Notify) frameType() byte      { return TypeNotify }
-func (f *ServerInfo) frameType() byte  { return TypeServerInfo }
+func (f *Login) frameType() byte        { return TypeLogin }
+func (f *Subscribe) frameType() byte    { return TypeSubscribe }
+func (f *Unsubscribe) frameType() byte  { return TypeUnsubscribe }
+func (f *Ping) frameType() byte         { return TypePing }
+func (f *LeaseRefresh) frameType() byte { return TypeLeaseRefresh }
+func (f *Ack) frameType() byte          { return TypeAck }
+func (f *Nak) frameType() byte          { return TypeNak }
+func (f *Notify) frameType() byte       { return TypeNotify }
+func (f *ServerInfo) frameType() byte   { return TypeServerInfo }
 
 func (f *Login) appendBody(dst []byte) []byte {
 	dst = wirebin.AppendUvarint(dst, f.ReqID)
@@ -138,6 +153,15 @@ func (f *Unsubscribe) appendBody(dst []byte) []byte {
 
 func (f *Ping) appendBody(dst []byte) []byte {
 	return wirebin.AppendUvarint(dst, f.ReqID)
+}
+
+func (f *LeaseRefresh) appendBody(dst []byte) []byte {
+	dst = wirebin.AppendUvarint(dst, f.ReqID)
+	dst = wirebin.AppendUvarint(dst, uint64(len(f.URLs)))
+	for _, u := range f.URLs {
+		dst = wirebin.AppendString(dst, u)
+	}
+	return dst
 }
 
 func (f *Ack) appendBody(dst []byte) []byte {
@@ -199,6 +223,15 @@ func DecodeFrame(body []byte) (Frame, error) {
 		f = &Unsubscribe{ReqID: r.Uvarint(), URL: r.String()}
 	case TypePing:
 		f = &Ping{ReqID: r.Uvarint()}
+	case TypeLeaseRefresh:
+		lr := &LeaseRefresh{ReqID: r.Uvarint()}
+		if n := r.ListLen(1); n > 0 {
+			lr.URLs = make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				lr.URLs = append(lr.URLs, r.String())
+			}
+		}
+		f = lr
 	case TypeAck:
 		f = &Ack{ReqID: r.Uvarint(), Token: cloned(r.Bytes())}
 	case TypeNak:

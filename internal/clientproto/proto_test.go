@@ -18,6 +18,8 @@ func everyFrame() []Frame {
 		&Subscribe{ReqID: 9, URL: "http://example.com/feed.xml"},
 		&Unsubscribe{ReqID: 10, URL: "http://example.com/feed.xml"},
 		&Ping{ReqID: 11},
+		&LeaseRefresh{ReqID: 12, URLs: []string{"http://example.com/feed.xml", "http://x/g.xml"}},
+		&LeaseRefresh{ReqID: 13},
 		&Ack{ReqID: 7, Token: []byte{4, 5, 6, 7}},
 		&Ack{ReqID: 9},
 		&Nak{ReqID: 10, Reason: "handle in use"},

@@ -20,6 +20,11 @@ const (
 	outQueueLen = 256
 	// writeTimeout bounds one frame write to a client.
 	writeTimeout = 10 * time.Second
+	// closeDrainTimeout bounds how long Close waits for per-connection
+	// writer goroutines to flush their queued frames before force-closing
+	// the sockets; a graceful node shutdown should not die mid-frame, but
+	// neither should one wedged client hold the WAL flush hostage.
+	closeDrainTimeout = 3 * time.Second
 	// tokenLen is the resume-token size in bytes.
 	tokenLen = 16
 )
@@ -33,6 +38,10 @@ type Backend interface {
 	Subscribe(client, url string) error
 	// Unsubscribe removes it.
 	Unsubscribe(client, url string) error
+	// RefreshLeases heartbeats entry-node liveness for an attached
+	// client's channels: each channel owner refreshes the subscriber's
+	// lease and re-points its entry record at this node.
+	RefreshLeases(client string, urls []string) error
 	// Attach registers a structured-notification deliverer for client,
 	// displacing any previous one; the returned detach removes it.
 	Attach(client string, deliver func(im.Notification)) (detach func())
@@ -57,6 +66,11 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 
+	// serving counts live serveConn goroutines; Close waits for them so
+	// per-connection writers drain their queued frames (and the caller
+	// can flush the WAL) instead of dying mid-frame.
+	serving sync.WaitGroup
+
 	notifyDropped atomic.Uint64
 }
 
@@ -80,7 +94,12 @@ func (s *Server) Addr() string { return s.listener.Addr().String() }
 // because a client's outbound queue was full.
 func (s *Server) NotifyDropped() uint64 { return s.notifyDropped.Load() }
 
-// Close shuts the listener and every live connection.
+// Close shuts the listener, asks every live connection to finish, and
+// waits (bounded by closeDrainTimeout) for the per-connection writer
+// goroutines to flush what they hold. Readers are unblocked with an
+// expired read deadline rather than a hard close, so a frame mid-write
+// completes instead of tearing; connections still alive after the drain
+// window are force-closed.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -88,13 +107,31 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	conns := s.conns
-	s.conns = map[net.Conn]struct{}{}
-	s.mu.Unlock()
-	for c := range conns {
-		c.Close()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
 	}
-	return s.listener.Close()
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now()) // reader unblocks; writer drains and flushes
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.serving.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(closeDrainTimeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+	return err
 }
 
 func (s *Server) acceptLoop() {
@@ -110,8 +147,12 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		s.serving.Add(1)
 		s.mu.Unlock()
-		go s.serveConn(conn)
+		go func() {
+			defer s.serving.Done()
+			s.serveConn(conn)
+		}()
 	}
 }
 
@@ -143,36 +184,48 @@ func (s *Server) serveConn(conn net.Conn) {
 		bw := bufio.NewWriter(conn)
 		var buf []byte // reused encode buffer; frames are copied into bw
 		dead := false
+		// writeOne encodes and writes one frame (no flush), skipping
+		// oversized ones: a frame beyond MaxFrame would make the client's
+		// decoder drop the connection, so it is dropped here instead (a
+		// >1MiB diff, in practice) and the lost notification counted.
+		writeOne := func(f Frame) {
+			buf = AppendFrame(buf[:0], f)
+			if len(buf)-4 > MaxFrame {
+				if _, isNotify := f.(*Notify); isNotify {
+					s.notifyDropped.Add(1)
+				}
+				return
+			}
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			// Flush when the queue runs dry; consecutive frames coalesce
+			// into one syscall.
+			_, err := bw.Write(buf)
+			if err == nil && len(out) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
+				conn.Close() // unblocks the reader; it cleans up
+				dead = true
+			}
+		}
 		for {
 			select {
 			case f := <-out:
-				if dead {
-					continue
-				}
-				buf = AppendFrame(buf[:0], f)
-				if len(buf)-4 > MaxFrame {
-					// An oversized frame would make the client's decoder
-					// drop the connection; skip it instead (a >1MiB diff,
-					// in practice) and count the lost notification.
-					if _, isNotify := f.(*Notify); isNotify {
-						s.notifyDropped.Add(1)
-					}
-					continue
-				}
-				conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-				_, err := bw.Write(buf)
-				// Flush when the queue runs dry; consecutive frames
-				// coalesce into one syscall.
-				if err == nil && len(out) == 0 {
-					err = bw.Flush()
-				}
-				if err != nil {
-					conn.Close() // unblocks the reader; it cleans up
-					dead = true
+				if !dead {
+					writeOne(f)
 				}
 			case <-readerDone:
-				if !dead {
-					bw.Flush()
+				// Graceful exit: drain whatever the queue still holds —
+				// a shutdown must not cut a notification stream mid-frame
+				// — then flush once.
+				for !dead {
+					select {
+					case f := <-out:
+						writeOne(f)
+					default:
+						bw.Flush()
+						return
+					}
 				}
 				return
 			}
@@ -233,6 +286,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.subReply(req.ReqID, handle, req.URL, false, reply)
 		case *Unsubscribe:
 			s.subReply(req.ReqID, handle, req.URL, true, reply)
+		case *LeaseRefresh:
+			if handle == "" {
+				reply(&Nak{ReqID: req.ReqID, Reason: "not logged in"})
+				continue
+			}
+			if err := s.backend.RefreshLeases(handle, req.URLs); err != nil {
+				reply(&Nak{ReqID: req.ReqID, Reason: err.Error()})
+				continue
+			}
+			reply(&Ack{ReqID: req.ReqID})
 		case *Ping:
 			reply(&Ack{ReqID: req.ReqID})
 			reply(s.info())

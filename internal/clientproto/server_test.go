@@ -21,7 +21,9 @@ type fakeBackend struct {
 	mu         sync.Mutex
 	subs       []string
 	unsubs     []string
+	leases     []string
 	failSub    bool
+	failLease  bool
 	deliverers map[string]*attachRec
 }
 
@@ -43,6 +45,18 @@ func (b *fakeBackend) Unsubscribe(client, url string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.unsubs = append(b.unsubs, client+" "+url)
+	return nil
+}
+
+func (b *fakeBackend) RefreshLeases(client string, urls []string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failLease {
+		return fmt.Errorf("overlay down")
+	}
+	for _, u := range urls {
+		b.leases = append(b.leases, client+" "+u)
+	}
 	return nil
 }
 
@@ -277,5 +291,98 @@ func TestServerDropsMalformedStream(t *testing.T) {
 	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	if _, err := ReadFrame(c.conn); err == nil {
 		t.Fatal("server kept a malformed stream alive")
+	}
+}
+
+// TestServerLeaseRefresh covers the version-2 lease heartbeat frame: a
+// logged-in client's refresh fans out to the backend and is acked, a
+// refresh before login is naked, and a backend failure naks with its
+// reason (the SDK's cue to fall back to Subscribe replay).
+func TestServerLeaseRefresh(t *testing.T) {
+	b := newFakeBackend()
+	s := startServer(t, b)
+	c := dialServer(t, s.Addr())
+	defer c.conn.Close()
+
+	c.send(&LeaseRefresh{ReqID: 1, URLs: []string{"http://x/f.xml"}})
+	if nak, ok := c.read().(*Nak); !ok || nak.ReqID != 1 {
+		t.Fatalf("pre-login lease refresh reply = %#v", nak)
+	}
+
+	c.send(&Login{ReqID: 2, Handle: "alice"})
+	if a, ok := c.read().(*Ack); !ok || a.ReqID != 2 {
+		t.Fatalf("login reply = %#v", a)
+	}
+	c.read() // ServerInfo
+
+	c.send(&LeaseRefresh{ReqID: 3, URLs: []string{"http://x/f.xml", "http://x/g.xml"}})
+	if a, ok := c.read().(*Ack); !ok || a.ReqID != 3 {
+		t.Fatalf("lease refresh reply = %#v", a)
+	}
+	b.mu.Lock()
+	leases := append([]string(nil), b.leases...)
+	b.mu.Unlock()
+	if len(leases) != 2 || leases[0] != "alice http://x/f.xml" || leases[1] != "alice http://x/g.xml" {
+		t.Fatalf("backend leases = %v", leases)
+	}
+
+	b.mu.Lock()
+	b.failLease = true
+	b.mu.Unlock()
+	c.send(&LeaseRefresh{ReqID: 4, URLs: []string{"http://x/f.xml"}})
+	if nak, ok := c.read().(*Nak); !ok || nak.ReqID != 4 || nak.Reason == "" {
+		t.Fatalf("failed lease refresh reply = %#v", nak)
+	}
+}
+
+// TestServerCloseDrainsQueuedNotifies pins the graceful-shutdown
+// contract: frames already queued to a connection's writer when Close is
+// called are written and flushed — the client sees every one of them and
+// then a clean EOF, not a connection torn mid-frame.
+func TestServerCloseDrainsQueuedNotifies(t *testing.T) {
+	b := newFakeBackend()
+	s := startServer(t, b)
+	c := dialServer(t, s.Addr())
+	defer c.conn.Close()
+
+	c.send(&Login{ReqID: 1, Handle: "alice"})
+	if a, ok := c.read().(*Ack); !ok || a.ReqID != 1 {
+		t.Fatalf("login reply = %#v", a)
+	}
+	c.read() // ServerInfo
+
+	const queued = 32
+	for v := uint64(1); v <= queued; v++ {
+		if !b.notify("alice", im.Notification{Client: "alice", Channel: "u", Version: v}) {
+			t.Fatal("alice not attached")
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+
+	var got uint64
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, err := ReadFrame(c.conn)
+		if err != nil {
+			break // clean end of stream after the drain
+		}
+		if n, ok := f.(*Notify); ok {
+			if n.Version != got+1 {
+				t.Fatalf("notify v%d after v%d: reordered or torn", n.Version, got)
+			}
+			got = n.Version
+		}
+	}
+	if got != queued {
+		t.Fatalf("drained %d of %d queued notifications before close", got, queued)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never returned")
 	}
 }

@@ -64,6 +64,17 @@ type Config struct {
 	// trusts the Fetcher's version counter (the simulator's fast path).
 	ContentMode bool
 
+	// LeaseTTL enables entry-node leases at owned channels: a subscriber
+	// whose entry node has not proved liveness for it within the TTL (or
+	// whose entry node was detected dead) has its entry record re-pointed
+	// at a surviving node by the maintain pass, once per expiry. Zero or
+	// negative disables the sweep (lease refreshes still re-point entries
+	// on arrival). Heartbeat-driven expiry applies only to subscribers
+	// whose entry nodes heartbeat — client-protocol sessions; IM and
+	// simulation subscribers are touched only by the one-shot re-route
+	// when their entry node is detected dead.
+	LeaseTTL time.Duration
+
 	// Seed drives the node's local randomness (poll phases).
 	Seed int64
 }

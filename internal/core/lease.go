@@ -1,0 +1,202 @@
+package core
+
+import (
+	"time"
+
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+// Entry-node leases (ROADMAP "Entry-node leases at the owner" and
+// "Rewrite recovered entry addresses"). A subscriber's entry record at
+// the channel owner names the node that delivers its notifications; when
+// that node dies, the record black-holes every notification until the
+// client replays its subscriptions. Leases make the repair server-side:
+// entry nodes heartbeat liveness for their attached sessions (the client
+// protocol's lease-refresh frame, driven by the SDK's ping loop, fans out
+// into leaseMsg routes here), owners timestamp each subscriber's entry
+// record, and the owner's maintain pass expires dead entries and
+// re-routes their notifications to a surviving leaf-set node proactively
+// — the proactive repair posture of Scribe's multicast-tree maintenance.
+
+// RefreshLeases asserts, on behalf of an attached client, that this node
+// is the client's live entry point for each listed channel. Each
+// assertion routes to the channel's owner, which refreshes the
+// subscriber's lease and re-points its entry record here — the
+// server-side half of client failover, needing no Subscribe replay.
+func (n *Node) RefreshLeases(client string, urls []string) error {
+	var firstErr error
+	for _, url := range urls {
+		if url == "" {
+			continue
+		}
+		err := n.overlay.Route(ids.HashString(url), msgLease, &leaseMsg{
+			URL:    url,
+			Client: client,
+			Entry:  n.Self(),
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// leaseAssertTombstone is how long after an unsubscribe a lease assert
+// for the departed client is ignored. It only needs to outlive overlay
+// message reordering (an in-flight heartbeat racing the unsubscribe);
+// after the client's SDK drops the URL from its desired set no further
+// heartbeats mention it.
+const leaseAssertTombstone = 30 * time.Second
+
+// tombstoneLocked records an unsubscribe so racing lease asserts cannot
+// resurrect the client, pruning aged-out entries while it is here so the
+// map stays bounded by the last window's unsubscribes. Callers hold n.mu.
+func (n *Node) tombstoneLocked(ch *channelState, client string) {
+	now := n.now()
+	if ch.unsubbed == nil {
+		ch.unsubbed = make(map[string]time.Time)
+	}
+	for c, at := range ch.unsubbed {
+		if now.Sub(at) > leaseAssertTombstone {
+			delete(ch.unsubbed, c)
+		}
+	}
+	ch.unsubbed[client] = now
+}
+
+// handleLease runs at the channel's root: an entry node vouches for one
+// attached subscriber. The refresh is an idempotent subscription assert —
+// it re-points a moved client's entry record (failover) and re-creates a
+// subscription an in-memory owner lost across a restart — plus a lease
+// timestamp the maintain sweep checks. Asserts for a freshly
+// unsubscribed client are dropped: a heartbeat already in flight when
+// the unsubscribe routed must not resurrect the subscriber.
+func (n *Node) handleLease(msg pastry.Message) {
+	p, ok := msg.Payload.(*leaseMsg)
+	if !ok || n.cfg.CountSubscribersOnly {
+		return
+	}
+	n.mu.Lock()
+	ch := n.getChannel(p.URL)
+	if ts, dead := ch.unsubbed[p.Client]; dead {
+		if n.now().Sub(ts) <= leaseAssertTombstone {
+			n.mu.Unlock()
+			return
+		}
+		delete(ch.unsubbed, p.Client)
+	}
+	changed := ch.subs.add(p.Client, p.Entry, false)
+	n.becomeOwnerLocked(ch)
+	now := n.now()
+	var hadLease bool
+	if ch.isOwner {
+		if ch.leases == nil {
+			ch.leases = make(map[string]time.Time)
+		}
+		_, hadLease = ch.leases[p.Client]
+		ch.leases[p.Client] = now
+		n.stats.LeaseRefreshes++
+	}
+	if changed {
+		n.emitSubLocked(ch, p.Client, p.Entry, false)
+	}
+	if ch.isOwner && (changed || !hadLease) {
+		// Journal the lease only when it starts or its entry moves;
+		// steady-state heartbeats stay out of the WAL. The record marks
+		// which subscribers are under lease discipline — recovery stamps
+		// them with a fresh grace window rather than trusting a timestamp
+		// from before the crash.
+		n.emitLeaseLocked(ch, p.Client, now)
+	}
+	n.mu.Unlock()
+	if changed {
+		n.replicateChannel(ch)
+	}
+}
+
+// leaseSweep is the owner's maintain-pass half of the lease protocol:
+// subscribers whose entry node stopped proving liveness for longer than
+// LeaseTTL (or was force-expired by a peer fault) have their entry
+// records re-pointed at a surviving node, so notifications stop flowing
+// into a dead gateway. The re-pointed entry is a proactive guess — the
+// client's own next lease refresh, arriving through whichever node it
+// failed over to, corrects it authoritatively.
+func (n *Node) leaseSweep() {
+	ttl := n.cfg.LeaseTTL
+	if ttl <= 0 || n.cfg.CountSubscribersOnly {
+		return
+	}
+	now := n.now()
+	n.mu.Lock()
+	var rerouted []*channelState
+	for _, ch := range n.channels {
+		if !ch.isOwner || len(ch.leases) == 0 {
+			continue
+		}
+		moved := false
+		for client, last := range ch.leases {
+			entry, subscribed := ch.subs.ids[client]
+			if !subscribed {
+				delete(ch.leases, client)
+				continue
+			}
+			if !last.IsZero() && now.Sub(last) <= ttl {
+				continue
+			}
+			fallback := n.fallbackEntryLocked(client, entry)
+			if fallback.IsZero() || fallback.ID == entry.ID {
+				// No live alternative; re-arm the lease so the probe
+				// repeats next pass instead of spinning every tick.
+				ch.leases[client] = now
+				continue
+			}
+			ch.subs.ids[client] = fallback
+			// The re-route is one-shot: drop the lease mark rather than
+			// re-arming it. A live client's next heartbeat re-creates the
+			// lease (and re-points the entry authoritatively); a
+			// subscriber that never heartbeats — IM, simulation, or a
+			// permanently departed client — keeps the guessed entry
+			// instead of being shuffled to a new node (with a WAL record
+			// and a replication push) every TTL forever. If the guessed
+			// node later dies too, the peer fault re-arms the mark.
+			delete(ch.leases, client)
+			n.stats.LeaseReroutes++
+			n.emitSubLocked(ch, client, fallback, false)
+			// Journal the lease CLEAR too (an OpLease with a zero time),
+			// or the original durable lease mark would resurrect lease
+			// discipline — and this re-route — on every owner restart for
+			// a client that may never heartbeat again.
+			n.emitLeaseLocked(ch, client, time.Time{})
+			moved = true
+		}
+		if moved {
+			rerouted = append(rerouted, ch)
+		}
+	}
+	n.mu.Unlock()
+	for _, ch := range rerouted {
+		n.replicateChannel(ch)
+	}
+}
+
+// fallbackEntryLocked picks a replacement entry node for a client whose
+// lease expired: this node or one of its surviving leaf-set siblings,
+// chosen by the client's identifier so repeated sweeps agree, excluding
+// the entry believed dead. Callers hold n.mu.
+func (n *Node) fallbackEntryLocked(client string, dead pastry.Addr) pastry.Addr {
+	candidates := make([]pastry.Addr, 0, 8)
+	if n.Self().ID != dead.ID {
+		candidates = append(candidates, n.Self())
+	}
+	for _, leaf := range n.overlay.Leaves() {
+		if leaf.ID != dead.ID {
+			candidates = append(candidates, leaf)
+		}
+	}
+	if len(candidates) == 0 {
+		return pastry.Addr{}
+	}
+	h := ids.HashString(client)
+	return candidates[int(h[0])%len(candidates)]
+}

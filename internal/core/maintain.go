@@ -24,6 +24,7 @@ func (n *Node) maintenanceTick() {
 	n.stats.MaintenanceRounds++
 	n.mu.Unlock()
 
+	n.leaseSweep()
 	n.optimizePhase()
 	n.aggregationPhase()
 }
@@ -328,6 +329,7 @@ func (n *Node) registerHandlers() {
 	n.overlay.Handle(msgMaintain, n.handleMaintain)
 	n.overlay.Handle(msgWedgeFwd, n.handleWedgeFwd)
 	n.overlay.Handle(msgNotify, n.handleNotify)
+	n.overlay.Handle(msgLease, n.handleLease)
 }
 
 // durationSeconds converts float seconds into a time.Duration.

@@ -18,6 +18,7 @@ func RegisterPayloadTypes(register func(msgType string, factory func() any)) {
 	register(msgMaintain, func() any { return &maintainMsg{} })
 	register(msgWedgeFwd, func() any { return &wedgeFwdMsg{} })
 	register(msgNotify, func() any { return &notifyMsg{} })
+	register(msgLease, func() any { return &leaseMsg{} })
 }
 
 // Corona application message types carried over the overlay.
@@ -31,6 +32,7 @@ const (
 	msgMaintain    = "corona.maintain"
 	msgWedgeFwd    = "corona.wedgefwd"
 	msgNotify      = "corona.notify"
+	msgLease       = "corona.lease"
 )
 
 // subscribeMsg is routed through the overlay to the channel's owner
@@ -78,6 +80,13 @@ type replicateMsg struct {
 	LastVersion uint64  `json:"last_version"`
 	Level       int     `json:"level"`
 	Epoch       uint64  `json:"epoch"`
+	// OwnerEpoch is the sender's ownership fencing token. Every replicate
+	// push is an ownership claim at this epoch: a receiver holding a
+	// higher epoch rejects the push (and, if it is itself an owner,
+	// counter-pushes its own state so the stale claimant demotes
+	// immediately), while an owner receiving a higher epoch demotes on
+	// receipt instead of waiting for its next IsRoot self-check.
+	OwnerEpoch uint64 `json:"owner_epoch"`
 }
 
 // pollCtlMsg adjusts a channel's polling level across its wedge. It is
@@ -106,6 +115,18 @@ type updateMsg struct {
 	Diff string `json:"diff,omitempty"`
 	// Bytes is the transfer size for load accounting.
 	Bytes int `json:"bytes"`
+	// OwnerEpoch, when non-zero, marks an owner-originated dissemination
+	// and carries the sender's ownership fencing token, so a node still
+	// holding a stale isOwner flag learns of its demotion from ordinary
+	// update traffic (the poll-answer path) rather than from the next
+	// replication round. Zero on updates from plain wedge members.
+	OwnerEpoch uint64 `json:"owner_epoch,omitempty"`
+	// Owner is the claiming owner's address, set iff OwnerEpoch is
+	// non-zero. The claim must identify its claimant explicitly: wedge
+	// forwarding re-broadcasts updates with the envelope From rewritten
+	// to the forwarding member, so From cannot serve as the tie-break
+	// identity or the counter-push target.
+	Owner pastry.Addr `json:"owner"`
 }
 
 // reportMsg is sent by a detecting node to the primary owner for channels
@@ -134,6 +155,19 @@ type wedgeFwdMsg struct {
 	InnerType string      `json:"inner_type"`
 	PollCtl   *pollCtlMsg `json:"poll_ctl,omitempty"`
 	Update    *updateMsg  `json:"update,omitempty"`
+}
+
+// leaseMsg is an entry-node liveness heartbeat routed to a channel's
+// owner: the entry node Entry vouches that Client is attached to it and
+// still wants URL. The owner refreshes the subscriber's lease timestamp
+// and — the failover half — re-points the client's entry record when the
+// client reappears behind a different node, without a Subscribe replay.
+// The refresh is an idempotent subscription assert: an owner that lost
+// the subscriber (in-memory restart) re-creates it from the heartbeat.
+type leaseMsg struct {
+	URL    string      `json:"url"`
+	Client string      `json:"client"`
+	Entry  pastry.Addr `json:"entry"`
 }
 
 // maintainMsg is the periodic exchange with routing-table contacts: the

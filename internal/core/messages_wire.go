@@ -104,7 +104,8 @@ func (m *replicateMsg) AppendBinary(dst []byte) ([]byte, error) {
 	dst = wirebin.AppendFloat64(dst, m.IntervalSec)
 	dst = wirebin.AppendUvarint(dst, m.LastVersion)
 	dst = wirebin.AppendSint(dst, m.Level)
-	return wirebin.AppendUvarint(dst, m.Epoch), nil
+	dst = wirebin.AppendUvarint(dst, m.Epoch)
+	return wirebin.AppendUvarint(dst, m.OwnerEpoch), nil
 }
 
 // DecodeBinary implements the codec binary payload contract.
@@ -127,6 +128,7 @@ func (m *replicateMsg) DecodeBinary(src []byte) error {
 	m.LastVersion = r.Uvarint()
 	m.Level = r.Sint()
 	m.Epoch = r.Uvarint()
+	m.OwnerEpoch = r.Uvarint()
 	return wireErr("replicate", r)
 }
 
@@ -161,7 +163,9 @@ func (m *updateMsg) AppendBinary(dst []byte) ([]byte, error) {
 	dst = wirebin.AppendString(dst, m.URL)
 	dst = wirebin.AppendUvarint(dst, m.Version)
 	dst = wirebin.AppendString(dst, m.Diff)
-	return wirebin.AppendSint(dst, m.Bytes), nil
+	dst = wirebin.AppendSint(dst, m.Bytes)
+	dst = wirebin.AppendUvarint(dst, m.OwnerEpoch)
+	return appendAddr(dst, m.Owner), nil
 }
 
 // DecodeBinary implements the codec binary payload contract.
@@ -171,6 +175,8 @@ func (m *updateMsg) DecodeBinary(src []byte) error {
 	m.Version = r.Uvarint()
 	m.Diff = r.String()
 	m.Bytes = r.Sint()
+	m.OwnerEpoch = r.Uvarint()
+	m.Owner = readAddr(r)
 	return wireErr("update", r)
 }
 
@@ -224,6 +230,24 @@ func (m *maintainMsg) DecodeBinary(src []byte) error {
 	}
 	m.Clusters = new(honeycomb.ClusterSet)
 	return m.Clusters.DecodeBinary(r.Take(r.Len()))
+}
+
+// --- leaseMsg (corona.lease) ---------------------------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *leaseMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendString(dst, m.Client)
+	return appendAddr(dst, m.Entry), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *leaseMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.Client = r.String()
+	m.Entry = readAddr(r)
+	return wireErr("lease", r)
 }
 
 // --- wedgeFwdMsg (corona.wedgefwd) ---------------------------------------

@@ -81,15 +81,17 @@ func randPollCtl(rng *rand.Rand) *pollCtlMsg {
 
 func randUpdate(rng *rand.Rand) *updateMsg {
 	return &updateMsg{
-		URL:     randString(rng),
-		Version: rng.Uint64() >> uint(rng.Intn(64)),
-		Diff:    randString(rng),
-		Bytes:   rng.Intn(1 << 20),
+		URL:        randString(rng),
+		Version:    rng.Uint64() >> uint(rng.Intn(64)),
+		Diff:       randString(rng),
+		Bytes:      rng.Intn(1 << 20),
+		OwnerEpoch: rng.Uint64() >> uint(rng.Intn(64)),
+		Owner:      randAddr(rng),
 	}
 }
 
 // payloadGenerators builds one random payload per registered message
-// type — all nine registrations, including the wedgeFwd wrapper in each
+// type — all ten registrations, including the wedgeFwd wrapper in each
 // of its shapes.
 var payloadGenerators = map[string]func(rng *rand.Rand) any{
 	msgSubscribe: func(rng *rand.Rand) any {
@@ -107,6 +109,7 @@ var payloadGenerators = map[string]func(rng *rand.Rand) any{
 			LastVersion: rng.Uint64() >> uint(rng.Intn(64)),
 			Level:       rng.Intn(5),
 			Epoch:       rng.Uint64() >> uint(rng.Intn(64)),
+			OwnerEpoch:  rng.Uint64() >> uint(rng.Intn(64)),
 		}
 		for i, n := 0, rng.Intn(4); i < n; i++ {
 			m.Subscribers = append(m.Subscribers, replicatedSub{Client: randString(rng), Entry: randAddr(rng)})
@@ -141,6 +144,9 @@ var payloadGenerators = map[string]func(rng *rand.Rand) any{
 	},
 	msgNotify: func(rng *rand.Rand) any {
 		return &notifyMsg{Client: randString(rng), URL: randString(rng), Version: rng.Uint64(), Diff: randString(rng)}
+	},
+	msgLease: func(rng *rand.Rand) any {
+		return &leaseMsg{URL: randString(rng), Client: randString(rng), Entry: randAddr(rng)}
 	},
 }
 
@@ -326,6 +332,7 @@ var fuzzTargets = []func() binaryPayload{
 	func() binaryPayload { return &maintainMsg{} },
 	func() binaryPayload { return &wedgeFwdMsg{} },
 	func() binaryPayload { return &replicateMsg{} },
+	func() binaryPayload { return &leaseMsg{} },
 }
 
 // FuzzBinaryPayloadDecode throws arbitrary bytes at every native decoder:

@@ -100,11 +100,34 @@ type channelState struct {
 	isReplica   bool // one of the f additional owners
 	ownerPrefix int  // prefix digits the owner shares with the channel
 
+	// ownerEpoch fences ownership: it bumps on every ownership transition
+	// (promotion, recovery, reconquest) and travels on replication and
+	// owner-originated updates. Of two nodes claiming ownership, the one
+	// with the higher epoch wins; ties break toward the identifier
+	// numerically closer to the channel, the same total order rootship
+	// uses, so both sides of a split agree on the winner without sharing
+	// a ring view.
+	ownerEpoch uint64
+
 	// recoveredOwner marks state restored from the durable store whose
 	// ownership claim awaits reconciliation against the live ring.
 	recoveredOwner bool
 
 	subs subscriberSet
+
+	// leases tracks, per subscriber, when the client's entry node last
+	// proved liveness for it (zero time = force-expired by a peer fault).
+	// Only clients that appear here are subject to lease expiry; IM and
+	// simulation subscribers never heartbeat and never expire. Owner-only.
+	leases map[string]time.Time
+
+	// unsubbed tombstones recent unsubscribes: a lease heartbeat is an
+	// idempotent subscription assert, and one in flight when the client
+	// unsubscribes could arrive after the removal and resurrect the
+	// subscriber forever (heartbeats for the channel stop, and the sweep
+	// re-points entries but never deletes). Asserts for a tombstoned
+	// client are ignored until the tombstone ages out. Owner-only.
+	unsubbed map[string]time.Time
 
 	sizeBytes   int
 	est         intervalEstimator
@@ -122,6 +145,8 @@ type Stats struct {
 	NotificationsSent uint64
 	MaintenanceRounds uint64
 	LevelChanges      uint64
+	LeaseRefreshes    uint64 // entry-node lease heartbeats applied at owned channels
+	LeaseReroutes     uint64 // dead entry records re-pointed by the lease sweep
 	SubscriptionsHeld int
 	ChannelsOwned     int
 	ChannelsPolled    int
@@ -223,6 +248,7 @@ type ChannelInfo struct {
 	URL         string
 	Level       int
 	Epoch       uint64
+	OwnerEpoch  uint64
 	Polling     bool
 	Owner       bool
 	Replica     bool
@@ -242,6 +268,7 @@ func (n *Node) Channel(url string) (ChannelInfo, bool) {
 		URL:         ch.url,
 		Level:       ch.level,
 		Epoch:       ch.epoch,
+		OwnerEpoch:  ch.ownerEpoch,
 		Polling:     ch.polling,
 		Owner:       ch.isOwner,
 		Replica:     ch.isReplica,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"corona/internal/ids"
 	"corona/internal/pastry"
 	"corona/internal/store"
@@ -66,6 +68,33 @@ func (n *Node) emitSubLocked(ch *channelState, client string, entry pastry.Addr,
 	})
 }
 
+// emitOwnerEpochLocked persists the channel's ownership fencing epoch
+// for a channel this node is answerable for. Callers hold n.mu.
+func (n *Node) emitOwnerEpochLocked(ch *channelState) {
+	if n.durable == nil || !(ch.isOwner || ch.isReplica) {
+		return
+	}
+	n.durable.StateChanged(store.Record{Op: store.OpOwnerEpoch, URL: ch.url, OwnerEpoch: ch.ownerEpoch})
+}
+
+// emitLeaseLocked persists one subscriber's lease mark; a zero time
+// journals a lease CLEAR (UnixNano 0), which the store applies as
+// removal. Callers hold n.mu.
+func (n *Node) emitLeaseLocked(ch *channelState, client string, at time.Time) {
+	if n.durable == nil {
+		return
+	}
+	var nanos int64
+	if !at.IsZero() {
+		nanos = at.UnixNano()
+	}
+	n.durable.StateChanged(store.Record{
+		Op:    store.OpLease,
+		URL:   ch.url,
+		Lease: store.Lease{Client: client, UnixNano: nanos},
+	})
+}
+
 // emitVersionLocked persists version progress for a channel this node is
 // answerable for (owner or replica). Callers hold n.mu.
 func (n *Node) emitVersionLocked(ch *channelState) {
@@ -89,6 +118,7 @@ func (n *Node) RestoreChannels(channels []store.Channel) {
 		ch := n.getChannel(c.URL)
 		ch.level = c.Level
 		ch.epoch = c.Epoch
+		ch.ownerEpoch = c.OwnerEpoch
 		ch.lastVersion = c.Version
 		ch.sizeBytes = c.SizeBytes
 		if c.IntervalSec > 0 {
@@ -103,16 +133,32 @@ func (n *Node) RestoreChannels(channels []store.Channel) {
 		} else {
 			ch.subs.count = c.Count
 		}
+		// Recovered lease marks say which subscribers live under lease
+		// discipline; their timestamps predate the outage, so each gets a
+		// fresh grace window instead — an entry node that really died
+		// simply fails to refresh and expires one TTL from now.
+		if len(c.Leases) > 0 && !n.cfg.CountSubscribersOnly {
+			now := n.now()
+			ch.leases = make(map[string]time.Time, len(c.Leases))
+			for _, l := range c.Leases {
+				if _, ok := ch.subs.ids[l.Client]; ok {
+					ch.leases[l.Client] = now
+				}
+			}
+		}
 		ch.recoveredOwner = c.Owner || c.Replica
 	}
 }
 
 // ReconcileRecovered runs once the node has rejoined the ring: recovered
-// channels this node still roots resume ownership (polling restarts,
-// state re-replicates to the current neighbors); channels whose root
-// moved while the node was down hand their durable subscriptions to the
-// current owner through the ordinary subscribe path, so no client has to
-// re-subscribe either way.
+// channels this node still roots resume ownership — becomeOwnerLocked
+// proposes recoveredEpoch+1, and the replication push carrying that
+// claim demotes any interim owner promoted during the outage on receipt
+// (the owner-epoch handshake; losers of the epoch comparison surrender
+// immediately instead of waiting for an IsRoot self-check). Channels
+// whose root moved while the node was down hand their durable
+// subscriptions to the current owner through the ordinary subscribe
+// path, so no client has to re-subscribe either way.
 func (n *Node) ReconcileRecovered() {
 	type handoff struct {
 		id   ids.ID
@@ -132,9 +178,10 @@ func (n *Node) ReconcileRecovered() {
 			resumed = append(resumed, ch)
 			continue
 		}
-		// The root moved. Release any recovered claim and re-inject the
-		// subscriptions; the channel state itself stays as a warm cache.
-		ch.isOwner, ch.isReplica = false, false
+		// The root moved. Surrender the recovered claim (demote clears
+		// the identity map so a later promotion cannot resurrect these
+		// clients from a stale copy) and re-inject the subscriptions at
+		// the current owner.
 		h := handoff{id: ch.id, url: ch.url}
 		for client, entry := range ch.subs.ids {
 			h.subs = append(h.subs, replicatedSub{Client: client, Entry: entry})
@@ -142,6 +189,7 @@ func (n *Node) ReconcileRecovered() {
 		if len(h.subs) > 0 {
 			handoffs = append(handoffs, h)
 		}
+		n.demoteLocked(ch, false)
 		n.emitMetaLocked(ch, true)
 	}
 	n.mu.Unlock()

@@ -110,6 +110,12 @@ func (n *Node) updateDetected(ch *channelState, res fetchedUpdate) {
 		level = n.env().MaxLevel
 	}
 	isOwner := ch.isOwner
+	var claimEpoch uint64
+	if isOwner {
+		// Owner-originated dissemination carries the fencing epoch, so a
+		// stale co-owner learns of its demotion from the answer itself.
+		claimEpoch = ch.ownerEpoch
+	}
 	n.stats.UpdatesDetected++
 	n.emitVersionLocked(ch)
 	n.mu.Unlock()
@@ -120,10 +126,14 @@ func (n *Node) updateDetected(ch *channelState, res fetchedUpdate) {
 
 	// Share the diff with the rest of the wedge along the DAG (§3.4).
 	update := &updateMsg{
-		URL:     ch.url,
-		Version: res.Version,
-		Diff:    diffText,
-		Bytes:   diffBytes,
+		URL:        ch.url,
+		Version:    res.Version,
+		Diff:       diffText,
+		Bytes:      diffBytes,
+		OwnerEpoch: claimEpoch,
+	}
+	if claimEpoch > 0 {
+		update.Owner = n.Self()
 	}
 	n.sendToWedge(ch.id, ch.url, level, msgUpdate, nil, update)
 
@@ -158,6 +168,11 @@ type fetchedUpdate struct {
 }
 
 // handleUpdate processes a diff disseminated by another wedge member.
+// An update carrying a non-zero OwnerEpoch is also an ownership claim:
+// a node still flying a stale isOwner flag demotes on receipt of a
+// winning claim — it stops answering polls immediately instead of
+// waiting for its next IsRoot self-check — and a live owner answers a
+// stale claim with a counter-push so the stale answerer demotes too.
 func (n *Node) handleUpdate(msg pastry.Message) {
 	p, ok := msg.Payload.(*updateMsg)
 	if !ok {
@@ -165,6 +180,34 @@ func (n *Node) handleUpdate(msg pastry.Message) {
 	}
 	n.mu.Lock()
 	ch := n.getChannel(p.URL)
+	var counter *replicateMsg
+	var handoff []replicatedSub
+	// The claimant is named in the payload, NOT taken from the envelope:
+	// wedge forwarding re-broadcasts updates with From rewritten to the
+	// forwarding member, which must neither decide the tie-break nor
+	// receive the counter-push.
+	claimant := p.Owner
+	if p.OwnerEpoch > 0 && !claimant.IsZero() && claimant.ID != n.Self().ID {
+		if n.claimWinsLocked(ch, p.OwnerEpoch, claimant) {
+			if ch.isOwner {
+				// Updates carry no subscriber state; hand everything we
+				// hold back through the subscribe path so the winner ends
+				// up with the union (owners deduplicate by identity).
+				handoff = handoffMissingLocked(ch, nil)
+				n.demoteLocked(ch, false)
+				// Journal the surrender like every other demotion path,
+				// or a restart would resurrect Owner=true plus the stale
+				// subscriber set and reopen the dual-owner window.
+				n.emitMetaLocked(ch, true)
+			}
+			if p.OwnerEpoch > ch.ownerEpoch {
+				ch.ownerEpoch = p.OwnerEpoch
+				n.emitOwnerEpochLocked(ch)
+			}
+		} else if ch.isOwner {
+			counter = n.buildReplicateLocked(ch)
+		}
+	}
 	fresh := p.Version > ch.lastVersion
 	if fresh {
 		ch.lastVersion = p.Version
@@ -174,6 +217,12 @@ func (n *Node) handleUpdate(msg pastry.Message) {
 	}
 	isOwner := ch.isOwner
 	n.mu.Unlock()
+	if counter != nil {
+		n.overlay.SendDirect(claimant, msgReplicate, counter)
+	}
+	for _, s := range handoff {
+		n.overlay.Route(ch.id, msgSubscribe, &subscribeMsg{URL: ch.url, Client: s.Client, Entry: s.Entry})
+	}
 	if !fresh {
 		return
 	}
@@ -228,11 +277,13 @@ func (n *Node) handleReport(msg pastry.Message) {
 	ch.lastVersion = p.ObservedVersion
 	ch.est.observe(n.now())
 	level := ch.level
+	claimEpoch := ch.ownerEpoch
 	n.emitVersionLocked(ch)
 	n.mu.Unlock()
 
 	n.overlay.Broadcast(level, msgUpdate, &updateMsg{
 		URL: p.URL, Version: p.ObservedVersion, Diff: p.Diff, Bytes: p.Bytes,
+		OwnerEpoch: claimEpoch, Owner: n.Self(),
 	})
 	n.notifySubscribers(ch, p.ObservedVersion, p.Diff)
 }

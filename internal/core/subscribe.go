@@ -33,8 +33,17 @@ func (n *Node) handleSubscribe(msg pastry.Message) {
 	changed := false
 	if p.Remove {
 		changed = ch.subs.remove(p.Client, n.cfg.CountSubscribersOnly)
+		delete(ch.leases, p.Client)
+		// Tombstone even when the remove was a no-op: an owner that lost
+		// its subscriber set (in-memory restart, stateless promotion)
+		// still must not let an in-flight lease heartbeat resurrect the
+		// client after this unsubscribe.
+		if !n.cfg.CountSubscribersOnly {
+			n.tombstoneLocked(ch, p.Client)
+		}
 	} else {
 		changed = ch.subs.add(p.Client, p.Entry, n.cfg.CountSubscribersOnly)
+		delete(ch.unsubbed, p.Client) // an explicit subscribe overrides the tombstone
 	}
 	n.becomeOwnerLocked(ch)
 	if changed {
@@ -58,6 +67,12 @@ func (n *Node) becomeOwnerLocked(ch *channelState) {
 		return
 	}
 	ch.isOwner = true
+	// Every ownership transition advances the fencing epoch, so a
+	// promotion (peer fault), a recovery (ReconcileRecovered proposes
+	// recoveredEpoch+1), and a reconquest (the root taking the channel
+	// back from an interim owner) all outrank the claim they supersede.
+	ch.ownerEpoch++
+	n.emitOwnerEpochLocked(ch)
 	env := n.env()
 	if ch.level < 0 {
 		ch.level = env.MaxLevel
@@ -77,6 +92,28 @@ func (n *Node) becomeOwnerLocked(ch *channelState) {
 	n.emitMetaLocked(ch, false)
 }
 
+// buildReplicateLocked snapshots the channel's owner state as a
+// replication push (an ownership claim at the current owner epoch).
+// Callers hold n.mu.
+func (n *Node) buildReplicateLocked(ch *channelState) *replicateMsg {
+	rep := &replicateMsg{
+		URL:         ch.url,
+		Count:       ch.subs.count,
+		SizeBytes:   ch.sizeBytes,
+		IntervalSec: ch.est.interval().Seconds(),
+		LastVersion: ch.lastVersion,
+		Level:       ch.level,
+		Epoch:       ch.epoch,
+		OwnerEpoch:  ch.ownerEpoch,
+	}
+	if !n.cfg.CountSubscribersOnly {
+		for c, entry := range ch.subs.ids {
+			rep.Subscribers = append(rep.Subscribers, replicatedSub{Client: c, Entry: entry})
+		}
+	}
+	return rep
+}
+
 // replicateChannel pushes owner state to the f closest ring neighbors.
 func (n *Node) replicateChannel(ch *channelState) {
 	if n.cfg.OwnerReplicas == 0 {
@@ -87,20 +124,7 @@ func (n *Node) replicateChannel(ch *channelState) {
 		n.mu.Unlock()
 		return
 	}
-	rep := &replicateMsg{
-		URL:         ch.url,
-		Count:       ch.subs.count,
-		SizeBytes:   ch.sizeBytes,
-		IntervalSec: ch.est.interval().Seconds(),
-		LastVersion: ch.lastVersion,
-		Level:       ch.level,
-		Epoch:       ch.epoch,
-	}
-	if !n.cfg.CountSubscribersOnly {
-		for c, entry := range ch.subs.ids {
-			rep.Subscribers = append(rep.Subscribers, replicatedSub{Client: c, Entry: entry})
-		}
-	}
+	rep := n.buildReplicateLocked(ch)
 	n.mu.Unlock()
 	// Fire-and-forget: a replica that misses this push catches the next
 	// one (replication re-runs on every subscription change), and a dead
@@ -110,20 +134,112 @@ func (n *Node) replicateChannel(ch *channelState) {
 	}
 }
 
-// handleReplicate stores replica state at a backup owner.
+// claimWinsLocked decides an ownership claim at claimEpoch from claimant
+// against this node's view of the channel. Higher epoch wins outright;
+// equal epochs between two live owners break toward the identifier
+// numerically closer to the channel — the same metric rootship uses, and
+// one both sides compute identically from the message alone, so the
+// handshake converges even while their ring views still disagree.
+// Callers hold n.mu.
+func (n *Node) claimWinsLocked(ch *channelState, claimEpoch uint64, claimant pastry.Addr) bool {
+	if claimEpoch != ch.ownerEpoch {
+		return claimEpoch > ch.ownerEpoch
+	}
+	if !ch.isOwner {
+		return true // ordinary periodic push at the claim's epoch
+	}
+	return claimant.ID.Distance(ch.id).Cmp(n.Self().ID.Distance(ch.id)) < 0
+}
+
+// demoteLocked is the single ownership-surrender path: it clears the
+// owner flag, the replica flag unless the caller is adopting a fresher
+// replica image, the subscriber identity map when leaving the replica
+// set (stale identities must not resurrect on a later promotion — the
+// same rule the emptied-channel replicate push enforces), and the lease
+// table (leases are owner-side state). Polling stops unless the node
+// still belongs to the channel's wedge at its current level. Callers
+// hold n.mu.
+func (n *Node) demoteLocked(ch *channelState, toReplica bool) {
+	ch.isOwner = false
+	ch.isReplica = toReplica
+	ch.leases = nil
+	ch.unsubbed = nil
+	if !toReplica {
+		ch.subs.ids = nil
+		ch.subs.count = 0
+	}
+	if ch.polling && !n.overlay.Base().InWedge(n.Self().ID, ch.id, maxInt(ch.level, 0)) {
+		n.stopPollingLocked(ch)
+	}
+}
+
+// handoffMissingLocked lists this node's subscriber identities absent
+// from a winning claim's pushed set. A demoting interim owner re-injects
+// them through the ordinary subscribe path so a client that subscribed
+// during the outage survives the merge. Callers hold n.mu.
+func handoffMissingLocked(ch *channelState, pushed []replicatedSub) []replicatedSub {
+	if len(ch.subs.ids) == 0 {
+		return nil
+	}
+	known := make(map[string]struct{}, len(pushed))
+	for _, s := range pushed {
+		known[s.Client] = struct{}{}
+	}
+	var missing []replicatedSub
+	for c, entry := range ch.subs.ids {
+		if _, ok := known[c]; !ok {
+			missing = append(missing, replicatedSub{Client: c, Entry: entry})
+		}
+	}
+	return missing
+}
+
+// handleReplicate stores replica state at a backup owner. Every push is
+// also an ownership claim fenced by the owner epoch: the loser of the
+// comparison demotes on receipt — no waiting for an IsRoot self-check —
+// and a stale claimant is answered with a counter-push carrying the
+// winning state so it demotes symmetrically.
 func (n *Node) handleReplicate(msg pastry.Message) {
 	p, ok := msg.Payload.(*replicateMsg)
 	if !ok {
 		return
 	}
+	// The push proves the sender is alive; fold it into routing state so
+	// IsRoot converges (the reconquest check below depends on it).
+	if msg.From.ID != n.Self().ID {
+		n.overlay.Learn(msg.From)
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	ch := n.getChannel(p.URL)
-	if ch.isOwner {
-		// A replica push from a stale owner; ignore — we are primary.
+	if !n.claimWinsLocked(ch, p.OwnerEpoch, msg.From) {
+		// Stale-epoch push: reject on receipt. If we are the live owner,
+		// answer with our own state so the stale claimant demotes now
+		// instead of answering polls until its next self-check. A REPLICA
+		// holding a higher epoch answers too: a promoted owner whose
+		// epoch fell behind (it missed the previous owner's last bumps)
+		// would otherwise be rejected here forever and this replica's
+		// copy would go permanently stale — the counter-push teaches the
+		// claimant the higher epoch, and it reconquers above it.
+		var counter *replicateMsg
+		if ch.isOwner || ch.isReplica {
+			counter = n.buildReplicateLocked(ch)
+		}
+		n.mu.Unlock()
+		if counter != nil && msg.From.ID != n.Self().ID {
+			n.overlay.SendDirect(msg.From, msgReplicate, counter)
+		}
 		return
 	}
+	var handoff []replicatedSub
+	if ch.isOwner {
+		// Epoch loss: another owner with a winning claim is live. Demote
+		// immediately, handing any subscribers it does not know about
+		// back through the subscribe path before the identity map goes.
+		handoff = handoffMissingLocked(ch, p.Subscribers)
+		n.demoteLocked(ch, true)
+	}
 	ch.isReplica = true
+	ch.ownerEpoch = p.OwnerEpoch
 	ch.subs.count = p.Count
 	if p.Subscribers != nil {
 		ch.subs.ids = make(map[string]pastry.Addr, len(p.Subscribers))
@@ -147,11 +263,28 @@ func (n *Node) handleReplicate(msg pastry.Message) {
 		ch.level = p.Level
 		ch.epoch = p.Epoch
 	}
+	// The root reconquers: if the ring still says this node is the
+	// channel's root, adopting the claim is only anti-entropy — take
+	// ownership back at claimEpoch+1 and re-replicate, so exactly the
+	// root survives the merge.
+	reclaimed := false
+	if msg.From.ID != n.Self().ID && n.overlay.IsRoot(ch.id) {
+		n.becomeOwnerLocked(ch)
+		reclaimed = ch.isOwner
+	}
+	n.emitOwnerEpochLocked(ch)
 	// Replica state is exactly what a restart must not lose: persist the
 	// pushed subscriber set wholesale. An emptied channel (Count 0, no
 	// list) must also replace durably, or the store would resurrect
 	// unsubscribed clients on restart.
 	n.emitMetaLocked(ch, p.Subscribers != nil || p.Count == 0)
+	n.mu.Unlock()
+	if reclaimed {
+		n.replicateChannel(ch)
+	}
+	for _, s := range handoff {
+		n.overlay.Route(ch.id, msgSubscribe, &subscribeMsg{URL: ch.url, Client: s.Client, Entry: s.Entry})
+	}
 }
 
 // handlePeerFault runs when the overlay detects a dead peer: replicas
@@ -170,6 +303,28 @@ func (n *Node) handlePeerFault(dead pastry.Addr) {
 	for _, ch := range promoted {
 		n.becomeOwnerLocked(ch)
 		n.stats.LevelChanges++ // ownership transfer shows up in churn stats
+	}
+	// Force-expire the lease of every subscriber whose entry node just
+	// died (zero time = already past any TTL), whether or not it ever
+	// heartbeat: the next maintain pass re-routes its notifications to a
+	// surviving node instead of black-holing them at the dead one. This
+	// runs AFTER the promotions so a replica promoted by this very fault
+	// (the dead peer owned the channel AND was a subscriber's entry)
+	// marks those entries too.
+	if !n.cfg.CountSubscribersOnly {
+		for _, ch := range n.channels {
+			if !ch.isOwner {
+				continue
+			}
+			for client, entry := range ch.subs.ids {
+				if entry.ID == dead.ID {
+					if ch.leases == nil {
+						ch.leases = make(map[string]time.Time)
+					}
+					ch.leases[client] = time.Time{}
+				}
+			}
+		}
 	}
 	n.mu.Unlock()
 	for _, ch := range promoted {

@@ -72,8 +72,8 @@ type Gateway struct {
 	// notifications.
 	paceInterval time.Duration
 
-	notifyCounts map[string]uint64 // url -> clients notified (counting mode)
-	undeliverable uint64           // notifications with no deliverer and no IM account
+	notifyCounts  map[string]uint64 // url -> clients notified (counting mode)
+	undeliverable uint64            // notifications with no deliverer and no IM account
 }
 
 // attachment is one registered structured deliverer; the pointer's

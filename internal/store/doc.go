@@ -59,6 +59,8 @@
 //	                      [ nsubs uvarint | (client,entryID,entryEndpoint)... ]
 //	OpVersion     body := version uvarint
 //	OpSubsChunk   body := nsubs uvarint | (client,entryID,entryEndpoint)...
+//	OpOwnerEpoch  body := ownerEpoch uvarint
+//	OpLease       body := client string | unixNano uvarint
 //
 // OpMeta flags: bit0 owner, bit1 replica, bit2 subs-present (the
 // subscriber list follows and replaces the durable set wholesale — the
@@ -69,22 +71,38 @@
 //
 // Records are idempotent upserts: OpSubscribe/OpUnsubscribe/OpSubsChunk
 // set or delete keys in the subscriber set, OpMeta is last-writer-wins,
-// OpVersion is monotonic (max). Re-applying any suffix of history that
+// OpVersion and OpOwnerEpoch are monotonic (max), OpLease upserts one
+// lease mark (an OpUnsubscribe or a subscriber replacement drops the
+// marks of departed clients). Re-applying any suffix of history that
 // ends at a snapshot point reproduces the snapshot exactly, which is
 // what makes the crash windows around compaction safe to replay.
 //
+// OpOwnerEpoch journals the ownership fencing epoch the owner-epoch
+// handshake compares (internal/core: exactly one owner survives a
+// restart merge). OpLease journals which subscribers live under
+// entry-node lease discipline; the timestamp is advisory — recovery
+// grants every restored lease a fresh grace window rather than trusting
+// a pre-crash clock, so the mark's payload is membership, not time. An
+// OpLease whose unixNano is zero is a lease clear and removes the mark
+// (the owner re-routed a dead entry and gave up on its heartbeats).
+//
 // # Snapshot format
 //
-//	snapshot := magic "CORSNP1\n" | body | crc uint32le
+//	snapshot := magic "CORSNP2\n" | body | crc uint32le
 //	body     := gen uvarint | nchannels uvarint | channel...
 //	channel  := url string | flags byte (bit0 owner, bit1 replica) |
 //	            level sint | epoch uvarint | version uvarint |
 //	            count sint | sizeBytes sint | intervalSec float64 |
-//	            nsubs uvarint | (client,entryID,entryEndpoint)...
+//	            nsubs uvarint | (client,entryID,entryEndpoint)... |
+//	            ownerEpoch uvarint |
+//	            nleases uvarint | (client string, unixNano uvarint)...
 //
 // crc is CRC-32C over body. A snapshot that fails its magic, CRC, or
 // decode is ignored and recovery falls back to the previous generation
 // (if its files survive) or to an empty image plus whatever WALs exist.
+// The previous "CORSNP1\n" format (no ownerEpoch, no leases) is still
+// decoded — those fields recover zero-valued — and the post-recovery
+// compaction rewrites the directory in the v2 form.
 //
 // # Recovery
 //

@@ -27,6 +27,16 @@ const (
 	// replacements into one capped OpMeta followed by OpSubsChunk
 	// records, so no WAL frame outgrows MaxRecordBytes.
 	OpSubsChunk Op = 5
+	// OpOwnerEpoch advances a channel's ownership fencing epoch (the
+	// monotonic counter the owner-epoch handshake compares; see
+	// internal/core). Applied as a max, like OpVersion.
+	OpOwnerEpoch Op = 6
+	// OpLease marks one subscriber as living under entry-node lease
+	// discipline, with the time its entry last proved liveness for it.
+	// A zero UnixNano is a lease clear: the mark is removed (the owner
+	// gave up on the entry and re-routed it; lease discipline must not
+	// resurrect on restart for a client that may never heartbeat again).
+	OpLease Op = 7
 )
 
 // Sub is one durable subscriber: the client identity plus the overlay
@@ -35,6 +45,16 @@ type Sub struct {
 	Client        string
 	EntryID       ids.ID
 	EntryEndpoint string
+}
+
+// Lease is one durable entry-node lease mark: the subscriber it covers
+// and when its entry node last proved liveness for it (Unix nanoseconds).
+// Recovery treats the timestamp as advisory — a restarted owner grants a
+// fresh grace window — so the mark's real payload is which subscribers
+// are under lease discipline at all.
+type Lease struct {
+	Client   string
+	UnixNano int64
 }
 
 // Record is one logged state mutation. Which fields are meaningful
@@ -60,6 +80,12 @@ type Record struct {
 
 	// OpMeta and OpVersion.
 	Version uint64
+
+	// OpOwnerEpoch.
+	OwnerEpoch uint64
+
+	// OpLease.
+	Lease Lease
 }
 
 // Sink receives state-change records; core.Node holds one (nil when the
@@ -76,11 +102,13 @@ type Channel struct {
 	Replica     bool
 	Level       int
 	Epoch       uint64
+	OwnerEpoch  uint64
 	Version     uint64
 	Count       int
 	SizeBytes   int
 	IntervalSec float64
 	Subs        []Sub
+	Leases      []Lease
 
 	// index maps client to Subs position, built lazily once the set is
 	// large enough that linear scans hurt. Never serialized.
@@ -146,10 +174,50 @@ func (ch *Channel) removeSub(client string) {
 	}
 }
 
-// replaceSubs installs a whole new subscriber set.
+// replaceSubs installs a whole new subscriber set and prunes lease marks
+// for clients no longer in it.
 func (ch *Channel) replaceSubs(subs []Sub) {
 	ch.Subs = append([]Sub(nil), subs...)
 	ch.index = nil
+	ch.pruneLeases()
+}
+
+// upsertLease adds or refreshes one lease mark.
+func (ch *Channel) upsertLease(l Lease) {
+	for i := range ch.Leases {
+		if ch.Leases[i].Client == l.Client {
+			ch.Leases[i] = l
+			return
+		}
+	}
+	ch.Leases = append(ch.Leases, l)
+}
+
+// removeLease drops one client's lease mark.
+func (ch *Channel) removeLease(client string) {
+	for i := range ch.Leases {
+		if ch.Leases[i].Client == client {
+			ch.Leases = append(ch.Leases[:i], ch.Leases[i+1:]...)
+			return
+		}
+	}
+}
+
+// pruneLeases drops lease marks for clients not in the subscriber set.
+func (ch *Channel) pruneLeases() {
+	if len(ch.Leases) == 0 {
+		return
+	}
+	keep := ch.Leases[:0]
+	for _, l := range ch.Leases {
+		for i := range ch.Subs {
+			if ch.Subs[i].Client == l.Client {
+				keep = append(keep, l)
+				break
+			}
+		}
+	}
+	ch.Leases = keep
 }
 
 // OpMeta flag bits.
@@ -233,6 +301,11 @@ func appendRecord(dst []byte, rec Record) []byte {
 		for _, s := range rec.Subs {
 			dst = appendSub(dst, s)
 		}
+	case OpOwnerEpoch:
+		dst = wirebin.AppendUvarint(dst, rec.OwnerEpoch)
+	case OpLease:
+		dst = wirebin.AppendString(dst, rec.Lease.Client)
+		dst = wirebin.AppendUvarint(dst, uint64(rec.Lease.UnixNano))
 	}
 	return dst
 }
@@ -266,6 +339,11 @@ func decodeRecord(payload []byte) (Record, error) {
 		rec.Version = r.Uvarint()
 	case OpSubsChunk:
 		rec.Subs = readSubs(r)
+	case OpOwnerEpoch:
+		rec.OwnerEpoch = r.Uvarint()
+	case OpLease:
+		rec.Lease.Client = r.String()
+		rec.Lease.UnixNano = int64(r.Uvarint())
 	default:
 		return Record{}, fmt.Errorf("store: unknown record op %d", rec.Op)
 	}
@@ -296,6 +374,7 @@ func (rec Record) apply(state map[string]*Channel) {
 		ch.Count = len(ch.Subs)
 	case OpUnsubscribe:
 		ch.removeSub(rec.Sub.Client)
+		ch.removeLease(rec.Sub.Client)
 		ch.Count = len(ch.Subs)
 	case OpMeta:
 		ch.Owner = rec.Owner
@@ -324,6 +403,16 @@ func (rec Record) apply(state map[string]*Channel) {
 			ch.upsertSub(s)
 		}
 		ch.Count = len(ch.Subs)
+	case OpOwnerEpoch:
+		if rec.OwnerEpoch > ch.OwnerEpoch {
+			ch.OwnerEpoch = rec.OwnerEpoch
+		}
+	case OpLease:
+		if rec.Lease.UnixNano == 0 {
+			ch.removeLease(rec.Lease.Client)
+		} else {
+			ch.upsertLease(rec.Lease)
+		}
 	}
 }
 
@@ -334,6 +423,7 @@ func imageSlice(state map[string]*Channel) []Channel {
 	for _, ch := range state {
 		c := *ch
 		c.Subs = append([]Sub(nil), ch.Subs...)
+		c.Leases = append([]Lease(nil), ch.Leases...)
 		c.index = nil
 		out = append(out, c)
 	}

@@ -3,9 +3,12 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"testing"
 	"time"
+
+	"corona/internal/wirebin"
 )
 
 // buildWAL writes a generation-1 WAL containing recs and returns the file
@@ -19,7 +22,9 @@ func buildWAL(recs []Record) (buf []byte, frameEnds []int) {
 	return buf, frameEnds
 }
 
-// testRecords is a mixed mutation history over a few channels.
+// testRecords is a mixed mutation history over a few channels, covering
+// every record op (the owner-epoch and lease records included, so the
+// truncation and fuzz properties exercise their decode paths).
 func testRecords() []Record {
 	var recs []Record
 	for i := 0; i < 20; i++ {
@@ -35,6 +40,19 @@ func testRecords() []Record {
 			})
 		case 3:
 			recs = append(recs, Record{Op: OpVersion, URL: url, Version: uint64(i * 7)})
+		}
+		if i%5 == 0 {
+			recs = append(recs, Record{Op: OpOwnerEpoch, URL: url, OwnerEpoch: uint64(i + 2)})
+		}
+		if i%6 == 1 {
+			recs = append(recs, Record{
+				Op: OpLease, URL: url,
+				Lease: Lease{Client: fmt.Sprintf("client-%d", i), UnixNano: int64(1700000000e9) + int64(i)},
+			})
+		}
+		if i == 13 {
+			// A lease clear (zero time) removes the earlier mark.
+			recs = append(recs, Record{Op: OpLease, URL: url, Lease: Lease{Client: "client-13"}})
 		}
 		if i == 10 {
 			recs = append(recs, Record{Op: OpSubsChunk, URL: url, Subs: []Sub{sub(100 + i), sub(200 + i)}})
@@ -61,14 +79,20 @@ func channelsEqual(t *testing.T, got map[string]*Channel, want map[string]*Chann
 	for i := range gs {
 		g, w := gs[i], ws[i]
 		if g.URL != w.URL || g.Owner != w.Owner || g.Replica != w.Replica ||
-			g.Level != w.Level || g.Epoch != w.Epoch || g.Version != w.Version ||
+			g.Level != w.Level || g.Epoch != w.Epoch || g.OwnerEpoch != w.OwnerEpoch ||
+			g.Version != w.Version ||
 			g.Count != w.Count || g.SizeBytes != w.SizeBytes || g.IntervalSec != w.IntervalSec ||
-			len(g.Subs) != len(w.Subs) {
+			len(g.Subs) != len(w.Subs) || len(g.Leases) != len(w.Leases) {
 			t.Fatalf("%s: channel %d:\n got  %+v\n want %+v", context, i, g, w)
 		}
 		for j := range g.Subs {
 			if g.Subs[j] != w.Subs[j] {
 				t.Fatalf("%s: channel %s sub %d differs", context, g.URL, j)
+			}
+		}
+		for j := range g.Leases {
+			if g.Leases[j] != w.Leases[j] {
+				t.Fatalf("%s: channel %s lease %d differs", context, g.URL, j)
 			}
 		}
 	}
@@ -256,11 +280,71 @@ func FuzzDecodeRecord(f *testing.F) {
 	})
 }
 
+// encodeSnapshotV1 renders a snapshot in the pre-owner-epoch v1 format,
+// for the backward-compatibility decode test.
+func encodeSnapshotV1(gen uint64, channels []Channel) []byte {
+	body := binary.AppendUvarint(nil, gen)
+	body = binary.AppendUvarint(body, uint64(len(channels)))
+	for _, ch := range channels {
+		body = wirebin.AppendString(body, ch.URL)
+		var flags byte
+		if ch.Owner {
+			flags |= metaOwner
+		}
+		if ch.Replica {
+			flags |= metaReplica
+		}
+		body = append(body, flags)
+		body = wirebin.AppendSint(body, ch.Level)
+		body = wirebin.AppendUvarint(body, ch.Epoch)
+		body = wirebin.AppendUvarint(body, ch.Version)
+		body = wirebin.AppendSint(body, ch.Count)
+		body = wirebin.AppendSint(body, ch.SizeBytes)
+		body = wirebin.AppendFloat64(body, ch.IntervalSec)
+		body = binary.AppendUvarint(body, uint64(len(ch.Subs)))
+		for _, s := range ch.Subs {
+			body = appendSub(body, s)
+		}
+	}
+	out := append([]byte(nil), snapMagicV1...)
+	out = append(out, body...)
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+}
+
+// TestDecodeSnapshotV1Fallback pins the format migration: a snapshot
+// written before the owner-epoch and lease fields (magic CORSNP1) still
+// decodes losslessly, with the new fields zero-valued.
+func TestDecodeSnapshotV1Fallback(t *testing.T) {
+	state := applyAll(testRecords())
+	want := imageSlice(state)
+	for i := range want {
+		want[i].OwnerEpoch = 0
+		want[i].Leases = nil
+	}
+	gen, got, err := decodeSnapshot(encodeSnapshotV1(7, want))
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if gen != 7 || len(got) != len(want) {
+		t.Fatalf("v1 snapshot decoded gen=%d channels=%d, want 7/%d", gen, len(got), len(want))
+	}
+	gm, wm := make(map[string]*Channel), make(map[string]*Channel)
+	for i := range got {
+		gm[got[i].URL] = &got[i]
+	}
+	for i := range want {
+		wm[want[i].URL] = &want[i]
+	}
+	channelsEqual(t, gm, wm, "v1 fallback")
+}
+
 // FuzzDecodeSnapshot exercises snapshot validation with arbitrary bytes.
 func FuzzDecodeSnapshot(f *testing.F) {
 	state := applyAll(testRecords())
 	f.Add(encodeSnapshot(3, imageSlice(state)))
+	f.Add(encodeSnapshotV1(3, imageSlice(state)))
 	f.Add([]byte("CORSNP1\n"))
+	f.Add([]byte("CORSNP2\n"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		gen, channels, err := decodeSnapshot(data)

@@ -10,7 +10,8 @@ import (
 	"corona/internal/wirebin"
 )
 
-// appendChannel encodes one materialized channel image.
+// appendChannel encodes one materialized channel image (v2 shape: the v1
+// fields followed by the ownership fencing epoch and the lease marks).
 func appendChannel(dst []byte, ch Channel) []byte {
 	dst = wirebin.AppendString(dst, ch.URL)
 	var flags byte
@@ -31,10 +32,18 @@ func appendChannel(dst []byte, ch Channel) []byte {
 	for _, s := range ch.Subs {
 		dst = appendSub(dst, s)
 	}
+	dst = wirebin.AppendUvarint(dst, ch.OwnerEpoch)
+	dst = wirebin.AppendUvarint(dst, uint64(len(ch.Leases)))
+	for _, l := range ch.Leases {
+		dst = wirebin.AppendString(dst, l.Client)
+		dst = wirebin.AppendUvarint(dst, uint64(l.UnixNano))
+	}
 	return dst
 }
 
-func readChannel(r *wirebin.Reader) Channel {
+// readChannel decodes one channel image. v1 snapshots predate the owner
+// epoch and lease marks; their channels decode with both zero-valued.
+func readChannel(r *wirebin.Reader, v1 bool) Channel {
 	var ch Channel
 	ch.URL = r.String()
 	flags := r.Byte()
@@ -47,6 +56,18 @@ func readChannel(r *wirebin.Reader) Channel {
 	ch.SizeBytes = r.Sint()
 	ch.IntervalSec = r.Float64()
 	ch.Subs = readSubs(r)
+	if v1 {
+		return ch
+	}
+	ch.OwnerEpoch = r.Uvarint()
+	// Each lease costs at least one client length byte and one time byte.
+	n := r.ListLen(2)
+	if n > 0 {
+		ch.Leases = make([]Lease, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			ch.Leases = append(ch.Leases, Lease{Client: r.String(), UnixNano: int64(r.Uvarint())})
+		}
+	}
 	return ch
 }
 
@@ -66,9 +87,17 @@ func encodeSnapshot(gen uint64, channels []Channel) []byte {
 // decodeSnapshot parses and validates a snapshot file. Any damage —
 // magic, CRC, or structure — rejects the whole file: unlike the WAL,
 // a snapshot is atomic (it was written by rename) so partial recovery
-// from one is never attempted.
+// from one is never attempted. Both the current v2 magic and the v1
+// magic are accepted, so a directory written before the owner-epoch and
+// lease records recovers losslessly and is rewritten as v2 by the
+// post-recovery compaction.
 func decodeSnapshot(buf []byte) (gen uint64, channels []Channel, err error) {
-	if len(buf) < len(snapMagic)+4 || string(buf[:len(snapMagic)]) != snapMagic {
+	v1 := false
+	switch {
+	case len(buf) >= len(snapMagic)+4 && string(buf[:len(snapMagic)]) == snapMagic:
+	case len(buf) >= len(snapMagicV1)+4 && string(buf[:len(snapMagicV1)]) == snapMagicV1:
+		v1 = true
+	default:
 		return 0, nil, fmt.Errorf("store: snapshot magic mismatch")
 	}
 	body := buf[len(snapMagic) : len(buf)-4]
@@ -84,7 +113,7 @@ func decodeSnapshot(buf []byte) (gen uint64, channels []Channel, err error) {
 	}
 	channels = make([]Channel, 0, n)
 	for i := uint64(0); i < n; i++ {
-		channels = append(channels, readChannel(r))
+		channels = append(channels, readChannel(r, v1))
 		if r.Err() != nil {
 			return 0, nil, fmt.Errorf("store: snapshot channel %d malformed: %w", i, r.Err())
 		}

@@ -8,10 +8,13 @@ import (
 )
 
 // walMagic and snapMagic open every WAL and snapshot file; a file whose
-// first eight bytes differ is ignored by recovery.
+// first eight bytes differ is ignored by recovery. Snapshots written
+// before the owner-epoch/lease fields carry the v1 magic and are still
+// readable (see decodeSnapshot); new snapshots always use the v2 form.
 const (
-	walMagic  = "CORWAL1\n"
-	snapMagic = "CORSNP1\n"
+	walMagic    = "CORWAL1\n"
+	snapMagic   = "CORSNP2\n"
+	snapMagicV1 = "CORSNP1\n"
 )
 
 // MaxRecordBytes bounds one WAL frame payload. A length prefix beyond it

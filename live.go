@@ -55,6 +55,13 @@ type LiveConfig struct {
 	// TCP address alongside the overlay port. Empty starts no client
 	// listener; ServeClients can start one later.
 	ClientBind string
+	// LeaseTTL is the entry-node lease window: a client-protocol
+	// subscriber whose entry node has not heartbeat for it within the TTL
+	// (or was detected dead) has its notifications re-routed to a
+	// surviving node by the owner's maintain pass. Zero uses the 2-minute
+	// default (comfortably above the SDK's 30s ping interval); negative
+	// disables the expiry sweep.
+	LeaseTTL time.Duration
 }
 
 // LiveNode is one Corona overlay member speaking TCP, polling real HTTP
@@ -65,7 +72,7 @@ type LiveNode struct {
 	node      *core.Node
 	notifier  *im.Gateway
 	service   *im.Service
-	store     *store.Store       // nil when DataDir is unset
+	store     *store.Store        // nil when DataDir is unset
 	clients   *clientproto.Server // nil until ServeClients
 }
 
@@ -92,6 +99,9 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	if cfg.Replicas == 0 {
 		cfg.Replicas = 2
 	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 2 * time.Minute
+	}
 	transport, err := netwire.Listen(cfg.Bind, nil)
 	if err != nil {
 		return nil, err
@@ -112,6 +122,9 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	ccfg.NodeCount = cfg.NodeCountHint
 	ccfg.CountSubscribersOnly = false
 	ccfg.ContentMode = true
+	if cfg.LeaseTTL > 0 {
+		ccfg.LeaseTTL = cfg.LeaseTTL
+	}
 	ccfg.Seed = cfg.Seed
 	if ccfg.Seed == 0 {
 		ccfg.Seed = int64(beUint(idFromEndpoint(advertise)))
@@ -208,6 +221,14 @@ func (ln *LiveNode) Subscribe(client, url string) error {
 // Unsubscribe removes a client's subscription.
 func (ln *LiveNode) Unsubscribe(client, url string) error {
 	return ln.node.Unsubscribe(client, url)
+}
+
+// RefreshLeases implements clientproto.Backend: it heartbeats entry-node
+// liveness for an attached client's channels, with this node as the
+// client's entry point. Each channel's owner refreshes the subscriber's
+// lease and re-points its entry record here.
+func (ln *LiveNode) RefreshLeases(client string, urls []string) error {
+	return ln.node.RefreshLeases(client, urls)
 }
 
 // ServeClients starts serving the binary client protocol on bind and
@@ -335,9 +356,21 @@ func (ln *LiveNode) WireDropped() uint64 {
 	return ln.transport.Dropped()
 }
 
-// Close stops the client listener, the protocol and the transport, then
-// flushes and closes the durable store so no committed-window state is
-// lost on a graceful shutdown.
+// CloseClients gracefully stops the client-protocol listener, draining
+// every connection's writer goroutine so no client sees a torn frame.
+// Safe to call before Close (which is idempotent about it); a no-op when
+// no client listener is running. cmd/corona-node's signal handler uses it
+// to stop client traffic alongside the IM listener before the node's WAL
+// flush.
+func (ln *LiveNode) CloseClients() {
+	if ln.clients != nil {
+		ln.clients.Close()
+	}
+}
+
+// Close stops the client listener (draining per-connection writers), the
+// protocol and the transport, then flushes and closes the durable store
+// so no committed-window state is lost on a graceful shutdown.
 func (ln *LiveNode) Close() error {
 	if ln.clients != nil {
 		ln.clients.Close()

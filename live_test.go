@@ -224,10 +224,31 @@ func TestLiveNodeRestartRecovery(t *testing.T) {
 
 	// Hard-kill the owner: transport dies, store is abandoned unflushed.
 	nodes[ownerIdx].Kill()
-	time.Sleep(200 * time.Millisecond)
 
-	// Restart it from its data directory on the same address, joining
-	// through a surviving node.
+	// Wait for an interim owner: a surviving replica detects the fault
+	// (sends to the dead node fail) and promotes itself. This is the
+	// dual-owner setup the owner-epoch handshake must resolve.
+	interimIdx := -1
+	interimDeadline := time.Now().Add(20 * time.Second)
+	for interimIdx < 0 && time.Now().Before(interimDeadline) {
+		for i, n := range nodes {
+			if i == ownerIdx {
+				continue
+			}
+			if info, ok := n.Channel(feedURL); ok && info.Owner {
+				interimIdx = i
+				break
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if interimIdx < 0 {
+		t.Fatal("no interim owner promoted after the kill")
+	}
+
+	// Restart the old owner from its data directory on the same address,
+	// joining through a surviving node — while the interim owner still
+	// flies its isOwner flag.
 	seedIdx := (ownerIdx + 1) % 3
 	restarted := start(ownerIdx, []string{nodes[seedIdx].Addr()})
 	nodes[ownerIdx] = restarted
@@ -238,6 +259,37 @@ func TestLiveNodeRestartRecovery(t *testing.T) {
 	}
 	if !info.Owner || info.Subscribers != 1 {
 		t.Fatalf("restarted node state = %+v, want recovered ownership with 1 subscriber", info)
+	}
+
+	// The owner-epoch handshake must leave exactly one isOwner node
+	// within a maintain pass: the restarted root's replication push
+	// (recoveredEpoch+1) demotes the interim on receipt.
+	owners := func() (count int, restartedOwns bool) {
+		for i, n := range nodes {
+			if info, ok := n.Channel(feedURL); ok && info.Owner {
+				count++
+				if i == ownerIdx {
+					restartedOwns = true
+				}
+			}
+		}
+		return
+	}
+	mergeDeadline := time.Now().Add(15 * time.Second)
+	for {
+		count, restartedOwns := owners()
+		if count == 1 && restartedOwns {
+			break
+		}
+		if time.Now().After(mergeDeadline) {
+			t.Fatalf("epoch handshake never converged: %d owners (restarted owns: %v)", count, restartedOwns)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// And it stays converged across further maintain passes.
+	time.Sleep(time.Second)
+	if count, restartedOwns := owners(); count != 1 || !restartedOwns {
+		t.Fatalf("ownership diverged again: %d owners (restarted owns: %v)", count, restartedOwns)
 	}
 
 	// No one re-subscribes. If the owner was also alice's entry node the
