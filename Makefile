@@ -30,7 +30,10 @@ race:
 # (append throughput, WAL/snapshot replay vs channel count, full restart
 # Open) recorded in BENCH_store.json; client-edge benchmarks
 # (notification fan-out through the gateway into clientproto frame
-# encode) recorded in BENCH_client.json.
+# encode) recorded in BENCH_client.json; hot-channel fan-out benchmarks
+# (owner messages per update with and without delegate sharding, plus the
+# encode-once NotifyBatch edge against the per-client-encode baseline)
+# recorded in BENCH_fanout.json.
 bench:
 	$(GO) test -run xxx -bench 'Wire|UpdateEncode|UpdateDecodeForward|FanOutEncode|UpdateDissemination' -benchmem . ./internal/core/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_wire.json
@@ -38,6 +41,8 @@ bench:
 		| $(GO) run ./cmd/bench2json -o BENCH_store.json
 	$(GO) test -run xxx -bench 'Client' -benchmem ./internal/clientproto/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_client.json
+	$(GO) test -run xxx -bench 'Fanout' -benchmem ./internal/core/ ./internal/clientproto/ \
+		| $(GO) run ./cmd/bench2json -o BENCH_fanout.json
 
 # Every benchmark, including the figure regenerations.
 bench-all:

@@ -104,6 +104,13 @@ type ServerInfo struct {
 	StoreRecordsSinceSnapshot int
 	// StoreErr is the store's latched IO error, empty while healthy.
 	StoreErr string
+	// HasFanout reports whether the node advertised fan-out accounting
+	// (protocol version 3 servers do; older servers leave Fanout zero).
+	HasFanout bool
+	// Fanout is the node's update fan-out accounting: batched
+	// notification sends, delegate-sharding activity, and client-edge
+	// delivery losses.
+	Fanout clientproto.FanoutInfo
 }
 
 // ErrClosed is returned by operations on a Conn after Close.
@@ -686,6 +693,8 @@ func (c *Conn) readAll(conn net.Conn) {
 				StoreWALBytes:             int64(m.Store.WALBytes),
 				StoreRecordsSinceSnapshot: int(m.Store.RecordsSinceSnapshot),
 				StoreErr:                  m.Store.Err,
+				HasFanout:                 m.HasFanout,
+				Fanout:                    m.Fanout,
 			}
 			c.haveInfo = true
 			c.mu.Unlock()

@@ -54,6 +54,14 @@ func (n notifier) Notify(client, channelURL string, version uint64, diff string)
 	}
 }
 
+// NotifyBatch implements core.Notifier: callback dispatch has no shared
+// encode to amortize, so a batch is the per-client path in a loop.
+func (n notifier) NotifyBatch(clients []string, channelURL string, version uint64, diff string) {
+	for _, c := range clients {
+		n.Notify(c, channelURL, version, diff)
+	}
+}
+
 // NotifyCount implements core.Notifier (unused: clusters track clients).
 func (n notifier) NotifyCount(channelURL string, version uint64, count int) {}
 
@@ -91,6 +99,7 @@ func buildCloud(opts Options, sim *eventsim.Sim, net *simnet.Network, clk clock.
 		cfg.NodeCount = opts.Nodes
 		cfg.CountSubscribersOnly = false
 		cfg.OwnerReplicas = opts.Replicas
+		cfg.DelegateThreshold = opts.DelegateThreshold
 		cfg.ContentMode = opts.ContentMode
 		cfg.Seed = opts.Seed + int64(i)
 		n := core.NewNode(cfg, overlay, clk, fetcher, notifier{c}, nil)
@@ -165,10 +174,38 @@ func (c *cloud) ChannelStatus(url string) ChannelStatus {
 	for _, n := range c.nodes {
 		if n.Overlay().IsRoot(id) {
 			st.Subscribers = n.Stats().SubscriptionsHeld
+			if info, ok := n.Channel(url); ok {
+				st.Delegates = info.Delegates
+			}
 			break
 		}
 	}
 	return st
+}
+
+// ChannelActivity reports each node's cumulative fan-out work, labeled
+// with its role for the given channel: the owner disseminates through its
+// delegates, delegates fan their partitions out to entry nodes, everyone
+// else stays silent. Nodes with no fan-out activity and no role are
+// omitted. Counters are node totals, so the breakdown is sharpest when
+// one hot channel dominates the cloud (the flash-crowd scenario).
+func (c *cloud) ChannelActivity(url string) []NodeActivity {
+	var out []NodeActivity
+	for _, n := range c.nodes {
+		a := NodeActivity{Node: n.Self().ID.String()[:8]}
+		if info, ok := n.Channel(url); ok {
+			a.Owner = info.Owner
+			a.Delegate = info.DelegateFor > 0
+		}
+		s := n.Stats()
+		a.Notifications = s.NotificationsSent
+		a.NotifyBatches = s.NotifyBatchesSent
+		a.DelegatePushes = s.DelegateUpdates
+		if a.Owner || a.Delegate || a.Notifications > 0 || a.NotifyBatches > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Stats summarizes activity across the cloud.

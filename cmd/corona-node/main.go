@@ -63,6 +63,7 @@ func main() {
 	maintenance := flag.Duration("maintenance", 0, "maintenance interval (default = τ)")
 	nodes := flag.Int("n", 0, "node count hint for the optimizer (0 = estimate)")
 	dataDir := flag.String("data", "", "data directory for durable channel state (empty = in-memory only)")
+	delegateThreshold := flag.Int("delegate-threshold", 0, "subscriber count at which an owner shards a channel's fan-out across delegates (0 = disabled)")
 	flag.Parse()
 
 	cfg := corona.LiveConfig{
@@ -74,6 +75,7 @@ func main() {
 		NodeCountHint:       *nodes,
 		DataDir:             *dataDir,
 		ClientBind:          *clientBind,
+		DelegateThreshold:   *delegateThreshold,
 	}
 	if *seedNode != "" {
 		cfg.Seeds = []string{*seedNode}

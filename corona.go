@@ -94,6 +94,12 @@ type Options struct {
 	ContentMode bool
 	// Replicas is f, the owner replication factor (default 2).
 	Replicas int
+	// DelegateThreshold is the per-channel subscriber count at which a
+	// channel owner recruits leaf-set delegates and shards notification
+	// fan-out across them, keeping the owner's per-update message count
+	// O(delegates) instead of O(entry nodes). Zero or negative disables
+	// sharding (the default).
+	DelegateThreshold int
 	// Seed drives deterministic randomness (default 1).
 	Seed int64
 }
@@ -138,6 +144,26 @@ type ChannelStatus struct {
 	Pollers int
 	// Orphan marks channels pinned at owner-only polling (paper §4).
 	Orphan bool
+	// Delegates is the number of fan-out delegates the owner has
+	// recruited for the channel (zero below DelegateThreshold).
+	Delegates int
+}
+
+// NodeActivity is one node's cumulative fan-out work, labeled with its
+// role for a channel of interest (see ChannelActivity).
+type NodeActivity struct {
+	// Node is the node's overlay identifier prefix.
+	Node string
+	// Owner marks the channel's current owner.
+	Owner bool
+	// Delegate marks a node carrying a fan-out partition for the channel.
+	Delegate bool
+	// Notifications counts client notifications the node delivered.
+	Notifications uint64
+	// NotifyBatches counts entry-node notification batches it emitted.
+	NotifyBatches uint64
+	// DelegatePushes counts delegate disseminations it sent (owner only).
+	DelegatePushes uint64
 }
 
 // Stats summarizes cloud activity.

@@ -10,7 +10,10 @@
 //
 // This example subscribes 20 clients to a feed, then 2000 more (the flash
 // crowd), and compares the origin's measured polls against what the same
-// population of legacy readers would have generated.
+// population of legacy readers would have generated. The notification
+// side of the spike is absorbed the same way: once the subscriber count
+// crosses DelegateThreshold, the owner recruits leaf-set delegates and
+// shards the fan-out across them, so no single node pays for the crowd.
 //
 //	go run ./examples/flashcrowd
 package main
@@ -29,7 +32,10 @@ func main() {
 		Scheme:       corona.Fast, // stable target; immune to popularity spikes (§3.1)
 		FastTarget:   time.Minute,
 		PollInterval: 30 * time.Minute,
-		Seed:         7,
+		// The crowd below reaches 2020 subscribers; at this threshold the
+		// owner recruits ~4 delegates to shard notification fan-out.
+		DelegateThreshold: 500,
+		Seed:              7,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,4 +79,20 @@ func main() {
 	fmt.Println("the wedge stops growing once cooperative polling hits diminishing")
 	fmt.Println("returns, so the origin never meets the crowd — and when the crowd")
 	fmt.Println("forgets to unsubscribe, the sticky traffic costs the origin nothing.")
+
+	// The notification side: the owner sharded the crowd across delegates.
+	st := sim.ChannelStatus(url)
+	fmt.Printf("\nfan-out: %d subscribers over the %d-subscriber threshold recruited %d delegates\n",
+		st.Subscribers, 500, st.Delegates)
+	fmt.Printf("%-10s %-8s %13s %13s %15s\n", "node", "role", "notifications", "notify-batches", "delegate-pushes")
+	for _, a := range sim.ChannelActivity(url) {
+		role := "-"
+		switch {
+		case a.Owner:
+			role = "owner"
+		case a.Delegate:
+			role = "delegate"
+		}
+		fmt.Printf("%-10s %-8s %13d %13d %15d\n", a.Node, role, a.Notifications, a.NotifyBatches, a.DelegatePushes)
+	}
 }

@@ -12,9 +12,10 @@
 // the client's hello and the server's own maximum — and both sides then
 // speak that version. A server reply of 0 means no common version; the
 // connection is closed. Versions are cumulative: a version-v speaker
-// understands every frame of versions 1..v. The current version is 2,
-// which added the LeaseRefresh frame; a client that negotiated version 1
-// must not send it (and the SDK falls back to Subscribe replay).
+// understands every frame of versions 1..v. The current version is 3,
+// which added the ServerInfo fan-out extension; version 2 added the
+// LeaseRefresh frame, which a client that negotiated version 1 must not
+// send (the SDK falls back to Subscribe replay).
 //
 // # Framing
 //
@@ -54,7 +55,18 @@
 //	0x13 ServerInfo   node string · peers list(string) ·
 //	                  store: enabled bool · generation uvarint ·
 //	                  walBytes uvarint · recordsSinceSnapshot uvarint ·
-//	                  err string
+//	                  err string ·
+//	                  [ fanout: notifyBatches uvarint ·
+//	                    delegateUpdates uvarint · delegatesActive uvarint ·
+//	                    delegatesHeld uvarint · undeliverable uvarint ·
+//	                    notifyDropped uvarint ]              (version 3)
+//
+// The bracketed fan-out extension is a trailing block a version-3 server
+// appends to ServerInfo: the node's update fan-out accounting (batched
+// notification sends, delegate disseminations and partitions held, and
+// the gateway's undeliverable/dropped counters — see FanoutInfo). Its
+// absence is the version-2 byte form, so a version-2 frame decodes
+// unchanged and a version-2 client simply never sees the extension.
 //
 // # Sessions and resumption
 //
@@ -94,5 +106,8 @@
 //
 // Notify frames are unacknowledged and may arrive at any time after
 // Login; ordering is per-channel by version, with no cross-channel
-// guarantee.
+// guarantee. When one update fans out to many clients of the same node
+// (the gateway's NotifyBatch path), the server encodes the Notify frame
+// once into the batch's shared cell and every connection writes the same
+// buffer — the marginal cost per recipient is an enqueue, not an encode.
 package clientproto

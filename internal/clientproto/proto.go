@@ -12,7 +12,10 @@ import (
 
 // Version is the highest protocol version this package speaks.
 // Version 2 added the LeaseRefresh frame (entry-node lease heartbeats).
-const Version = 2
+// Version 3 added the ServerInfo fan-out extension (FanoutInfo); frames
+// are otherwise unchanged, so the negotiation only gates whether the
+// server appends the extension fields.
+const Version = 3
 
 // MaxFrame bounds one frame's type+body byte count.
 const MaxFrame = 1 << 20
@@ -114,6 +117,29 @@ type StoreInfo struct {
 	Err string
 }
 
+// FanoutInfo is the serving node's update fan-out accounting, advertised
+// in ServerInfo since version 3.
+type FanoutInfo struct {
+	// NotifyBatches counts batched notification sends this node issued to
+	// entry nodes (its own gateway included).
+	NotifyBatches uint64
+	// DelegateUpdates counts per-delegate update disseminations sent by
+	// sharded channels this node owns.
+	DelegateUpdates uint64
+	// DelegatesActive counts delegates currently recruited across the
+	// channels this node owns.
+	DelegatesActive uint64
+	// DelegatesHeld counts channels this node holds a delegate partition
+	// for on some other owner's behalf.
+	DelegatesHeld uint64
+	// Undeliverable counts notifications that found neither an attached
+	// deliverer nor an IM account for their client.
+	Undeliverable uint64
+	// NotifyDropped counts notification frames discarded because a
+	// client's outbound queue was full (or a frame was oversized).
+	NotifyDropped uint64
+}
+
 // ServerInfo advertises the serving node and its view of the ring.
 type ServerInfo struct {
 	// Node is the serving node's advertised overlay endpoint.
@@ -123,6 +149,12 @@ type ServerInfo struct {
 	Peers []string
 	// Store is the durable store's health.
 	Store StoreInfo
+	// HasFanout reports whether Fanout carries data. Encoding appends the
+	// fan-out fields only when set, which keeps the version-2 byte form
+	// intact; decoding sets it when the extension bytes are present.
+	HasFanout bool
+	// Fanout is the fan-out accounting (version 3).
+	Fanout FanoutInfo
 }
 
 func (f *Login) frameType() byte        { return TypeLogin }
@@ -191,7 +223,16 @@ func (f *ServerInfo) appendBody(dst []byte) []byte {
 	dst = wirebin.AppendUvarint(dst, f.Store.Generation)
 	dst = wirebin.AppendUvarint(dst, f.Store.WALBytes)
 	dst = wirebin.AppendUvarint(dst, f.Store.RecordsSinceSnapshot)
-	return wirebin.AppendString(dst, f.Store.Err)
+	dst = wirebin.AppendString(dst, f.Store.Err)
+	if !f.HasFanout {
+		return dst
+	}
+	dst = wirebin.AppendUvarint(dst, f.Fanout.NotifyBatches)
+	dst = wirebin.AppendUvarint(dst, f.Fanout.DelegateUpdates)
+	dst = wirebin.AppendUvarint(dst, f.Fanout.DelegatesActive)
+	dst = wirebin.AppendUvarint(dst, f.Fanout.DelegatesHeld)
+	dst = wirebin.AppendUvarint(dst, f.Fanout.Undeliverable)
+	return wirebin.AppendUvarint(dst, f.Fanout.NotifyDropped)
 }
 
 // AppendFrame appends f's full wire form — u32 big-endian length, type
@@ -254,6 +295,18 @@ func DecodeFrame(body []byte) (Frame, error) {
 			WALBytes:             r.Uvarint(),
 			RecordsSinceSnapshot: r.Uvarint(),
 			Err:                  r.String(),
+		}
+		if r.Err() == nil && r.Len() > 0 {
+			// Version-3 fan-out extension: present iff bytes remain.
+			si.HasFanout = true
+			si.Fanout = FanoutInfo{
+				NotifyBatches:   r.Uvarint(),
+				DelegateUpdates: r.Uvarint(),
+				DelegatesActive: r.Uvarint(),
+				DelegatesHeld:   r.Uvarint(),
+				Undeliverable:   r.Uvarint(),
+				NotifyDropped:   r.Uvarint(),
+			}
 		}
 		f = si
 	default:

@@ -32,6 +32,13 @@ func everyFrame() []Frame {
 				RecordsSinceSnapshot: 17, Err: "disk on fire"},
 		},
 		&ServerInfo{Node: "10.0.0.1:9001"},
+		&ServerInfo{
+			Node:      "10.0.0.1:9001",
+			Peers:     []string{"10.0.0.2:9001"},
+			HasFanout: true,
+			Fanout: FanoutInfo{NotifyBatches: 12, DelegateUpdates: 4, DelegatesActive: 3,
+				DelegatesHeld: 2, Undeliverable: 1, NotifyDropped: 9},
+		},
 	}
 }
 
@@ -75,13 +82,23 @@ func TestReadWriteFrame(t *testing.T) {
 }
 
 func TestDecodeRejectsHostileInput(t *testing.T) {
-	// Truncation at every byte boundary of every frame must error, never
-	// panic or succeed.
+	// Truncation at every byte boundary of every frame must error — or,
+	// for the one legal case (a version-3 ServerInfo cut exactly at its
+	// version-2 boundary, where the absent fan-out extension is itself a
+	// valid frame), decode canonically: the accepted prefix must re-encode
+	// to exactly the bytes that decoded.
 	for _, f := range everyFrame() {
 		body := AppendFrame(nil, f)[4:]
 		for cut := 0; cut < len(body); cut++ {
-			if _, err := DecodeFrame(body[:cut]); err == nil {
-				t.Fatalf("%T truncated to %d bytes decoded", f, cut)
+			got, err := DecodeFrame(body[:cut])
+			if err == nil {
+				si, ok := got.(*ServerInfo)
+				if !ok || si.HasFanout {
+					t.Fatalf("%T truncated to %d bytes decoded", f, cut)
+				}
+				if !bytes.Equal(AppendFrame(nil, got)[4:], body[:cut]) {
+					t.Fatalf("%T truncated to %d bytes decoded non-canonically", f, cut)
+				}
 			}
 		}
 		// Trailing garbage is a framing error too.
@@ -101,6 +118,36 @@ func TestDecodeRejectsHostileInput(t *testing.T) {
 	hostile = append(hostile, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F)
 	if _, err := DecodeFrame(hostile); err == nil {
 		t.Fatal("hostile list count decoded")
+	}
+}
+
+// TestServerInfoV2Compat pins the fan-out extension's compatibility
+// contract: with HasFanout unset the encoding carries no extension bytes
+// (what a version-2 peer must receive), and decoding such a frame leaves
+// HasFanout false.
+func TestServerInfoV2Compat(t *testing.T) {
+	si := &ServerInfo{
+		Node:  "10.0.0.1:9001",
+		Peers: []string{"10.0.0.2:9001"},
+		Store: StoreInfo{Enabled: true, Generation: 3, WALBytes: 4096, RecordsSinceSnapshot: 17},
+	}
+	plain := AppendFrame(nil, si)
+	withExt := *si
+	withExt.HasFanout = true
+	withExt.Fanout = FanoutInfo{NotifyBatches: 1}
+	ext := AppendFrame(nil, &withExt)
+	if len(ext) <= len(plain) || ext[4] != plain[4] {
+		t.Fatalf("extension added %d bytes over %d", len(ext), len(plain))
+	}
+	if !bytes.Equal(ext[5:len(plain)], plain[5:]) {
+		t.Fatal("extension altered the version-2 prefix bytes")
+	}
+	got, err := DecodeFrame(plain[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gsi := got.(*ServerInfo); gsi.HasFanout || gsi.Fanout != (FanoutInfo{}) {
+		t.Fatalf("extension-free frame decoded with fan-out set: %+v", gsi)
 	}
 }
 

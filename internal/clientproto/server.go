@@ -49,6 +49,23 @@ type Backend interface {
 	Info() ServerInfo
 }
 
+// sharedFrame is a pre-encoded Notify frame shared across connections:
+// the batch delivery path encodes the notification once (the frame body
+// excludes the client handle, so the bytes are identical for every
+// recipient) and enqueues the same pointer to each subscriber's writer,
+// which writes buf directly instead of re-encoding. buf is the full wire
+// form — length prefix, type byte, body — and is never mutated after
+// encode. oversize marks a frame beyond MaxFrame, detected once.
+type sharedFrame struct {
+	buf      []byte
+	oversize bool
+}
+
+func (f *sharedFrame) frameType() byte { return TypeNotify }
+func (f *sharedFrame) appendBody(dst []byte) []byte {
+	return append(dst, f.buf[5:]...) // skip length prefix + type byte
+}
+
 // session is one logged-in connection's server-side state.
 type session struct {
 	conn  net.Conn
@@ -169,7 +186,8 @@ func (s *Server) forget(conn net.Conn) {
 // interleave frames with request replies.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.forget(conn)
-	if _, err := Negotiate(conn); err != nil {
+	ver, err := Negotiate(conn)
+	if err != nil {
 		return
 	}
 
@@ -188,18 +206,27 @@ func (s *Server) serveConn(conn net.Conn) {
 		// oversized ones: a frame beyond MaxFrame would make the client's
 		// decoder drop the connection, so it is dropped here instead (a
 		// >1MiB diff, in practice) and the lost notification counted.
+		// Pre-encoded shared frames skip the encode entirely — their bytes
+		// were built once for the whole batch (oversized ones never reach
+		// the queue).
 		writeOne := func(f Frame) {
-			buf = AppendFrame(buf[:0], f)
-			if len(buf)-4 > MaxFrame {
-				if _, isNotify := f.(*Notify); isNotify {
-					s.notifyDropped.Add(1)
+			frame := buf
+			if sf, ok := f.(*sharedFrame); ok {
+				frame = sf.buf
+			} else {
+				buf = AppendFrame(buf[:0], f)
+				if len(buf)-4 > MaxFrame {
+					if _, isNotify := f.(*Notify); isNotify {
+						s.notifyDropped.Add(1)
+					}
+					return
 				}
-				return
+				frame = buf
 			}
 			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 			// Flush when the queue runs dry; consecutive frames coalesce
 			// into one syscall.
-			_, err := bw.Write(buf)
+			_, err := bw.Write(frame)
 			if err == nil && len(out) == 0 {
 				err = bw.Flush()
 			}
@@ -267,6 +294,29 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			deliver := func(n im.Notification) {
+				if n.Shared != nil {
+					// Batch delivery: the first recipient's deliverer
+					// encodes the frame into the batch's Shared cell; every
+					// later recipient reuses the bytes. Deliverers for one
+					// batch run sequentially on the gateway's goroutine, so
+					// the cell needs no locking.
+					sf, _ := n.Shared.Enc.(*sharedFrame)
+					if sf == nil {
+						b := AppendFrame(nil, &Notify{Channel: n.Channel, Version: n.Version, Diff: n.Diff, At: n.At})
+						sf = &sharedFrame{buf: b, oversize: len(b)-4 > MaxFrame}
+						n.Shared.Enc = sf
+					}
+					if sf.oversize {
+						s.notifyDropped.Add(1)
+						return
+					}
+					select {
+					case out <- sf:
+					default:
+						s.notifyDropped.Add(1)
+					}
+					return
+				}
 				nf := &Notify{Channel: n.Channel, Version: n.Version, Diff: n.Diff, At: n.At}
 				select {
 				case out <- nf:
@@ -281,7 +331,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			handle, detach = req.Handle, det
 			reply(&Ack{ReqID: req.ReqID, Token: token})
-			reply(s.info())
+			reply(s.info(ver))
 		case *Subscribe:
 			s.subReply(req.ReqID, handle, req.URL, false, reply)
 		case *Unsubscribe:
@@ -298,7 +348,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			reply(&Ack{ReqID: req.ReqID})
 		case *Ping:
 			reply(&Ack{ReqID: req.ReqID})
-			reply(s.info())
+			reply(s.info(ver))
 		default:
 			return // a server-to-client frame from a client: protocol error
 		}
@@ -328,9 +378,15 @@ func (s *Server) subReply(reqID uint64, handle, url string, remove bool, reply f
 	reply(&Ack{ReqID: reqID})
 }
 
-// info snapshots the backend's ServerInfo as a frame.
-func (s *Server) info() *ServerInfo {
+// info snapshots the backend's ServerInfo as a frame. The fan-out
+// extension is stripped for pre-v3 connections: their strict decoders
+// treat the extra bytes as a malformed frame.
+func (s *Server) info(ver byte) *ServerInfo {
 	si := s.backend.Info()
+	if ver < 3 {
+		si.HasFanout = false
+		si.Fanout = FanoutInfo{}
+	}
 	return &si
 }
 

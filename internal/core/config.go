@@ -75,6 +75,15 @@ type Config struct {
 	// when their entry node is detected dead.
 	LeaseTTL time.Duration
 
+	// DelegateThreshold enables hot-channel fan-out sharding: when an
+	// owned channel's subscriber count reaches the threshold, the owner
+	// recruits leaf-set nodes as delegates (one per threshold's worth of
+	// subscribers, bounded by the leaf set), partitions the entry records
+	// across them, and disseminates one update per delegate instead of
+	// one batch per entry node. Zero or negative disables sharding.
+	// Ignored in counting mode, which holds no entry records to shard.
+	DelegateThreshold int
+
 	// Seed drives the node's local randomness (poll phases).
 	Seed int64
 }

@@ -71,10 +71,26 @@ func (r *recordingNotifier) Notify(client, url string, version uint64, diff stri
 	r.counts[url]++
 }
 
+func (r *recordingNotifier) NotifyBatch(clients []string, url string, version uint64, diff string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range clients {
+		r.perUser[c] = append(r.perUser[c], version)
+		r.counts[url]++
+	}
+}
+
 func (r *recordingNotifier) NotifyCount(url string, version uint64, count int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counts[url] += count
+}
+
+// total reports how many notifications the channel has delivered.
+func (r *recordingNotifier) total(url string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[url]
 }
 
 // newTestCloud builds n nodes with a converged overlay over simnet.

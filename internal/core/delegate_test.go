@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"corona/internal/core"
+)
+
+// TestDelegateShardingKeepsOwnerFanOutSmall is the hot-channel scale-out
+// regression: one channel with 10,000 subscribers and delegation enabled.
+// Once the owner has recruited delegates, an update must leave the owner
+// in O(delegates + entry nodes) messages — not O(subscribers) — while
+// every subscriber is still notified exactly once per version, in order,
+// and exactly one node owns the channel.
+func TestDelegateShardingKeepsOwnerFanOutSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-subscriber simulation")
+	}
+	const (
+		nodeCount   = 24
+		subscribers = 10000
+		threshold   = 1000
+	)
+	tc := newTestCloud(t, nodeCount, func(i int, cfg *core.Config) {
+		// Replication re-pushes the full subscriber set on every add; at
+		// this scale that is O(n²) message volume the test does not need.
+		cfg.OwnerReplicas = 0
+		cfg.DelegateThreshold = threshold
+	})
+	url := "http://feeds.example.net/flashcrowd.xml"
+	for i := 0; i < subscribers; i++ {
+		tc.nodes[i%nodeCount].Subscribe(fmt.Sprintf("u%05d", i), url)
+		if i%500 == 499 {
+			tc.sim.RunFor(time.Second) // drain routed subscribes as we go
+		}
+	}
+	// Land the tail, then run past a maintenance round (20 min in this
+	// cloud) so the owner recruits its delegates.
+	tc.sim.RunFor(30 * time.Minute)
+
+	owner := tc.ownerOf(url)
+	if owner == nil {
+		t.Fatal("no owner")
+	}
+	info, ok := owner.Channel(url)
+	if !ok || !info.Owner || info.Subscribers != subscribers {
+		t.Fatalf("owner state: %+v", info)
+	}
+	d := info.Delegates
+	if d < 2 {
+		t.Fatalf("owner recruited %d delegates, want ≥2 (threshold %d, %d subscribers)", d, threshold, subscribers)
+	}
+	owned := 0
+	for _, n := range tc.nodes {
+		owned += n.Stats().ChannelsOwned
+	}
+	if owned != 1 {
+		t.Fatalf("%d channels owned cloud-wide, want exactly 1", owned)
+	}
+
+	// Host the feed only now, so every detection below happens with
+	// sharding already in place and the stats window measures sharded
+	// fan-out alone.
+	base := owner.Stats()
+	tc.host(url, time.Hour)
+	tc.sim.RunFor(2*time.Hour + 30*time.Minute)
+
+	// Every subscriber saw the same number of versions, strictly
+	// increasing — exactly once per version, no loss, no reorder.
+	tc.notify.mu.Lock()
+	versions := -1
+	for i := 0; i < subscribers; i++ {
+		got := tc.notify.perUser[fmt.Sprintf("u%05d", i)]
+		if versions == -1 {
+			versions = len(got)
+		} else if len(got) != versions {
+			tc.notify.mu.Unlock()
+			t.Fatalf("client u%05d saw %d versions, others saw %d", i, len(got), versions)
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j] <= got[j-1] {
+				tc.notify.mu.Unlock()
+				t.Fatalf("client u%05d versions not strictly increasing: %v", i, got)
+			}
+		}
+	}
+	total := tc.notify.counts[url]
+	tc.notify.mu.Unlock()
+	if versions < 2 {
+		t.Fatalf("only %d versions delivered, want ≥2", versions)
+	}
+	if total != versions*subscribers {
+		t.Fatalf("%d notifications delivered, want exactly %d×%d", total, versions, subscribers)
+	}
+
+	// The owner's message economy: per update it sends one delegateNotify
+	// per delegate plus at most one notifyBatch per entry node of its own
+	// slot — never anything per subscriber.
+	st := owner.Stats()
+	ownerMsgs := (st.NotifyBatchesSent - base.NotifyBatchesSent) + (st.DelegateUpdates - base.DelegateUpdates)
+	if limit := uint64(versions) * uint64(d+nodeCount); ownerMsgs > limit {
+		t.Fatalf("owner emitted %d fan-out messages for %d updates, want ≤ %d (delegates+entry nodes per update)",
+			ownerMsgs, versions, limit)
+	}
+	if st.DelegateUpdates-base.DelegateUpdates == 0 {
+		t.Fatal("owner never disseminated through its delegates")
+	}
+	// The owner notified only its own shard's subscribers directly.
+	ownerNotified := st.NotificationsSent - base.NotificationsSent
+	if limit := uint64(versions) * uint64(subscribers) / 2; ownerNotified >= limit {
+		t.Fatalf("owner notified %d subscribers itself across %d updates — fan-out not sharded (limit %d)",
+			ownerNotified, versions, limit)
+	}
+	// Cloud-wide accounting still covers every delivery exactly once.
+	var cloudNotified uint64
+	for _, n := range tc.nodes {
+		cloudNotified += n.Stats().NotificationsSent
+	}
+	cloudNotified -= base.NotificationsSent // owner's pre-window fan-outs (none: feed hosted after)
+	if cloudNotified != uint64(versions*subscribers) {
+		t.Fatalf("cloud-wide NotificationsSent %d, want %d", cloudNotified, versions*subscribers)
+	}
+}
+
+// TestDelegateFaultFallsBackToOwner pins the fault path: when a recruited
+// delegate dies, the owner re-partitions across the survivors and updates
+// keep reaching every subscriber.
+func TestDelegateFaultFallsBackToOwner(t *testing.T) {
+	const clients = 60
+	tc := newTestCloud(t, 16, func(i int, cfg *core.Config) {
+		cfg.OwnerReplicas = 0
+		cfg.DelegateThreshold = 10
+	})
+	url := "http://feeds.example.net/fragile.xml"
+	// One shared entry node keeps the delivery path independent of the
+	// crash below (a dead entry node is the lease sweep's job, not the
+	// delegation machinery's).
+	entry := tc.nodes[0]
+	for i := 0; i < clients; i++ {
+		entry.Subscribe(fmt.Sprintf("c%02d", i), url)
+	}
+	tc.sim.RunFor(25 * time.Minute) // one maintenance round: recruit
+
+	owner := tc.ownerOf(url)
+	if owner == nil {
+		t.Fatal("no owner")
+	}
+	info, _ := owner.Channel(url)
+	if info.Delegates < 2 {
+		t.Fatalf("owner recruited %d delegates, want ≥2", info.Delegates)
+	}
+
+	// Find a delegate (a non-owner, non-entry node carrying a partition)
+	// and crash it.
+	var delegate *core.Node
+	for _, n := range tc.nodes {
+		if n == owner || n == entry {
+			continue
+		}
+		if ci, ok := n.Channel(url); ok && ci.DelegateFor > 0 {
+			delegate = n
+			break
+		}
+	}
+	if delegate == nil {
+		t.Fatal("no delegate holds a partition")
+	}
+	tc.net.Crash(delegate.Self().Endpoint)
+	delegate.Stop()
+
+	// Run well past fault detection and several update cycles; updates
+	// detected after the repair must reach every client.
+	tc.host(url, 30*time.Minute)
+	tc.sim.RunFor(3 * time.Hour)
+
+	tc.notify.mu.Lock()
+	var maxVersion uint64
+	for i := 0; i < clients; i++ {
+		vs := tc.notify.perUser[fmt.Sprintf("c%02d", i)]
+		if len(vs) > 0 && vs[len(vs)-1] > maxVersion {
+			maxVersion = vs[len(vs)-1]
+		}
+	}
+	for i := 0; i < clients; i++ {
+		who := fmt.Sprintf("c%02d", i)
+		vs := tc.notify.perUser[who]
+		if len(vs) == 0 || vs[len(vs)-1] != maxVersion {
+			tc.notify.mu.Unlock()
+			t.Fatalf("client %s stalled at %v after delegate crash (cloud reached v%d)", who, vs, maxVersion)
+		}
+		for j := 1; j < len(vs); j++ {
+			if vs[j] <= vs[j-1] {
+				tc.notify.mu.Unlock()
+				t.Fatalf("client %s versions not strictly increasing: %v", who, vs)
+			}
+		}
+	}
+	tc.notify.mu.Unlock()
+	if maxVersion < 2 {
+		t.Fatalf("cloud only reached version %d", maxVersion)
+	}
+}

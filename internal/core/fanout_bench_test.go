@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"corona/internal/core"
+)
+
+// BenchmarkFanoutOwnerMessages drives a simulated cloud through update
+// cycles on one hot channel and reports how many fan-out messages the
+// owner emits per update (notify batches plus delegate disseminations).
+// Without delegation the owner pays one batch per distinct entry node;
+// with delegation it pays one message per delegate plus batches for its
+// own slot only — the tentpole O(subscribers) → O(delegates) reduction,
+// measured end to end rather than inferred from unit behavior.
+func BenchmarkFanoutOwnerMessages(b *testing.B) {
+	const nodes = 16
+	for _, cfg := range []struct {
+		name      string
+		subs      int
+		threshold int
+	}{
+		{"subs=2000/delegation=off", 2000, 0},
+		{"subs=2000/delegation=on", 2000, 200},
+		{"subs=10000/delegation=on", 10000, 1000},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			tc := newTestCloud(b, nodes, func(i int, c *core.Config) {
+				c.OwnerReplicas = 0
+				c.DelegateThreshold = cfg.threshold
+			})
+			url := "http://feeds.example.net/hot.xml"
+			for i := 0; i < cfg.subs; i++ {
+				tc.nodes[i%nodes].Subscribe(fmt.Sprintf("u%05d", i), url)
+				if i%500 == 499 {
+					tc.sim.RunFor(time.Second)
+				}
+			}
+			// Past one maintenance round so delegates are recruited, then
+			// one update per poll interval.
+			tc.sim.RunFor(30 * time.Minute)
+			owner := tc.ownerOf(url)
+			if owner == nil {
+				b.Fatal("no owner")
+			}
+			tc.host(url, 10*time.Minute)
+			base := owner.Stats()
+			baseVersions := tc.notify.total(url)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc.sim.RunFor(10 * time.Minute)
+			}
+			b.StopTimer()
+			st := owner.Stats()
+			updates := (tc.notify.total(url) - baseVersions) / cfg.subs
+			if updates == 0 {
+				b.Skip("no update cycle completed in one iteration")
+			}
+			ownerMsgs := (st.NotifyBatchesSent - base.NotifyBatchesSent) +
+				(st.DelegateUpdates - base.DelegateUpdates)
+			b.ReportMetric(float64(ownerMsgs)/float64(updates), "ownermsgs/update")
+			b.ReportMetric(float64(st.NotificationsSent-base.NotificationsSent)/float64(updates), "ownernotifies/update")
+		})
+	}
+}

@@ -98,8 +98,10 @@ func (n *Node) handleLease(msg pastry.Message) {
 		ch.leases[p.Client] = now
 		n.stats.LeaseRefreshes++
 	}
+	var push *delegatePush
 	if changed {
 		n.emitSubLocked(ch, p.Client, p.Entry, false)
+		push = n.shardEntryChangedLocked(ch, p.Client, p.Entry, false)
 	}
 	if ch.isOwner && (changed || !hadLease) {
 		// Journal the lease only when it starts or its entry moves;
@@ -110,6 +112,9 @@ func (n *Node) handleLease(msg pastry.Message) {
 		n.emitLeaseLocked(ch, p.Client, now)
 	}
 	n.mu.Unlock()
+	if push != nil {
+		n.overlay.SendDirect(push.to, msgDelegate, push.msg)
+	}
 	if changed {
 		n.replicateChannel(ch)
 	}
@@ -130,6 +135,7 @@ func (n *Node) leaseSweep() {
 	now := n.now()
 	n.mu.Lock()
 	var rerouted []*channelState
+	var pushes []delegatePush
 	for _, ch := range n.channels {
 		if !ch.isOwner || len(ch.leases) == 0 {
 			continue
@@ -163,6 +169,9 @@ func (n *Node) leaseSweep() {
 			delete(ch.leases, client)
 			n.stats.LeaseReroutes++
 			n.emitSubLocked(ch, client, fallback, false)
+			if p := n.shardEntryChangedLocked(ch, client, fallback, false); p != nil {
+				pushes = append(pushes, *p)
+			}
 			// Journal the lease CLEAR too (an OpLease with a zero time),
 			// or the original durable lease mark would resurrect lease
 			// discipline — and this re-route — on every owner restart for
@@ -175,6 +184,7 @@ func (n *Node) leaseSweep() {
 		}
 	}
 	n.mu.Unlock()
+	n.sendDelegatePushes(pushes)
 	for _, ch := range rerouted {
 		n.replicateChannel(ch)
 	}

@@ -25,6 +25,7 @@ func (n *Node) maintenanceTick() {
 	n.mu.Unlock()
 
 	n.leaseSweep()
+	n.delegateMaintain()
 	n.optimizePhase()
 	n.aggregationPhase()
 }
@@ -329,7 +330,10 @@ func (n *Node) registerHandlers() {
 	n.overlay.Handle(msgMaintain, n.handleMaintain)
 	n.overlay.Handle(msgWedgeFwd, n.handleWedgeFwd)
 	n.overlay.Handle(msgNotify, n.handleNotify)
+	n.overlay.Handle(msgNotifyBatch, n.handleNotifyBatch)
 	n.overlay.Handle(msgLease, n.handleLease)
+	n.overlay.Handle(msgDelegate, n.handleDelegate)
+	n.overlay.Handle(msgDelegateNotify, n.handleDelegateNotify)
 }
 
 // durationSeconds converts float seconds into a time.Duration.

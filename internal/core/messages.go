@@ -18,7 +18,10 @@ func RegisterPayloadTypes(register func(msgType string, factory func() any)) {
 	register(msgMaintain, func() any { return &maintainMsg{} })
 	register(msgWedgeFwd, func() any { return &wedgeFwdMsg{} })
 	register(msgNotify, func() any { return &notifyMsg{} })
+	register(msgNotifyBatch, func() any { return &notifyBatchMsg{} })
 	register(msgLease, func() any { return &leaseMsg{} })
+	register(msgDelegate, func() any { return &delegateMsg{} })
+	register(msgDelegateNotify, func() any { return &delegateNotifyMsg{} })
 }
 
 // Corona application message types carried over the overlay.
@@ -33,6 +36,10 @@ const (
 	msgWedgeFwd    = "corona.wedgefwd"
 	msgNotify      = "corona.notify"
 	msgLease       = "corona.lease"
+
+	msgNotifyBatch    = "corona.notifybatch"
+	msgDelegate       = "corona.delegate"
+	msgDelegateNotify = "corona.delegatenotify"
 )
 
 // subscribeMsg is routed through the overlay to the channel's owner
@@ -63,6 +70,20 @@ type notifyMsg struct {
 	URL     string `json:"url"`
 	Version uint64 `json:"version"`
 	Diff    string `json:"diff,omitempty"`
+}
+
+// notifyBatchMsg carries one update for many clients from the channel
+// owner (or one of its delegates) to a shared entry node: one diff, a
+// list of client handles. It replaces the per-subscriber notifyMsg on the
+// fan-out path, making the owner's per-update overlay cost proportional
+// to distinct entry nodes rather than subscribers; the entry node's
+// gateway re-fans it to the attached clients with a single shared frame
+// encoding. notifyMsg survives for wire compatibility with older nodes.
+type notifyBatchMsg struct {
+	URL     string   `json:"url"`
+	Version uint64   `json:"version"`
+	Diff    string   `json:"diff,omitempty"`
+	Clients []string `json:"clients"`
 }
 
 // replicateMsg carries owner state to the f closest neighbors so channel
@@ -168,6 +189,48 @@ type leaseMsg struct {
 	URL    string      `json:"url"`
 	Client string      `json:"client"`
 	Entry  pastry.Addr `json:"entry"`
+}
+
+// delegateMsg installs (or revokes) a fan-out partition on a delegate: a
+// hot channel's owner hands each recruited leaf-set node a disjoint slice
+// of the subscriber entry records so updates can be disseminated with one
+// message per delegate instead of one per entry node. OwnerEpoch fences
+// the delegation exactly like replication claims: a delegate ignores
+// pushes older than the epoch it last accepted, and a push at a newer
+// epoch displaces the old partition wholesale. Replace pushes carry the
+// full partition (the self-stabilizing refresh sent every maintenance
+// round); incremental pushes upsert Subs and delete Removed, keeping the
+// partition current between refreshes.
+type delegateMsg struct {
+	URL        string      `json:"url"`
+	OwnerEpoch uint64      `json:"owner_epoch"`
+	Owner      pastry.Addr `json:"owner"`
+	// Seq is the owner's roster revision within OwnerEpoch. A delegate
+	// ignores pushes whose (OwnerEpoch, Seq) is older than the last it
+	// accepted, so a push from a superseded roster — delayed in flight,
+	// or emitted by a periodic refresh that raced a fault-triggered
+	// re-partition — cannot overwrite a newer partition.
+	Seq uint64 `json:"seq,omitempty"`
+	// Replace marks a wholesale partition replacement; otherwise Subs
+	// upsert into and Removed delete from the existing partition.
+	Replace bool `json:"replace,omitempty"`
+	// Revoke dissolves the delegation (channel cooled below threshold or
+	// the owner demoted); Subs and Removed are ignored.
+	Revoke  bool            `json:"revoke,omitempty"`
+	Subs    []replicatedSub `json:"subs,omitempty"`
+	Removed []string        `json:"removed,omitempty"`
+}
+
+// delegateNotifyMsg is the owner's one-message-per-delegate update
+// dissemination: the delegate fans the diff out to the entry nodes of its
+// stored partition. OwnerEpoch must match (or exceed) the delegation
+// epoch the delegate holds, so a revoked or superseded delegate never
+// notifies from a stale partition.
+type delegateNotifyMsg struct {
+	URL        string `json:"url"`
+	Version    uint64 `json:"version"`
+	Diff       string `json:"diff,omitempty"`
+	OwnerEpoch uint64 `json:"owner_epoch"`
 }
 
 // maintainMsg is the periodic exchange with routing-table contacts: the

@@ -89,6 +89,110 @@ func (m *notifyMsg) DecodeBinary(src []byte) error {
 	return wireErr("notify", r)
 }
 
+// --- notifyBatchMsg (corona.notifybatch) ---------------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *notifyBatchMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendUvarint(dst, m.Version)
+	dst = wirebin.AppendString(dst, m.Diff)
+	dst = wirebin.AppendUvarint(dst, uint64(len(m.Clients)))
+	for _, c := range m.Clients {
+		dst = wirebin.AppendString(dst, c)
+	}
+	return dst, nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *notifyBatchMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.Version = r.Uvarint()
+	m.Diff = r.String()
+	// Each client handle costs at least its one length byte.
+	n := r.ListLen(1)
+	m.Clients = nil
+	if n > 0 {
+		m.Clients = make([]string, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m.Clients = append(m.Clients, r.String())
+		}
+	}
+	return wireErr("notifybatch", r)
+}
+
+// --- delegateMsg (corona.delegate) ---------------------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *delegateMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendUvarint(dst, m.OwnerEpoch)
+	dst = appendAddr(dst, m.Owner)
+	dst = wirebin.AppendUvarint(dst, m.Seq)
+	dst = wirebin.AppendBool(dst, m.Replace)
+	dst = wirebin.AppendBool(dst, m.Revoke)
+	dst = wirebin.AppendUvarint(dst, uint64(len(m.Subs)))
+	for _, s := range m.Subs {
+		dst = wirebin.AppendString(dst, s.Client)
+		dst = appendAddr(dst, s.Entry)
+	}
+	dst = wirebin.AppendUvarint(dst, uint64(len(m.Removed)))
+	for _, c := range m.Removed {
+		dst = wirebin.AppendString(dst, c)
+	}
+	return dst, nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *delegateMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.OwnerEpoch = r.Uvarint()
+	m.Owner = readAddr(r)
+	m.Seq = r.Uvarint()
+	m.Replace = r.Bool()
+	m.Revoke = r.Bool()
+	// Each subscriber costs at least one length byte, the 20-byte entry
+	// identifier, and one endpoint length byte.
+	n := r.ListLen(ids.Bytes + 2)
+	m.Subs = nil
+	if n > 0 {
+		m.Subs = make([]replicatedSub, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m.Subs = append(m.Subs, replicatedSub{Client: r.String(), Entry: readAddr(r)})
+		}
+	}
+	n = r.ListLen(1)
+	m.Removed = nil
+	if n > 0 {
+		m.Removed = make([]string, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m.Removed = append(m.Removed, r.String())
+		}
+	}
+	return wireErr("delegate", r)
+}
+
+// --- delegateNotifyMsg (corona.delegatenotify) ---------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *delegateNotifyMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = wirebin.AppendUvarint(dst, m.Version)
+	dst = wirebin.AppendString(dst, m.Diff)
+	return wirebin.AppendUvarint(dst, m.OwnerEpoch), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *delegateNotifyMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.Version = r.Uvarint()
+	m.Diff = r.String()
+	m.OwnerEpoch = r.Uvarint()
+	return wireErr("delegatenotify", r)
+}
+
 // --- replicateMsg (corona.replicate) -------------------------------------
 
 // AppendBinary implements the codec binary payload contract.

@@ -2,10 +2,12 @@ package core
 
 // Property tests for the native binary payload path: for every registered
 // Corona message type, the binary encoding must round-trip byte-stably
-// and produce exactly the struct the JSON path produces. All nine
+// and produce exactly the struct the JSON path produces. All
 // registrations travel natively (replicateMsg joined when restart
-// reconciliation made replication hot); the registered-type JSON
-// fallback itself is pinned by a dedicated test in the codec package.
+// reconciliation made replication hot; the batch fan-out trio —
+// notifybatch, delegate, delegatenotify — when delegate sharding landed);
+// the registered-type JSON fallback itself is pinned by a dedicated test
+// in the codec package.
 // Messages are exercised through the codec envelope, the way they
 // actually reach the wire, including lazy materialization and verbatim
 // re-encoding of forwarded payloads.
@@ -91,8 +93,7 @@ func randUpdate(rng *rand.Rand) *updateMsg {
 }
 
 // payloadGenerators builds one random payload per registered message
-// type — all ten registrations, including the wedgeFwd wrapper in each
-// of its shapes.
+// type, including the wedgeFwd wrapper in each of its shapes.
 var payloadGenerators = map[string]func(rng *rand.Rand) any{
 	msgSubscribe: func(rng *rand.Rand) any {
 		return &subscribeMsg{URL: randString(rng), Client: randString(rng), Entry: randAddr(rng)}
@@ -147,6 +148,38 @@ var payloadGenerators = map[string]func(rng *rand.Rand) any{
 	},
 	msgLease: func(rng *rand.Rand) any {
 		return &leaseMsg{URL: randString(rng), Client: randString(rng), Entry: randAddr(rng)}
+	},
+	msgNotifyBatch: func(rng *rand.Rand) any {
+		m := &notifyBatchMsg{URL: randString(rng), Version: rng.Uint64() >> uint(rng.Intn(64)), Diff: randString(rng)}
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			m.Clients = append(m.Clients, randString(rng))
+		}
+		return m
+	},
+	msgDelegate: func(rng *rand.Rand) any {
+		m := &delegateMsg{
+			URL:        randString(rng),
+			OwnerEpoch: rng.Uint64() >> uint(rng.Intn(64)),
+			Owner:      randAddr(rng),
+			Seq:        rng.Uint64() >> uint(rng.Intn(64)),
+			Replace:    rng.Intn(2) == 0,
+			Revoke:     rng.Intn(4) == 0,
+		}
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			m.Subs = append(m.Subs, replicatedSub{Client: randString(rng), Entry: randAddr(rng)})
+		}
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			m.Removed = append(m.Removed, randString(rng))
+		}
+		return m
+	},
+	msgDelegateNotify: func(rng *rand.Rand) any {
+		return &delegateNotifyMsg{
+			URL:        randString(rng),
+			Version:    rng.Uint64() >> uint(rng.Intn(64)),
+			Diff:       randString(rng),
+			OwnerEpoch: rng.Uint64() >> uint(rng.Intn(64)),
+		}
 	},
 }
 
@@ -333,6 +366,9 @@ var fuzzTargets = []func() binaryPayload{
 	func() binaryPayload { return &wedgeFwdMsg{} },
 	func() binaryPayload { return &replicateMsg{} },
 	func() binaryPayload { return &leaseMsg{} },
+	func() binaryPayload { return &notifyBatchMsg{} },
+	func() binaryPayload { return &delegateMsg{} },
+	func() binaryPayload { return &delegateNotifyMsg{} },
 }
 
 // FuzzBinaryPayloadDecode throws arbitrary bytes at every native decoder:
@@ -351,6 +387,9 @@ func FuzzBinaryPayloadDecode(f *testing.F) {
 	f.Add(uint8(5), seedFor(&maintainMsg{Row: 2, Clusters: randClusterSet(rng)}))
 	f.Add(uint8(6), seedFor(&wedgeFwdMsg{URL: "u", InnerType: msgUpdate, Update: randUpdate(rng)}))
 	f.Add(uint8(7), seedFor(payloadGenerators[msgReplicate](rng).(*replicateMsg)))
+	f.Add(uint8(9), seedFor(payloadGenerators[msgNotifyBatch](rng).(*notifyBatchMsg)))
+	f.Add(uint8(10), seedFor(payloadGenerators[msgDelegate](rng).(*delegateMsg)))
+	f.Add(uint8(11), seedFor(&delegateNotifyMsg{URL: "u", Version: 7, Diff: "d", OwnerEpoch: 2}))
 	f.Add(uint8(6), []byte{})
 	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
 		target := fuzzTargets[int(which)%len(fuzzTargets)]

@@ -28,6 +28,12 @@ type Fetcher interface {
 type Notifier interface {
 	// Notify sends one client the diff for a channel update.
 	Notify(client, channelURL string, version uint64, diff string)
+	// NotifyBatch sends every listed client the same diff for a channel
+	// update — one call per entry node per update, so the gateway can
+	// encode the notification once and share the bytes across clients.
+	// The clients slice is only valid for the duration of the call; the
+	// notifier must copy it if it retains the handles.
+	NotifyBatch(clients []string, channelURL string, version uint64, diff string)
 	// NotifyCount reports that count subscribers of a channel were
 	// notified of version (counting mode, used at simulation scale).
 	NotifyCount(channelURL string, version uint64, count int)
@@ -129,6 +135,35 @@ type channelState struct {
 	// client are ignored until the tombstone ages out. Owner-only.
 	unsubbed map[string]time.Time
 
+	// delegates is the owner-side fan-out shard set: leaf-set nodes this
+	// owner recruited to disseminate updates for this hot channel, sorted
+	// by identifier (the partition function depends on the order). nil
+	// when the channel is below Config.DelegateThreshold. delegSeq counts
+	// roster revisions within this owner's epoch: every push carries it,
+	// so a push from a superseded roster (reordered in flight, or emitted
+	// by a refresh that raced a fault-triggered re-partition) can never
+	// overwrite a newer partition on a delegate. Owner-only.
+	delegates []pastry.Addr
+	delegSeq  uint64
+
+	// ownEntries is the owner's slot of the sharded subscriber set — the
+	// subset of subs.ids the owner itself fans out when delegates carry
+	// the rest. nil when the channel is not sharded (the owner fans out
+	// subs.ids directly).
+	ownEntries map[string]pastry.Addr
+
+	// Delegate-side state: the partition of entry records this node fans
+	// out on behalf of a hot channel's owner. delegEpoch is the owner
+	// epoch that installed the partition (fencing: older pushes and
+	// notifies are ignored), delegAt the last refresh time — a partition
+	// not refreshed within delegateExpiry maintenance rounds is dropped,
+	// so a forgotten delegate cannot notify from stale records forever.
+	delegSubs    map[string]pastry.Addr
+	delegFrom    pastry.Addr
+	delegEpoch   uint64
+	delegSeqSeen uint64
+	delegAt      time.Time
+
 	sizeBytes   int
 	est         intervalEstimator
 	lastVersion uint64
@@ -143,6 +178,8 @@ type Stats struct {
 	UpdatesDetected   uint64
 	UpdatesReceived   uint64 // learned via dissemination
 	NotificationsSent uint64
+	NotifyBatchesSent uint64 // entry-node notify batches emitted (local + overlay)
+	DelegateUpdates   uint64 // one-per-delegate update disseminations sent by owners
 	MaintenanceRounds uint64
 	LevelChanges      uint64
 	LeaseRefreshes    uint64 // entry-node lease heartbeats applied at owned channels
@@ -150,6 +187,8 @@ type Stats struct {
 	SubscriptionsHeld int
 	ChannelsOwned     int
 	ChannelsPolled    int
+	DelegatesHeld     int // fan-out partitions this node carries for other owners
+	DelegatesActive   int // delegates recruited across this node's owned channels
 }
 
 // Node is one Corona overlay participant.
@@ -173,6 +212,21 @@ type Node struct {
 	maintTimer clock.Timer
 	started    bool
 	stopped    bool
+
+	// notifyScratch pools the per-update fan-out target slice so hot
+	// channels don't allocate O(subscribers) on every update while the
+	// node lock is held (the same trick as pastry's fanOut scratch).
+	notifyScratch sync.Pool
+
+	// recentFaults remembers peers the overlay reported dead so delegate
+	// recruitment stops picking them. The leaf set alone is not enough: a
+	// dead node this node pruned can be gossiped right back by peers that
+	// never send to it, and re-recruiting it black-holes its slice for a
+	// round and races the fault-triggered re-partition. Entries age out
+	// after delegateExpiry maintenance intervals — a node genuinely back
+	// from the dead becomes eligible again, and one that is still dead
+	// re-records itself on the next failed send.
+	recentFaults map[ids.ID]time.Time
 
 	stats Stats
 }
@@ -222,9 +276,13 @@ func (n *Node) Stats() Stats {
 		if ch.isOwner {
 			s.ChannelsOwned++
 			s.SubscriptionsHeld += ch.subs.count
+			s.DelegatesActive += len(ch.delegates)
 		}
 		if ch.polling {
 			s.ChannelsPolled++
+		}
+		if ch.delegSubs != nil {
+			s.DelegatesHeld++
 		}
 	}
 	return s
@@ -253,6 +311,11 @@ type ChannelInfo struct {
 	Owner       bool
 	Replica     bool
 	Subscribers int
+	// Delegates is the owner-side fan-out shard count (0 below the
+	// delegation threshold); DelegateFor reports the partition size this
+	// node fans out on another owner's behalf.
+	Delegates   int
+	DelegateFor int
 	LastVersion uint64
 }
 
@@ -273,6 +336,8 @@ func (n *Node) Channel(url string) (ChannelInfo, bool) {
 		Owner:       ch.isOwner,
 		Replica:     ch.isReplica,
 		Subscribers: ch.subs.count,
+		Delegates:   len(ch.delegates),
+		DelegateFor: len(ch.delegSubs),
 		LastVersion: ch.lastVersion,
 	}, true
 }

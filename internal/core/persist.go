@@ -95,6 +95,24 @@ func (n *Node) emitLeaseLocked(ch *channelState, client string, at time.Time) {
 	})
 }
 
+// emitDelegatesLocked persists a channel's fan-out delegate roster
+// wholesale (an empty roster clears the record). Partitions are not
+// journaled: they are a pure function of the subscriber set and the
+// roster, rebuilt by the recovery refresh. Callers hold n.mu.
+func (n *Node) emitDelegatesLocked(ch *channelState) {
+	if n.durable == nil {
+		return
+	}
+	rec := store.Record{Op: store.OpDelegates, URL: ch.url}
+	if len(ch.delegates) > 0 {
+		rec.Delegates = make([]store.Delegate, 0, len(ch.delegates))
+		for _, d := range ch.delegates {
+			rec.Delegates = append(rec.Delegates, store.Delegate{ID: d.ID, Endpoint: d.Endpoint})
+		}
+	}
+	n.durable.StateChanged(rec)
+}
+
 // emitVersionLocked persists version progress for a channel this node is
 // answerable for (owner or replica). Callers hold n.mu.
 func (n *Node) emitVersionLocked(ch *channelState) {
@@ -146,6 +164,24 @@ func (n *Node) RestoreChannels(channels []store.Channel) {
 				}
 			}
 		}
+		// The recovered delegate roster marks the channel as sharded so a
+		// resumed owner's first update already fans out O(delegates); the
+		// partitions themselves are soft state — the post-reconcile
+		// delegate refresh recomputes and re-pushes them, and it will also
+		// shrink or clear a roster whose nodes died during the outage.
+		if len(c.Delegates) > 0 && !n.cfg.CountSubscribersOnly {
+			ch.delegates = make([]pastry.Addr, 0, len(c.Delegates))
+			for _, d := range c.Delegates {
+				ch.delegates = append(ch.delegates, pastry.Addr{ID: d.ID, Endpoint: d.Endpoint})
+			}
+			slots := len(ch.delegates) + 1
+			ch.ownEntries = make(map[string]pastry.Addr)
+			for client, entry := range ch.subs.ids {
+				if delegateSlot(client, slots) == 0 {
+					ch.ownEntries[client] = entry
+				}
+			}
+		}
 		ch.recoveredOwner = c.Owner || c.Replica
 	}
 }
@@ -168,6 +204,7 @@ func (n *Node) ReconcileRecovered() {
 	n.mu.Lock()
 	var resumed []*channelState
 	var handoffs []handoff
+	var pushes []delegatePush
 	for _, ch := range n.channels {
 		if !ch.recoveredOwner {
 			continue
@@ -175,6 +212,12 @@ func (n *Node) ReconcileRecovered() {
 		ch.recoveredOwner = false
 		if n.overlay.IsRoot(ch.id) {
 			n.becomeOwnerLocked(ch)
+			if ch.isOwner && len(ch.delegates) > 0 {
+				// Re-shard now rather than a maintenance round from now:
+				// the recovered roster may name dead nodes, and surviving
+				// delegates expired their partitions during the outage.
+				pushes = n.refreshDelegatesLocked(ch, pushes, ids.ID{})
+			}
 			resumed = append(resumed, ch)
 			continue
 		}
@@ -193,6 +236,7 @@ func (n *Node) ReconcileRecovered() {
 		n.emitMetaLocked(ch, true)
 	}
 	n.mu.Unlock()
+	n.sendDelegatePushes(pushes)
 	for _, ch := range resumed {
 		n.replicateChannel(ch)
 	}

@@ -46,10 +46,15 @@ func (n *Node) handleSubscribe(msg pastry.Message) {
 		delete(ch.unsubbed, p.Client) // an explicit subscribe overrides the tombstone
 	}
 	n.becomeOwnerLocked(ch)
+	var push *delegatePush
 	if changed {
 		n.emitSubLocked(ch, p.Client, p.Entry, p.Remove)
+		push = n.shardEntryChangedLocked(ch, p.Client, p.Entry, p.Remove)
 	}
 	n.mu.Unlock()
+	if push != nil {
+		n.overlay.SendDirect(push.to, msgDelegate, push.msg)
+	}
 	if changed {
 		n.replicateChannel(ch)
 	}
@@ -67,6 +72,11 @@ func (n *Node) becomeOwnerLocked(ch *channelState) {
 		return
 	}
 	ch.isOwner = true
+	// An owner fans out from its authoritative subscriber set; any
+	// partition this node carried as someone else's delegate is
+	// superseded by the promotion.
+	ch.delegSubs = nil
+	ch.delegFrom = pastry.Addr{}
 	// Every ownership transition advances the fencing epoch, so a
 	// promotion (peer fault), a recovery (ReconcileRecovered proposes
 	// recoveredEpoch+1), and a reconquest (the root taking the channel
@@ -164,6 +174,14 @@ func (n *Node) demoteLocked(ch *channelState, toReplica bool) {
 	ch.isReplica = toReplica
 	ch.leases = nil
 	ch.unsubbed = nil
+	// The delegate roster is owner-side state. The winning owner recruits
+	// its own; this node's former delegates expire their partitions when
+	// the refreshes stop (delegateExpiry).
+	if len(ch.delegates) > 0 {
+		ch.delegates = nil
+		n.emitDelegatesLocked(ch)
+	}
+	ch.ownEntries = nil
 	if !toReplica {
 		ch.subs.ids = nil
 		ch.subs.count = 0
@@ -294,6 +312,13 @@ func (n *Node) handleReplicate(msg pastry.Message) {
 // other owners of the channel").
 func (n *Node) handlePeerFault(dead pastry.Addr) {
 	n.mu.Lock()
+	// Remember the fault: the leaf set is not a liveness oracle (peers
+	// that never send to the dead node gossip it back), so delegate
+	// recruitment consults this memory to avoid re-recruiting it.
+	if n.recentFaults == nil {
+		n.recentFaults = make(map[ids.ID]time.Time)
+	}
+	n.recentFaults[dead.ID] = n.now()
 	var promoted []*channelState
 	for _, ch := range n.channels {
 		if !ch.isOwner && ch.isReplica && n.overlay.IsRoot(ch.id) {
@@ -311,10 +336,25 @@ func (n *Node) handlePeerFault(dead pastry.Addr) {
 	// runs AFTER the promotions so a replica promoted by this very fault
 	// (the dead peer owned the channel AND was a subscriber's entry)
 	// marks those entries too.
+	var pushes []delegatePush
 	if !n.cfg.CountSubscribersOnly {
 		for _, ch := range n.channels {
+			// A partition delegated by the dead peer is orphaned; drop it
+			// now so a stale notify cannot race the successor's recruit.
+			if ch.delegSubs != nil && ch.delegFrom.ID == dead.ID {
+				ch.delegSubs = nil
+				ch.delegFrom = pastry.Addr{}
+			}
 			if !ch.isOwner {
 				continue
+			}
+			// A dead delegate leaves its slice of subscribers unserved;
+			// re-partition over the survivors immediately — the window
+			// where its slice misses updates is one fault detection, not
+			// a maintenance round. Exclude the dead identifier in case
+			// the overlay has not pruned its leaf set yet.
+			if addrsContain(ch.delegates, dead) {
+				pushes = n.refreshDelegatesLocked(ch, pushes, dead.ID)
 			}
 			for client, entry := range ch.subs.ids {
 				if entry.ID == dead.ID {
@@ -327,6 +367,7 @@ func (n *Node) handlePeerFault(dead pastry.Addr) {
 		}
 	}
 	n.mu.Unlock()
+	n.sendDelegatePushes(pushes)
 	for _, ch := range promoted {
 		n.replicateChannel(ch)
 	}
@@ -334,7 +375,12 @@ func (n *Node) handlePeerFault(dead pastry.Addr) {
 
 // notifySubscribers delivers an update to every subscriber of an owned
 // channel through the IM gateway (§3.5). Counting mode reports the batch
-// size to the sink without materializing per-client sends.
+// size to the sink without materializing per-client sends. Identity mode
+// groups subscribers by entry node — one notifyBatch per remote gateway,
+// the paper's centralized IM intermediary generalized to the overlay (§4)
+// — so the owner's per-update cost scales with distinct entry nodes, and
+// a sharded channel (delegate.go) sends one delegateNotify per delegate
+// plus batches for the owner's own slot, scaling with delegates alone.
 func (n *Node) notifySubscribers(ch *channelState, version uint64, diff string) {
 	n.mu.Lock()
 	notify := n.notify
@@ -342,43 +388,50 @@ func (n *Node) notifySubscribers(ch *channelState, version uint64, diff string) 
 		n.mu.Unlock()
 		return
 	}
-	count := ch.subs.count
-	type target struct {
-		client string
-		entry  pastry.Addr
-	}
-	var targets []target
-	if !n.cfg.CountSubscribersOnly {
-		targets = make([]target, 0, len(ch.subs.ids))
-		for c, entry := range ch.subs.ids {
-			targets = append(targets, target{client: c, entry: entry})
-		}
-	}
-	n.stats.NotificationsSent += uint64(count)
-	n.mu.Unlock()
 	if n.cfg.CountSubscribersOnly {
+		count := ch.subs.count
+		n.stats.NotificationsSent += uint64(count)
+		n.mu.Unlock()
 		if count > 0 {
 			notify.NotifyCount(ch.url, version, count)
 		}
 		return
 	}
-	self := n.Self().ID
-	for _, t := range targets {
-		if t.entry.IsZero() || t.entry.ID == self {
-			notify.Notify(t.client, ch.url, version, diff)
-			continue
-		}
-		// The client entered through another node: hand the
-		// notification to that node's gateway, the paper's centralized
-		// IM intermediary generalized to the overlay (§4).
-		n.overlay.SendDirect(t.entry, msgNotify, &notifyMsg{
-			Client: t.client, URL: ch.url, Version: version, Diff: diff,
+	src := ch.subs.ids
+	var delegates []pastry.Addr
+	if len(ch.delegates) > 0 {
+		src = ch.ownEntries
+		delegates = append(delegates, ch.delegates...)
+	}
+	epoch := ch.ownerEpoch
+	targets := n.targetScratch(len(src))
+	for c, entry := range src {
+		*targets = append(*targets, notifyTarget{client: c, entry: entry})
+	}
+	// Count only the targets this node fans out itself; delegates count
+	// their partitions when the delegateNotify reaches them, so cloud-wide
+	// sums stay exact.
+	n.stats.NotificationsSent += uint64(len(*targets))
+	n.stats.DelegateUpdates += uint64(len(delegates))
+	n.mu.Unlock()
+	for _, d := range delegates {
+		n.overlay.SendDirect(d, msgDelegateNotify, &delegateNotifyMsg{
+			URL: ch.url, Version: version, Diff: diff, OwnerEpoch: epoch,
 		})
+	}
+	batches := n.sendEntryBatches(notify, ch.url, version, diff, *targets)
+	n.putTargetScratch(targets)
+	if batches > 0 {
+		n.mu.Lock()
+		n.stats.NotifyBatchesSent += uint64(batches)
+		n.mu.Unlock()
 	}
 }
 
 // handleNotify delivers a notification that was routed through this node
-// because the subscriber entered the system here.
+// because the subscriber entered the system here. It survives for wire
+// compatibility with nodes that predate batching; the fan-out path now
+// sends notifyBatch.
 func (n *Node) handleNotify(msg pastry.Message) {
 	p, ok := msg.Payload.(*notifyMsg)
 	if !ok {
@@ -389,6 +442,22 @@ func (n *Node) handleNotify(msg pastry.Message) {
 	n.mu.Unlock()
 	if notify != nil {
 		notify.Notify(p.Client, p.URL, p.Version, p.Diff)
+	}
+}
+
+// handleNotifyBatch delivers one update to every listed client attached
+// to this node's gateway — the batched form of handleNotify, carrying the
+// diff once per entry node instead of once per subscriber.
+func (n *Node) handleNotifyBatch(msg pastry.Message) {
+	p, ok := msg.Payload.(*notifyBatchMsg)
+	if !ok || len(p.Clients) == 0 {
+		return
+	}
+	n.mu.Lock()
+	notify := n.notify
+	n.mu.Unlock()
+	if notify != nil {
+		notify.NotifyBatch(p.Clients, p.URL, p.Version, p.Diff)
 	}
 }
 

@@ -58,7 +58,10 @@ type Options struct {
 type countingNotifier struct{ count uint64 }
 
 func (c *countingNotifier) Notify(client, url string, version uint64, diff string) { c.count++ }
-func (c *countingNotifier) NotifyCount(url string, version uint64, n int)          { c.count += uint64(n) }
+func (c *countingNotifier) NotifyBatch(clients []string, url string, version uint64, diff string) {
+	c.count += uint64(len(clients))
+}
+func (c *countingNotifier) NotifyCount(url string, version uint64, n int) { c.count += uint64(n) }
 
 // legacyOrigin mirrors a workload onto a second origin with identical
 // update processes, so Corona and legacy load accounting stay separate

@@ -32,6 +32,19 @@ type Notification struct {
 	Diff string
 	// At is the gateway-side emission time.
 	At time.Time
+	// Shared, when non-nil, is a per-batch cell the delivery layer may use
+	// to encode the notification once and reuse the result for every
+	// client in the batch (the frame body excludes Client, so the bytes
+	// are identical). Deliverers for the same batch run sequentially on
+	// one goroutine, so the cell needs no locking.
+	Shared *Shared
+}
+
+// Shared is the batch-scoped encode-once cell. Enc is owned by whichever
+// delivery layer consumes the batch (the client-protocol server stores
+// its pre-encoded frame here); the gateway only allocates the cell.
+type Shared struct {
+	Enc any
 }
 
 // LegacyBody renders the notification as the prototype's IM message text
@@ -74,6 +87,8 @@ type Gateway struct {
 
 	notifyCounts  map[string]uint64 // url -> clients notified (counting mode)
 	undeliverable uint64            // notifications with no deliverer and no IM account
+	notifyBatches uint64            // NotifyBatch calls received
+	batchClients  uint64            // clients covered by those batches
 }
 
 // attachment is one registered structured deliverer; the pointer's
@@ -208,6 +223,58 @@ func (g *Gateway) Notify(client, channelURL string, version uint64, diff string)
 	}
 }
 
+// NotifyBatch implements the Corona node's batch Notifier: every listed
+// client receives the same update. Attached clients share one
+// Notification value carrying one Shared cell, so the client-protocol
+// server encodes the frame once and hands the same bytes to every
+// connection; unattached clients fall back to the paced legacy IM queue,
+// with the text body rendered once for the whole batch.
+func (g *Gateway) NotifyBatch(clients []string, channelURL string, version uint64, diff string) {
+	if len(clients) == 0 {
+		return
+	}
+	n := Notification{
+		Channel: channelURL,
+		Version: version,
+		Diff:    diff,
+		At:      g.clk.Now(),
+		Shared:  &Shared{},
+	}
+	var delivers []Deliverer
+	var handles []string
+	legacyBody := ""
+	start := false
+	g.mu.Lock()
+	g.notifyCounts[channelURL] += uint64(len(clients))
+	g.notifyBatches++
+	g.batchClients += uint64(len(clients))
+	for _, c := range clients {
+		if a, ok := g.attached[c]; ok {
+			delivers = append(delivers, a.deliver)
+			handles = append(handles, c)
+			continue
+		}
+		if legacyBody == "" {
+			legacyBody = n.LegacyBody()
+		}
+		g.queue = append(g.queue, queued{to: c, body: legacyBody})
+		if !g.draining {
+			g.draining = true
+			start = true
+		}
+	}
+	g.mu.Unlock()
+	// Deliver outside the lock, sequentially: the first deliverer fills
+	// the Shared cell, the rest reuse it.
+	for i, deliver := range delivers {
+		n.Client = handles[i]
+		deliver(n)
+	}
+	if start {
+		g.drainOne()
+	}
+}
+
 // NotifyCount implements counting-mode notification accounting.
 func (g *Gateway) NotifyCount(channelURL string, version uint64, count int) {
 	g.mu.Lock()
@@ -261,6 +328,14 @@ func (g *Gateway) Undeliverable() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.undeliverable
+}
+
+// NotifyBatches returns how many batched notification calls the gateway
+// has received and how many client deliveries they covered.
+func (g *Gateway) NotifyBatches() (batches, clients uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.notifyBatches, g.batchClients
 }
 
 // QueueDepth returns the number of legacy notifications awaiting pacing.

@@ -61,6 +61,7 @@
 //	OpSubsChunk   body := nsubs uvarint | (client,entryID,entryEndpoint)...
 //	OpOwnerEpoch  body := ownerEpoch uvarint
 //	OpLease       body := client string | unixNano uvarint
+//	OpDelegates   body := ndelegates uvarint | (id [20]byte, endpoint string)...
 //
 // OpMeta flags: bit0 owner, bit1 replica, bit2 subs-present (the
 // subscriber list follows and replaces the durable set wholesale — the
@@ -73,9 +74,10 @@
 // set or delete keys in the subscriber set, OpMeta is last-writer-wins,
 // OpVersion and OpOwnerEpoch are monotonic (max), OpLease upserts one
 // lease mark (an OpUnsubscribe or a subscriber replacement drops the
-// marks of departed clients). Re-applying any suffix of history that
-// ends at a snapshot point reproduces the snapshot exactly, which is
-// what makes the crash windows around compaction safe to replay.
+// marks of departed clients), OpDelegates replaces the delegate roster
+// wholesale. Re-applying any suffix of history that ends at a snapshot
+// point reproduces the snapshot exactly, which is what makes the crash
+// windows around compaction safe to replay.
 //
 // OpOwnerEpoch journals the ownership fencing epoch the owner-epoch
 // handshake compares (internal/core: exactly one owner survives a
@@ -86,23 +88,34 @@
 // OpLease whose unixNano is zero is a lease clear and removes the mark
 // (the owner re-routed a dead entry and gave up on its heartbeats).
 //
+// OpDelegates journals a hot channel's fan-out delegate roster — the
+// overlay addresses of the nodes the owner recruited to shard
+// notification dissemination once the subscriber count crossed the
+// delegation threshold (internal/core). Only the roster is durable: the
+// per-delegate partitions are a pure function of the subscriber set and
+// the roster, so a restarted owner re-derives and re-pushes them instead
+// of replaying every partition push from the log. An empty list clears
+// the roster (the channel cooled below the threshold or lost ownership).
+//
 // # Snapshot format
 //
-//	snapshot := magic "CORSNP2\n" | body | crc uint32le
+//	snapshot := magic "CORSNP3\n" | body | crc uint32le
 //	body     := gen uvarint | nchannels uvarint | channel...
 //	channel  := url string | flags byte (bit0 owner, bit1 replica) |
 //	            level sint | epoch uvarint | version uvarint |
 //	            count sint | sizeBytes sint | intervalSec float64 |
 //	            nsubs uvarint | (client,entryID,entryEndpoint)... |
 //	            ownerEpoch uvarint |
-//	            nleases uvarint | (client string, unixNano uvarint)...
+//	            nleases uvarint | (client string, unixNano uvarint)... |
+//	            ndelegates uvarint | (id [20]byte, endpoint string)...
 //
 // crc is CRC-32C over body. A snapshot that fails its magic, CRC, or
 // decode is ignored and recovery falls back to the previous generation
 // (if its files survive) or to an empty image plus whatever WALs exist.
-// The previous "CORSNP1\n" format (no ownerEpoch, no leases) is still
-// decoded — those fields recover zero-valued — and the post-recovery
-// compaction rewrites the directory in the v2 form.
+// The previous formats are still decoded — "CORSNP2\n" predates the
+// delegate roster, "CORSNP1\n" additionally predates ownerEpoch and
+// leases; fields a version predates recover zero-valued — and the
+// post-recovery compaction rewrites the directory in the v3 form.
 //
 // # Recovery
 //

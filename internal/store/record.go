@@ -37,6 +37,12 @@ const (
 	// gave up on the entry and re-routed it; lease discipline must not
 	// resurrect on restart for a client that may never heartbeat again).
 	OpLease Op = 7
+	// OpDelegates replaces a hot channel's fan-out delegate roster
+	// wholesale (an empty list clears it). Only the roster is durable:
+	// the per-delegate partitions are a pure function of the subscriber
+	// set and the roster, so recovery rebuilds them instead of logging
+	// every partition push.
+	OpDelegates Op = 8
 )
 
 // Sub is one durable subscriber: the client identity plus the overlay
@@ -55,6 +61,14 @@ type Sub struct {
 type Lease struct {
 	Client   string
 	UnixNano int64
+}
+
+// Delegate is one durable fan-out delegate: the overlay address of a
+// node the channel's owner recruited to disseminate updates for a share
+// of the subscriber set.
+type Delegate struct {
+	ID       ids.ID
+	Endpoint string
 }
 
 // Record is one logged state mutation. Which fields are meaningful
@@ -86,6 +100,9 @@ type Record struct {
 
 	// OpLease.
 	Lease Lease
+
+	// OpDelegates.
+	Delegates []Delegate
 }
 
 // Sink receives state-change records; core.Node holds one (nil when the
@@ -109,6 +126,7 @@ type Channel struct {
 	IntervalSec float64
 	Subs        []Sub
 	Leases      []Lease
+	Delegates   []Delegate
 
 	// index maps client to Subs position, built lazily once the set is
 	// large enough that linear scans hurt. Never serialized.
@@ -241,6 +259,35 @@ func readSub(r *wirebin.Reader) Sub {
 	return s
 }
 
+func appendDelegates(dst []byte, ds []Delegate) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(ds)))
+	for _, d := range ds {
+		dst = append(dst, d.ID[:]...)
+		dst = wirebin.AppendString(dst, d.Endpoint)
+	}
+	return dst
+}
+
+// readDelegates reads a count-prefixed delegate list; each delegate costs
+// at least the 20-byte identifier and one endpoint length byte.
+func readDelegates(r *wirebin.Reader) []Delegate {
+	n := r.ListLen(ids.Bytes + 1)
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	ds := make([]Delegate, 0, n)
+	for i := 0; i < n; i++ {
+		var d Delegate
+		copy(d.ID[:], r.Take(ids.Bytes))
+		d.Endpoint = r.String()
+		if r.Err() != nil {
+			return nil
+		}
+		ds = append(ds, d)
+	}
+	return ds
+}
+
 // readSubs reads a count-prefixed subscriber list. ListLen validates the
 // count against the bytes actually available (each sub costs at least
 // 1+20+1 bytes) before anything is allocated; there is no absolute cap,
@@ -306,6 +353,8 @@ func appendRecord(dst []byte, rec Record) []byte {
 	case OpLease:
 		dst = wirebin.AppendString(dst, rec.Lease.Client)
 		dst = wirebin.AppendUvarint(dst, uint64(rec.Lease.UnixNano))
+	case OpDelegates:
+		dst = appendDelegates(dst, rec.Delegates)
 	}
 	return dst
 }
@@ -344,6 +393,8 @@ func decodeRecord(payload []byte) (Record, error) {
 	case OpLease:
 		rec.Lease.Client = r.String()
 		rec.Lease.UnixNano = int64(r.Uvarint())
+	case OpDelegates:
+		rec.Delegates = readDelegates(r)
 	default:
 		return Record{}, fmt.Errorf("store: unknown record op %d", rec.Op)
 	}
@@ -413,6 +464,10 @@ func (rec Record) apply(state map[string]*Channel) {
 		} else {
 			ch.upsertLease(rec.Lease)
 		}
+	case OpDelegates:
+		// Wholesale replace, like the roster it journals; an empty list
+		// clears (the channel cooled or its owner demoted).
+		ch.Delegates = append([]Delegate(nil), rec.Delegates...)
 	}
 }
 
@@ -424,6 +479,7 @@ func imageSlice(state map[string]*Channel) []Channel {
 		c := *ch
 		c.Subs = append([]Sub(nil), ch.Subs...)
 		c.Leases = append([]Lease(nil), ch.Leases...)
+		c.Delegates = append([]Delegate(nil), ch.Delegates...)
 		c.index = nil
 		out = append(out, c)
 	}

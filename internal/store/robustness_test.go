@@ -57,6 +57,17 @@ func testRecords() []Record {
 		if i == 10 {
 			recs = append(recs, Record{Op: OpSubsChunk, URL: url, Subs: []Sub{sub(100 + i), sub(200 + i)}})
 		}
+		if i == 6 || i == 7 {
+			recs = append(recs, Record{Op: OpDelegates, URL: url, Delegates: []Delegate{
+				{ID: sub(i).EntryID, Endpoint: fmt.Sprintf("sim://%d", i)},
+				{ID: sub(i + 1).EntryID, Endpoint: fmt.Sprintf("sim://%d", i+1)},
+			}})
+		}
+		if i == 15 {
+			// An empty roster clears the i==6 delegation (same url, i%3==0);
+			// the i==7 one survives to the image.
+			recs = append(recs, Record{Op: OpDelegates, URL: url})
+		}
 	}
 	return recs
 }
@@ -82,7 +93,8 @@ func channelsEqual(t *testing.T, got map[string]*Channel, want map[string]*Chann
 			g.Level != w.Level || g.Epoch != w.Epoch || g.OwnerEpoch != w.OwnerEpoch ||
 			g.Version != w.Version ||
 			g.Count != w.Count || g.SizeBytes != w.SizeBytes || g.IntervalSec != w.IntervalSec ||
-			len(g.Subs) != len(w.Subs) || len(g.Leases) != len(w.Leases) {
+			len(g.Subs) != len(w.Subs) || len(g.Leases) != len(w.Leases) ||
+			len(g.Delegates) != len(w.Delegates) {
 			t.Fatalf("%s: channel %d:\n got  %+v\n want %+v", context, i, g, w)
 		}
 		for j := range g.Subs {
@@ -93,6 +105,11 @@ func channelsEqual(t *testing.T, got map[string]*Channel, want map[string]*Chann
 		for j := range g.Leases {
 			if g.Leases[j] != w.Leases[j] {
 				t.Fatalf("%s: channel %s lease %d differs", context, g.URL, j)
+			}
+		}
+		for j := range g.Delegates {
+			if g.Delegates[j] != w.Delegates[j] {
+				t.Fatalf("%s: channel %s delegate %d differs", context, g.URL, j)
 			}
 		}
 	}
@@ -311,6 +328,70 @@ func encodeSnapshotV1(gen uint64, channels []Channel) []byte {
 	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
 }
 
+// encodeSnapshotV2 renders a snapshot in the pre-delegate v2 format (the
+// v1 fields plus owner epoch and lease marks), for the second
+// backward-compatibility decode test.
+func encodeSnapshotV2(gen uint64, channels []Channel) []byte {
+	body := binary.AppendUvarint(nil, gen)
+	body = binary.AppendUvarint(body, uint64(len(channels)))
+	for _, ch := range channels {
+		body = wirebin.AppendString(body, ch.URL)
+		var flags byte
+		if ch.Owner {
+			flags |= metaOwner
+		}
+		if ch.Replica {
+			flags |= metaReplica
+		}
+		body = append(body, flags)
+		body = wirebin.AppendSint(body, ch.Level)
+		body = wirebin.AppendUvarint(body, ch.Epoch)
+		body = wirebin.AppendUvarint(body, ch.Version)
+		body = wirebin.AppendSint(body, ch.Count)
+		body = wirebin.AppendSint(body, ch.SizeBytes)
+		body = wirebin.AppendFloat64(body, ch.IntervalSec)
+		body = binary.AppendUvarint(body, uint64(len(ch.Subs)))
+		for _, s := range ch.Subs {
+			body = appendSub(body, s)
+		}
+		body = wirebin.AppendUvarint(body, ch.OwnerEpoch)
+		body = wirebin.AppendUvarint(body, uint64(len(ch.Leases)))
+		for _, l := range ch.Leases {
+			body = wirebin.AppendString(body, l.Client)
+			body = wirebin.AppendUvarint(body, uint64(l.UnixNano))
+		}
+	}
+	out := append([]byte(nil), snapMagicV2...)
+	out = append(out, body...)
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+}
+
+// TestDecodeSnapshotV2Fallback pins the second format migration: a
+// snapshot written before the delegate roster (magic CORSNP2) still
+// decodes losslessly, with the roster empty.
+func TestDecodeSnapshotV2Fallback(t *testing.T) {
+	state := applyAll(testRecords())
+	want := imageSlice(state)
+	for i := range want {
+		want[i].Delegates = nil
+	}
+	gen, got, err := decodeSnapshot(encodeSnapshotV2(9, want))
+	if err != nil {
+		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+	if gen != 9 || len(got) != len(want) {
+		t.Fatalf("v2 snapshot decoded gen=%d channels=%d, want 9/%d", gen, len(got), len(want))
+	}
+	gm, wm := make(map[string]*Channel), make(map[string]*Channel)
+	for i := range got {
+		gm[got[i].URL] = &got[i]
+	}
+	for i := range want {
+		wm[want[i].URL] = &want[i]
+	}
+	channelsEqual(t, gm, wm, "v2 fallback")
+}
+
 // TestDecodeSnapshotV1Fallback pins the format migration: a snapshot
 // written before the owner-epoch and lease fields (magic CORSNP1) still
 // decodes losslessly, with the new fields zero-valued.
@@ -320,6 +401,7 @@ func TestDecodeSnapshotV1Fallback(t *testing.T) {
 	for i := range want {
 		want[i].OwnerEpoch = 0
 		want[i].Leases = nil
+		want[i].Delegates = nil
 	}
 	gen, got, err := decodeSnapshot(encodeSnapshotV1(7, want))
 	if err != nil {
@@ -342,9 +424,11 @@ func TestDecodeSnapshotV1Fallback(t *testing.T) {
 func FuzzDecodeSnapshot(f *testing.F) {
 	state := applyAll(testRecords())
 	f.Add(encodeSnapshot(3, imageSlice(state)))
+	f.Add(encodeSnapshotV2(3, imageSlice(state)))
 	f.Add(encodeSnapshotV1(3, imageSlice(state)))
 	f.Add([]byte("CORSNP1\n"))
 	f.Add([]byte("CORSNP2\n"))
+	f.Add([]byte("CORSNP3\n"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		gen, channels, err := decodeSnapshot(data)

@@ -10,8 +10,9 @@ import (
 	"corona/internal/wirebin"
 )
 
-// appendChannel encodes one materialized channel image (v2 shape: the v1
-// fields followed by the ownership fencing epoch and the lease marks).
+// appendChannel encodes one materialized channel image (v3 shape: the v1
+// fields, then the ownership fencing epoch and the lease marks added by
+// v2, then the delegate roster added by v3).
 func appendChannel(dst []byte, ch Channel) []byte {
 	dst = wirebin.AppendString(dst, ch.URL)
 	var flags byte
@@ -38,12 +39,13 @@ func appendChannel(dst []byte, ch Channel) []byte {
 		dst = wirebin.AppendString(dst, l.Client)
 		dst = wirebin.AppendUvarint(dst, uint64(l.UnixNano))
 	}
-	return dst
+	return appendDelegates(dst, ch.Delegates)
 }
 
-// readChannel decodes one channel image. v1 snapshots predate the owner
-// epoch and lease marks; their channels decode with both zero-valued.
-func readChannel(r *wirebin.Reader, v1 bool) Channel {
+// readChannel decodes one channel image at the given snapshot format
+// version. v1 snapshots predate the owner epoch and lease marks, v2 the
+// delegate roster; fields a version predates decode zero-valued.
+func readChannel(r *wirebin.Reader, version int) Channel {
 	var ch Channel
 	ch.URL = r.String()
 	flags := r.Byte()
@@ -56,7 +58,7 @@ func readChannel(r *wirebin.Reader, v1 bool) Channel {
 	ch.SizeBytes = r.Sint()
 	ch.IntervalSec = r.Float64()
 	ch.Subs = readSubs(r)
-	if v1 {
+	if version < 2 {
 		return ch
 	}
 	ch.OwnerEpoch = r.Uvarint()
@@ -68,6 +70,10 @@ func readChannel(r *wirebin.Reader, v1 bool) Channel {
 			ch.Leases = append(ch.Leases, Lease{Client: r.String(), UnixNano: int64(r.Uvarint())})
 		}
 	}
+	if version < 3 {
+		return ch
+	}
+	ch.Delegates = readDelegates(r)
 	return ch
 }
 
@@ -87,16 +93,20 @@ func encodeSnapshot(gen uint64, channels []Channel) []byte {
 // decodeSnapshot parses and validates a snapshot file. Any damage —
 // magic, CRC, or structure — rejects the whole file: unlike the WAL,
 // a snapshot is atomic (it was written by rename) so partial recovery
-// from one is never attempted. Both the current v2 magic and the v1
-// magic are accepted, so a directory written before the owner-epoch and
-// lease records recovers losslessly and is rewritten as v2 by the
-// post-recovery compaction.
+// from one is never attempted. The current v3 magic and the two older
+// magics are all accepted, so a directory written before the delegate
+// roster (v2) or before the owner-epoch and lease records (v1) recovers
+// losslessly and is rewritten as v3 by the post-recovery compaction.
+// All magics are eight bytes, so the body slice below holds regardless
+// of which one matched.
 func decodeSnapshot(buf []byte) (gen uint64, channels []Channel, err error) {
-	v1 := false
+	version := 3
 	switch {
 	case len(buf) >= len(snapMagic)+4 && string(buf[:len(snapMagic)]) == snapMagic:
+	case len(buf) >= len(snapMagicV2)+4 && string(buf[:len(snapMagicV2)]) == snapMagicV2:
+		version = 2
 	case len(buf) >= len(snapMagicV1)+4 && string(buf[:len(snapMagicV1)]) == snapMagicV1:
-		v1 = true
+		version = 1
 	default:
 		return 0, nil, fmt.Errorf("store: snapshot magic mismatch")
 	}
@@ -113,7 +123,7 @@ func decodeSnapshot(buf []byte) (gen uint64, channels []Channel, err error) {
 	}
 	channels = make([]Channel, 0, n)
 	for i := uint64(0); i < n; i++ {
-		channels = append(channels, readChannel(r, v1))
+		channels = append(channels, readChannel(r, version))
 		if r.Err() != nil {
 			return 0, nil, fmt.Errorf("store: snapshot channel %d malformed: %w", i, r.Err())
 		}

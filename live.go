@@ -62,6 +62,11 @@ type LiveConfig struct {
 	// default (comfortably above the SDK's 30s ping interval); negative
 	// disables the expiry sweep.
 	LeaseTTL time.Duration
+	// DelegateThreshold is the per-channel subscriber count at which an
+	// owner recruits leaf-set delegates and shards notification fan-out
+	// across them, keeping the owner's per-update sends O(delegates)
+	// instead of O(entry nodes). Zero or negative disables sharding.
+	DelegateThreshold int
 }
 
 // LiveNode is one Corona overlay member speaking TCP, polling real HTTP
@@ -125,6 +130,7 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	if cfg.LeaseTTL > 0 {
 		ccfg.LeaseTTL = cfg.LeaseTTL
 	}
+	ccfg.DelegateThreshold = cfg.DelegateThreshold
 	ccfg.Seed = cfg.Seed
 	if ccfg.Seed == 0 {
 		ccfg.Seed = int64(beUint(idFromEndpoint(advertise)))
@@ -282,6 +288,18 @@ func (ln *LiveNode) Info() clientproto.ServerInfo {
 			si.Store.Err = st.Err.Error()
 		}
 	}
+	ns := ln.node.Stats()
+	si.HasFanout = true
+	si.Fanout = clientproto.FanoutInfo{
+		NotifyBatches:   ns.NotifyBatchesSent,
+		DelegateUpdates: ns.DelegateUpdates,
+		DelegatesActive: uint64(ns.DelegatesActive),
+		DelegatesHeld:   uint64(ns.DelegatesHeld),
+		Undeliverable:   ln.notifier.Undeliverable(),
+	}
+	if ln.clients != nil {
+		si.Fanout.NotifyDropped = ln.clients.NotifyDropped()
+	}
 	return si
 }
 
@@ -303,16 +321,33 @@ type StoreStats struct {
 }
 
 // LiveStats extends the node's protocol counters with deployment-only
-// state: the durable store's health.
+// state: the durable store's health and the client edge's delivery
+// counters.
 type LiveStats struct {
 	core.Stats
 	Store StoreStats
+	// Undeliverable counts notifications that found neither an attached
+	// deliverer nor an IM account for their client at this node's gateway.
+	Undeliverable uint64
+	// NotifyDropped counts notification frames the client-protocol server
+	// discarded because a client's outbound queue was full (zero when no
+	// client listener runs).
+	NotifyDropped uint64
+	// NotifyBatchesRecv and BatchClients count batched notification calls
+	// the gateway received and the client deliveries they covered.
+	NotifyBatchesRecv uint64
+	BatchClients      uint64
 }
 
 // Stats exposes the node's activity counters and, for durable nodes, the
 // store's WAL size, records-since-snapshot, and latched IO error.
 func (ln *LiveNode) Stats() LiveStats {
 	ls := LiveStats{Stats: ln.node.Stats()}
+	ls.Undeliverable = ln.notifier.Undeliverable()
+	ls.NotifyBatchesRecv, ls.BatchClients = ln.notifier.NotifyBatches()
+	if ln.clients != nil {
+		ls.NotifyDropped = ln.clients.NotifyDropped()
+	}
 	if ln.store != nil {
 		st := ln.store.Stats()
 		ls.Store = StoreStats{
