@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all bench-smoke
+.PHONY: check vet build test race bench bench-all bench-smoke chaos chaos-long
 
 check: vet build test
 
@@ -43,6 +43,20 @@ bench:
 		| $(GO) run ./cmd/bench2json -o BENCH_client.json
 	$(GO) test -run xxx -bench 'Fanout' -benchmem ./internal/core/ ./internal/clientproto/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_fanout.json
+	$(MAKE) chaos
+
+# The torture suite: every chaos scenario at CI scale, with the invariant
+# sweep (single owner, no black holes, monotonic versions, exactly-once
+# after convergence, consistent delegate rosters). Convergence time,
+# messages-to-converge, violation count (must be 0), and peak owner load
+# are recorded in BENCH_scale.json.
+chaos:
+	$(GO) run ./cmd/corona-chaos -o BENCH_scale.json
+
+# The same suite at deployment scale: 4096 nodes, 10^5 subscriptions.
+# Takes tens of minutes; not part of bench or CI.
+chaos-long:
+	$(GO) run ./cmd/corona-chaos -scale long -o BENCH_scale_long.json
 
 # Every benchmark, including the figure regenerations.
 bench-all:

@@ -15,7 +15,10 @@ import (
 // Version 3 added the ServerInfo fan-out extension (FanoutInfo); frames
 // are otherwise unchanged, so the negotiation only gates whether the
 // server appends the extension fields.
-const Version = 3
+// Version 4 added the ServerInfo commit-latency extension (the durable
+// store's group-commit histogram), stacked after the fan-out fields the
+// same trailing-bytes way.
+const Version = 4
 
 // MaxFrame bounds one frame's type+body byte count.
 const MaxFrame = 1 << 20
@@ -155,6 +158,14 @@ type ServerInfo struct {
 	HasFanout bool
 	// Fanout is the fan-out accounting (version 3).
 	Fanout FanoutInfo
+	// HasCommitLatency gates the version-4 trailing extension below; it
+	// can only be encoded when HasFanout is also set (extensions stack
+	// in version order).
+	HasCommitLatency bool
+	// CommitLatency is the durable store's fixed-bucket group-commit
+	// latency histogram (store.CommitLatencyBounds order, final element
+	// the overflow bucket); empty for in-memory nodes.
+	CommitLatency []uint64
 }
 
 func (f *Login) frameType() byte        { return TypeLogin }
@@ -232,7 +243,15 @@ func (f *ServerInfo) appendBody(dst []byte) []byte {
 	dst = wirebin.AppendUvarint(dst, f.Fanout.DelegatesActive)
 	dst = wirebin.AppendUvarint(dst, f.Fanout.DelegatesHeld)
 	dst = wirebin.AppendUvarint(dst, f.Fanout.Undeliverable)
-	return wirebin.AppendUvarint(dst, f.Fanout.NotifyDropped)
+	dst = wirebin.AppendUvarint(dst, f.Fanout.NotifyDropped)
+	if !f.HasCommitLatency {
+		return dst
+	}
+	dst = wirebin.AppendUvarint(dst, uint64(len(f.CommitLatency)))
+	for _, c := range f.CommitLatency {
+		dst = wirebin.AppendUvarint(dst, c)
+	}
+	return dst
 }
 
 // AppendFrame appends f's full wire form — u32 big-endian length, type
@@ -306,6 +325,16 @@ func DecodeFrame(body []byte) (Frame, error) {
 				DelegatesHeld:   r.Uvarint(),
 				Undeliverable:   r.Uvarint(),
 				NotifyDropped:   r.Uvarint(),
+			}
+		}
+		if r.Err() == nil && r.Len() > 0 {
+			// Version-4 commit-latency extension.
+			si.HasCommitLatency = true
+			if n := r.ListLen(1); n > 0 {
+				si.CommitLatency = make([]uint64, 0, n)
+				for i := 0; i < n; i++ {
+					si.CommitLatency = append(si.CommitLatency, r.Uvarint())
+				}
 			}
 		}
 		f = si

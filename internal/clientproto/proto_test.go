@@ -39,6 +39,13 @@ func everyFrame() []Frame {
 			Fanout: FanoutInfo{NotifyBatches: 12, DelegateUpdates: 4, DelegatesActive: 3,
 				DelegatesHeld: 2, Undeliverable: 1, NotifyDropped: 9},
 		},
+		&ServerInfo{
+			Node:             "10.0.0.1:9001",
+			HasFanout:        true,
+			Fanout:           FanoutInfo{NotifyBatches: 12},
+			HasCommitLatency: true,
+			CommitLatency:    []uint64{0, 3, 18, 4, 0, 0, 1, 0, 0, 0, 2},
+		},
 	}
 }
 
@@ -83,17 +90,16 @@ func TestReadWriteFrame(t *testing.T) {
 
 func TestDecodeRejectsHostileInput(t *testing.T) {
 	// Truncation at every byte boundary of every frame must error — or,
-	// for the one legal case (a version-3 ServerInfo cut exactly at its
-	// version-2 boundary, where the absent fan-out extension is itself a
-	// valid frame), decode canonically: the accepted prefix must re-encode
-	// to exactly the bytes that decoded.
+	// for the legal cases (a ServerInfo cut exactly at an extension
+	// boundary, where the shorter version's frame is itself valid),
+	// decode canonically: the accepted prefix must re-encode to exactly
+	// the bytes that decoded.
 	for _, f := range everyFrame() {
 		body := AppendFrame(nil, f)[4:]
 		for cut := 0; cut < len(body); cut++ {
 			got, err := DecodeFrame(body[:cut])
 			if err == nil {
-				si, ok := got.(*ServerInfo)
-				if !ok || si.HasFanout {
+				if _, ok := got.(*ServerInfo); !ok {
 					t.Fatalf("%T truncated to %d bytes decoded", f, cut)
 				}
 				if !bytes.Equal(AppendFrame(nil, got)[4:], body[:cut]) {
@@ -148,6 +154,42 @@ func TestServerInfoV2Compat(t *testing.T) {
 	}
 	if gsi := got.(*ServerInfo); gsi.HasFanout || gsi.Fanout != (FanoutInfo{}) {
 		t.Fatalf("extension-free frame decoded with fan-out set: %+v", gsi)
+	}
+}
+
+// TestServerInfoV3Compat pins the commit-latency extension's stacking
+// contract: with HasCommitLatency unset the encoding is byte-identical to
+// a version-3 frame, and a version-4 frame decodes with the histogram
+// intact while its version-3 prefix bytes are unchanged.
+func TestServerInfoV3Compat(t *testing.T) {
+	v3 := &ServerInfo{
+		Node:      "10.0.0.1:9001",
+		HasFanout: true,
+		Fanout:    FanoutInfo{NotifyBatches: 7, NotifyDropped: 1},
+	}
+	plain := AppendFrame(nil, v3)
+	v4 := *v3
+	v4.HasCommitLatency = true
+	v4.CommitLatency = []uint64{0, 5, 12, 0, 1}
+	ext := AppendFrame(nil, &v4)
+	if len(ext) <= len(plain) {
+		t.Fatalf("extension added no bytes: %d vs %d", len(ext), len(plain))
+	}
+	if !bytes.Equal(ext[5:len(plain)], plain[5:]) {
+		t.Fatal("commit-latency extension altered the version-3 prefix bytes")
+	}
+	got, err := DecodeFrame(ext[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsi := got.(*ServerInfo)
+	if !gsi.HasCommitLatency || !reflect.DeepEqual(gsi.CommitLatency, v4.CommitLatency) {
+		t.Fatalf("histogram did not round-trip: %+v", gsi)
+	}
+	if plainGot, err := DecodeFrame(plain[4:]); err != nil {
+		t.Fatal(err)
+	} else if psi := plainGot.(*ServerInfo); psi.HasCommitLatency || psi.CommitLatency != nil {
+		t.Fatalf("extension-free frame decoded with commit latency set: %+v", psi)
 	}
 }
 

@@ -378,14 +378,19 @@ func (s *Server) subReply(reqID uint64, handle, url string, remove bool, reply f
 	reply(&Ack{ReqID: reqID})
 }
 
-// info snapshots the backend's ServerInfo as a frame. The fan-out
-// extension is stripped for pre-v3 connections: their strict decoders
-// treat the extra bytes as a malformed frame.
+// info snapshots the backend's ServerInfo as a frame. Trailing
+// extensions are stripped for connections older than the version that
+// introduced them: their strict decoders treat the extra bytes as a
+// malformed frame.
 func (s *Server) info(ver byte) *ServerInfo {
 	si := s.backend.Info()
 	if ver < 3 {
 		si.HasFanout = false
 		si.Fanout = FanoutInfo{}
+	}
+	if ver < 4 {
+		si.HasCommitLatency = false
+		si.CommitLatency = nil
 	}
 	return &si
 }

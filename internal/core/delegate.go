@@ -74,15 +74,23 @@ func (n *Node) putTargetScratch(ts *[]notifyTarget) {
 // clients attached here (or with no entry recorded), one notifyBatchMsg
 // overlay send per remote entry node. Targets are sorted in place. It
 // returns the number of batches emitted; callers must not hold n.mu.
-func (n *Node) sendEntryBatches(notify Notifier, url string, version uint64, diff string, targets []notifyTarget) int {
+// sendEntryBatches fans an update out as one notifyBatch per distinct
+// entry node. It returns the batch count plus the targets of batches the
+// transport rejected synchronously: a dead entry node black-holes exactly
+// the traffic that discovers it, so callers feed the failures back into
+// the lease machinery (owners mark the leases expired themselves;
+// delegates report them to their owner) instead of dropping them. The
+// failed slice is freshly allocated — targets may live in pooled scratch.
+func (n *Node) sendEntryBatches(notify Notifier, url string, version uint64, diff string, targets []notifyTarget) (int, []notifyTarget) {
 	if len(targets) == 0 {
-		return 0
+		return 0, nil
 	}
 	self := n.Self().ID
 	sort.Slice(targets, func(i, j int) bool {
 		return targets[i].entry.ID.Cmp(targets[j].entry.ID) < 0
 	})
 	batches := 0
+	var failed []notifyTarget
 	for start := 0; start < len(targets); {
 		end := start + 1
 		for end < len(targets) && targets[end].entry.ID == targets[start].entry.ID {
@@ -94,15 +102,15 @@ func (n *Node) sendEntryBatches(notify Notifier, url string, version uint64, dif
 		}
 		if entry := targets[start].entry; entry.IsZero() || entry.ID == self {
 			notify.NotifyBatch(clients, url, version, diff)
-		} else {
-			n.overlay.SendDirect(entry, msgNotifyBatch, &notifyBatchMsg{
-				URL: url, Version: version, Diff: diff, Clients: clients,
-			})
+		} else if n.overlay.SendDirect(entry, msgNotifyBatch, &notifyBatchMsg{
+			URL: url, Version: version, Diff: diff, Clients: clients,
+		}) != nil {
+			failed = append(failed, targets[start:end]...)
 		}
 		batches++
 		start = end
 	}
-	return batches
+	return batches, failed
 }
 
 // delegatePush pairs an overlay target with a delegation payload, built
@@ -325,14 +333,31 @@ func (n *Node) handleDelegateNotify(msg pastry.Message) {
 	for c, entry := range ch.delegSubs {
 		*targets = append(*targets, notifyTarget{client: c, entry: entry})
 	}
+	owner := ch.delegFrom
 	n.stats.NotificationsSent += uint64(len(*targets))
 	n.mu.Unlock()
-	batches := n.sendEntryBatches(notify, p.URL, p.Version, p.Diff, *targets)
+	batches, failed := n.sendEntryBatches(notify, p.URL, p.Version, p.Diff, *targets)
 	n.putTargetScratch(targets)
 	if batches > 0 {
 		n.mu.Lock()
 		n.stats.NotifyBatchesSent += uint64(batches)
 		n.mu.Unlock()
+	}
+	// Only the owner's lease sweep can re-point a dead entry, and the
+	// owner never sends to a delegated client's entry itself — report the
+	// bounce so its records heal. Failures come back grouped by entry
+	// (sendEntryBatches sorts), one report per dead node.
+	for start := 0; start < len(failed); {
+		end := start + 1
+		for end < len(failed) && failed[end].entry.ID == failed[start].entry.ID {
+			end++
+		}
+		report := &leaseExpireMsg{URL: p.URL, Entry: failed[start].entry}
+		for _, t := range failed[start:end] {
+			report.Clients = append(report.Clients, t.client)
+		}
+		n.overlay.SendDirect(owner, msgLeaseExpire, report)
+		start = end
 	}
 }
 

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -376,5 +377,55 @@ func TestLeaseSweepReroutesDeadEntry(t *testing.T) {
 	tc.notify.mu.Unlock()
 	if final <= afterSweep {
 		t.Fatalf("notifications did not resume after the re-route (%d then %d)", afterSweep, final)
+	}
+}
+
+// TestLeaseTTLDisabledSkipsSweep pins the Config.LeaseTTL ≤ 0 contract:
+// the maintain pass does no lease work at all — the dead node's entry
+// record is never re-routed and LeaseReroutes stays zero — while
+// handlePeerFault still force-expires entries at dead peers with a
+// zero-time mark. The mark matters even with the sweep off: an operator
+// restart with leases enabled repairs those entries on the first pass
+// instead of waiting a full TTL.
+func TestLeaseTTLDisabledSkipsSweep(t *testing.T) {
+	for _, ttl := range []time.Duration{0, -time.Hour} {
+		t.Run(fmt.Sprintf("ttl=%v", ttl), func(t *testing.T) {
+			url := "http://feeds.example.net/nosweep.xml"
+			tc := newTestCloud(t, 8, func(i int, cfg *core.Config) {
+				cfg.LeaseTTL = ttl
+			})
+			tc.host(url, 10*time.Minute)
+			owner := tc.ownerOf(url)
+			var entryNode *core.Node
+			for _, n := range tc.nodes {
+				if n != owner {
+					entryNode = n
+					break
+				}
+			}
+			entryNode.Subscribe("alice", url)
+			tc.sim.RunFor(30 * time.Minute)
+
+			entryNode.Stop()
+			tc.net.Crash(entryNode.Self().Endpoint)
+			tc.sim.RunFor(2 * time.Hour)
+
+			rec, ok := owner.Records(url)
+			if !ok || !rec.Owner {
+				t.Fatalf("owner lost the channel: %+v", rec)
+			}
+			// The peer fault still planted the force-expiry mark...
+			if mark, marked := rec.Leases["alice"]; !marked || !mark.IsZero() {
+				t.Fatalf("dead entry not force-expired: leases = %+v", rec.Leases)
+			}
+			// ...but the disabled sweep never acted on it: the entry record
+			// still names the dead node and no re-route was counted.
+			if got := rec.Subscribers["alice"]; got.Endpoint != entryNode.Self().Endpoint {
+				t.Fatalf("entry record moved to %s with the sweep disabled", got.Endpoint)
+			}
+			if st := owner.Stats(); st.LeaseReroutes != 0 {
+				t.Fatalf("sweep re-routed %d entries with LeaseTTL = %v", st.LeaseReroutes, ttl)
+			}
+		})
 	}
 }

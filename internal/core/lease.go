@@ -120,6 +120,35 @@ func (n *Node) handleLease(msg pastry.Message) {
 	}
 }
 
+// handleLeaseExpire runs at a channel owner: a delegate reports clients
+// whose notify batches bounced off a dead entry node. The owner plants
+// the same zero-time lease mark handlePeerFault does, and the next sweep
+// re-points the entries at survivors. Clients whose entry record has
+// already moved off the reported node are skipped, so a delayed report
+// cannot churn a repaired subscription.
+func (n *Node) handleLeaseExpire(msg pastry.Message) {
+	p, ok := msg.Payload.(*leaseExpireMsg)
+	if !ok || n.cfg.CountSubscribersOnly || p.Entry.IsZero() {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch := n.getChannel(p.URL)
+	if !ch.isOwner {
+		return
+	}
+	for _, client := range p.Clients {
+		entry, subscribed := ch.subs.ids[client]
+		if !subscribed || entry.ID != p.Entry.ID {
+			continue
+		}
+		if ch.leases == nil {
+			ch.leases = make(map[string]time.Time)
+		}
+		ch.leases[client] = time.Time{}
+	}
+}
+
 // leaseSweep is the owner's maintain-pass half of the lease protocol:
 // subscribers whose entry node stopped proving liveness for longer than
 // LeaseTTL (or was force-expired by a peer fault) have their entry
@@ -193,14 +222,25 @@ func (n *Node) leaseSweep() {
 // fallbackEntryLocked picks a replacement entry node for a client whose
 // lease expired: this node or one of its surviving leaf-set siblings,
 // chosen by the client's identifier so repeated sweeps agree, excluding
-// the entry believed dead. Callers hold n.mu.
+// the entry believed dead. The leaf set is not a liveness oracle —
+// peers that never sent to a dead node gossip it back through state
+// exchanges — so candidates recently reported dead are excluded too:
+// without that memory the sweep can re-point a dead entry at another
+// dead leaf, the failed-notify feedback re-arms the mark, and the pair
+// livelocks (each pass excludes only the current entry, so the hash can
+// bounce the client between two corpses forever). Callers hold n.mu.
 func (n *Node) fallbackEntryLocked(client string, dead pastry.Addr) pastry.Addr {
+	now := n.now()
+	faulted := func(id ids.ID) bool {
+		at, bad := n.recentFaults[id]
+		return bad && now.Sub(at) <= delegateExpiry*n.cfg.MaintenanceInterval
+	}
 	candidates := make([]pastry.Addr, 0, 8)
 	if n.Self().ID != dead.ID {
 		candidates = append(candidates, n.Self())
 	}
 	for _, leaf := range n.overlay.Leaves() {
-		if leaf.ID != dead.ID {
+		if leaf.ID != dead.ID && !faulted(leaf.ID) {
 			candidates = append(candidates, leaf)
 		}
 	}

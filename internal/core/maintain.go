@@ -22,8 +22,13 @@ func (n *Node) maintenanceTick() {
 	}
 	n.maintTimer = n.clk.AfterFunc(n.cfg.MaintenanceInterval, n.maintenanceTick)
 	n.stats.MaintenanceRounds++
+	draw := n.rng.Int()
 	n.mu.Unlock()
 
+	// Ring-level anti-entropy first: ownership placement below is judged
+	// against the ring view this exchange keeps honest.
+	n.overlay.Stabilize(draw)
+	n.ownerAntiEntropy()
 	n.leaseSweep()
 	n.delegateMaintain()
 	n.optimizePhase()
@@ -305,6 +310,9 @@ func (n *Node) handleMaintain(msg pastry.Message) {
 	if !ok || p.Clusters == nil {
 		return
 	}
+	// The aggregate proves the contact is alive; fold it back in (it may
+	// have been evicted across a partition the sender never noticed).
+	n.overlay.Learn(msg.From)
 	row := p.Row
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -332,6 +340,7 @@ func (n *Node) registerHandlers() {
 	n.overlay.Handle(msgNotify, n.handleNotify)
 	n.overlay.Handle(msgNotifyBatch, n.handleNotifyBatch)
 	n.overlay.Handle(msgLease, n.handleLease)
+	n.overlay.Handle(msgLeaseExpire, n.handleLeaseExpire)
 	n.overlay.Handle(msgDelegate, n.handleDelegate)
 	n.overlay.Handle(msgDelegateNotify, n.handleDelegateNotify)
 }

@@ -20,6 +20,7 @@ func RegisterPayloadTypes(register func(msgType string, factory func() any)) {
 	register(msgNotify, func() any { return &notifyMsg{} })
 	register(msgNotifyBatch, func() any { return &notifyBatchMsg{} })
 	register(msgLease, func() any { return &leaseMsg{} })
+	register(msgLeaseExpire, func() any { return &leaseExpireMsg{} })
 	register(msgDelegate, func() any { return &delegateMsg{} })
 	register(msgDelegateNotify, func() any { return &delegateNotifyMsg{} })
 }
@@ -40,6 +41,7 @@ const (
 	msgNotifyBatch    = "corona.notifybatch"
 	msgDelegate       = "corona.delegate"
 	msgDelegateNotify = "corona.delegatenotify"
+	msgLeaseExpire    = "corona.leaseexpire"
 )
 
 // subscribeMsg is routed through the overlay to the channel's owner
@@ -108,6 +110,13 @@ type replicateMsg struct {
 	// immediately), while an owner receiving a higher epoch demotes on
 	// receipt instead of waiting for its next IsRoot self-check.
 	OwnerEpoch uint64 `json:"owner_epoch"`
+	// FromOwner marks pushes from a node holding the owner role. Only
+	// such claims may take the equal-epoch tie-break against a live
+	// owner (the dual-owner merge after a healed partition); a replica's
+	// anti-entropy claim at the same epoch must lose it, or a replica
+	// whose identifier happens to sit closer to the channel would demote
+	// a healthy owner every time its heartbeat went stale.
+	FromOwner bool `json:"from_owner,omitempty"`
 }
 
 // pollCtlMsg adjusts a channel's polling level across its wedge. It is
@@ -189,6 +198,20 @@ type leaseMsg struct {
 	URL    string      `json:"url"`
 	Client string      `json:"client"`
 	Entry  pastry.Addr `json:"entry"`
+}
+
+// leaseExpireMsg is the delegate-side half of notify-failure feedback: a
+// delegate whose notifyBatch to an entry node failed reports the affected
+// clients to the channel's owner, which force-expires their leases (the
+// owner never sends to a delegated client's entry itself, so its own
+// failed-send path cannot discover the death). Entry names the node the
+// batch bounced off; the owner ignores clients whose entry record has
+// already moved elsewhere, so a stale report cannot churn a repaired
+// subscription.
+type leaseExpireMsg struct {
+	URL     string      `json:"url"`
+	Entry   pastry.Addr `json:"entry"`
+	Clients []string    `json:"clients"`
 }
 
 // delegateMsg installs (or revokes) a fan-out partition on a delegate: a

@@ -209,7 +209,8 @@ func (m *replicateMsg) AppendBinary(dst []byte) ([]byte, error) {
 	dst = wirebin.AppendUvarint(dst, m.LastVersion)
 	dst = wirebin.AppendSint(dst, m.Level)
 	dst = wirebin.AppendUvarint(dst, m.Epoch)
-	return wirebin.AppendUvarint(dst, m.OwnerEpoch), nil
+	dst = wirebin.AppendUvarint(dst, m.OwnerEpoch)
+	return wirebin.AppendBool(dst, m.FromOwner), nil
 }
 
 // DecodeBinary implements the codec binary payload contract.
@@ -233,6 +234,7 @@ func (m *replicateMsg) DecodeBinary(src []byte) error {
 	m.Level = r.Sint()
 	m.Epoch = r.Uvarint()
 	m.OwnerEpoch = r.Uvarint()
+	m.FromOwner = r.Bool()
 	return wireErr("replicate", r)
 }
 
@@ -352,6 +354,36 @@ func (m *leaseMsg) DecodeBinary(src []byte) error {
 	m.Client = r.String()
 	m.Entry = readAddr(r)
 	return wireErr("lease", r)
+}
+
+// --- leaseExpireMsg (corona.leaseexpire) ---------------------------------
+
+// AppendBinary implements the codec binary payload contract.
+func (m *leaseExpireMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wirebin.AppendString(dst, m.URL)
+	dst = appendAddr(dst, m.Entry)
+	dst = wirebin.AppendUvarint(dst, uint64(len(m.Clients)))
+	for _, c := range m.Clients {
+		dst = wirebin.AppendString(dst, c)
+	}
+	return dst, nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (m *leaseExpireMsg) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	m.URL = r.String()
+	m.Entry = readAddr(r)
+	// Each client handle costs at least its one length byte.
+	n := r.ListLen(1)
+	m.Clients = nil
+	if n > 0 {
+		m.Clients = make([]string, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m.Clients = append(m.Clients, r.String())
+		}
+	}
+	return wireErr("leaseexpire", r)
 }
 
 // --- wedgeFwdMsg (corona.wedgefwd) ---------------------------------------

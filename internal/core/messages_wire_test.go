@@ -111,6 +111,7 @@ var payloadGenerators = map[string]func(rng *rand.Rand) any{
 			Level:       rng.Intn(5),
 			Epoch:       rng.Uint64() >> uint(rng.Intn(64)),
 			OwnerEpoch:  rng.Uint64() >> uint(rng.Intn(64)),
+			FromOwner:   rng.Intn(2) == 1,
 		}
 		for i, n := 0, rng.Intn(4); i < n; i++ {
 			m.Subscribers = append(m.Subscribers, replicatedSub{Client: randString(rng), Entry: randAddr(rng)})
@@ -180,6 +181,13 @@ var payloadGenerators = map[string]func(rng *rand.Rand) any{
 			Diff:       randString(rng),
 			OwnerEpoch: rng.Uint64() >> uint(rng.Intn(64)),
 		}
+	},
+	msgLeaseExpire: func(rng *rand.Rand) any {
+		m := &leaseExpireMsg{URL: randString(rng), Entry: randAddr(rng)}
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			m.Clients = append(m.Clients, randString(rng))
+		}
+		return m
 	},
 }
 

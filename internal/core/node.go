@@ -119,6 +119,16 @@ type channelState struct {
 	// ownership claim awaits reconciliation against the live ring.
 	recoveredOwner bool
 
+	// ownerSeen is when a replica last accepted a replication push from a
+	// remote owner. Owners heartbeat-replicate every maintenance round, so
+	// prolonged silence means the owner is gone — the anti-entropy pass
+	// then promotes this replica (if it is the root) or routes its state
+	// toward the root, re-electing an owner no fault callback ever will:
+	// the callback only fires on a failed send, and only promotes replicas
+	// that are root at that instant, so a channel whose root-successor
+	// holds no state goes quietly ownerless without this timestamp.
+	ownerSeen time.Time
+
 	subs subscriberSet
 
 	// leases tracks, per subscriber, when the client's entry node last
@@ -184,6 +194,7 @@ type Stats struct {
 	LevelChanges      uint64
 	LeaseRefreshes    uint64 // entry-node lease heartbeats applied at owned channels
 	LeaseReroutes     uint64 // dead entry records re-pointed by the lease sweep
+	OwnerClaimsRouted uint64 // anti-entropy claims routed by displaced owners
 	SubscriptionsHeld int
 	ChannelsOwned     int
 	ChannelsPolled    int

@@ -188,7 +188,7 @@ func (n *Node) handleUpdate(msg pastry.Message) {
 	// receive the counter-push.
 	claimant := p.Owner
 	if p.OwnerEpoch > 0 && !claimant.IsZero() && claimant.ID != n.Self().ID {
-		if n.claimWinsLocked(ch, p.OwnerEpoch, claimant) {
+		if n.claimWinsLocked(ch, p.OwnerEpoch, claimant, true) {
 			if ch.isOwner {
 				// Updates carry no subscriber state; hand everything we
 				// hold back through the subscribe path so the winner ends

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"corona/internal/ids"
@@ -115,6 +116,7 @@ func (n *Node) buildReplicateLocked(ch *channelState) *replicateMsg {
 		Level:       ch.level,
 		Epoch:       ch.epoch,
 		OwnerEpoch:  ch.ownerEpoch,
+		FromOwner:   ch.isOwner,
 	}
 	if !n.cfg.CountSubscribersOnly {
 		for c, entry := range ch.subs.ids {
@@ -144,19 +146,112 @@ func (n *Node) replicateChannel(ch *channelState) {
 	}
 }
 
+// ownerReplicaStale is how many maintenance rounds of replication
+// silence a replica tolerates before treating its owner as gone. Owners
+// heartbeat every round, so three missed rounds is an owner that died,
+// demoted without reaching us, or lost us from its neighbor set.
+const ownerReplicaStale = 3
+
+// ownerAntiEntropy re-asserts ownership claims whose ring placement looks
+// wrong. The epoch-fencing handshake rides on replication pushes and
+// update broadcasts, both of which fire only when something changes — so
+// after a healed partition, two owners of a quiescent channel could keep
+// answering polls forever without ever exchanging claims. Each maintenance
+// round:
+//
+//   - An owner that is no longer the overlay root of a channel routes its
+//     claim (a full replication push) toward the current root, where the
+//     ordinary handleReplicate handshake runs: the losing epoch demotes
+//     and hands off its subscribers, the root reconquers above the
+//     winner. Dual ownership collapses within one round of the ring
+//     views re-merging.
+//
+//   - An owner that IS the root heartbeat-replicates to its neighbors.
+//     Replication otherwise fires only on subscription changes, which
+//     leaves replicas of a quiescent channel unable to tell a healthy
+//     silent owner from a dead one.
+//
+//   - A replica that has heard no owner push for ownerReplicaStale
+//     rounds re-elects: it promotes itself if it is now the root, or
+//     routes its state toward the root so the root adopts and
+//     reconquers. This is the only path that revives a channel whose
+//     owner died while the root-successor held no replica — the fault
+//     callback promotes replicas only if they are root at the instant
+//     the failure surfaces, and a root with no state never notices.
+//
+// At steady state the owner is the root and replicas hear it every
+// round, so nothing beyond the f heartbeat sends leaves this node.
+func (n *Node) ownerAntiEntropy() {
+	type claim struct {
+		id  ids.ID
+		rep *replicateMsg
+	}
+	var claims []claim
+	var pushes []*channelState
+	staleAfter := ownerReplicaStale * n.cfg.MaintenanceInterval
+	now := n.now()
+	n.mu.Lock()
+	// Iterate channels in a fixed order: claim and heartbeat sends mutate
+	// peers' routing state and aggregation inputs, so map-order iteration
+	// would make whole-run wire traffic nondeterministic under one seed.
+	ordered := make([]*channelState, 0, len(n.channels))
+	for _, ch := range n.channels {
+		ordered = append(ordered, ch)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].url < ordered[j].url })
+	for _, ch := range ordered {
+		switch {
+		case ch.isOwner && !n.overlay.IsRoot(ch.id):
+			claims = append(claims, claim{ch.id, n.buildReplicateLocked(ch)})
+		case ch.isOwner:
+			pushes = append(pushes, ch)
+		case ch.isReplica && now.Sub(ch.ownerSeen) > staleAfter:
+			if n.overlay.IsRoot(ch.id) {
+				n.becomeOwnerLocked(ch)
+				pushes = append(pushes, ch)
+			} else {
+				// Claim every round while stale: early routes can die at
+				// hops whose tables still point at the dead owner (each
+				// failed forward evicts one stale hop, losing the message).
+				// Whatever ends the staleness — the new owner's heartbeat,
+				// a reconquest push, or a live owner's counter-push to a
+				// rejected claim — refreshes ownerSeen and stops the claims.
+				claims = append(claims, claim{ch.id, n.buildReplicateLocked(ch)})
+			}
+		}
+	}
+	if len(claims) > 0 {
+		n.stats.OwnerClaimsRouted += uint64(len(claims))
+	}
+	n.mu.Unlock()
+	for _, c := range claims {
+		n.overlay.Route(c.id, msgReplicate, c.rep)
+	}
+	for _, ch := range pushes {
+		n.replicateChannel(ch)
+	}
+}
+
 // claimWinsLocked decides an ownership claim at claimEpoch from claimant
 // against this node's view of the channel. Higher epoch wins outright;
 // equal epochs between two live owners break toward the identifier
 // numerically closer to the channel — the same metric rootship uses, and
 // one both sides compute identically from the message alone, so the
-// handshake converges even while their ring views still disagree.
-// Callers hold n.mu.
-func (n *Node) claimWinsLocked(ch *channelState, claimEpoch uint64, claimant pastry.Addr) bool {
+// handshake converges even while their ring views still disagree. The
+// tie-break is reserved for claimants that hold the owner role: a
+// replica's anti-entropy push at the live owner's epoch always loses
+// (the counter-push refreshes the replica instead), or any replica whose
+// identifier sits closer to the channel than the owner's would demote it
+// on every stale heartbeat. Callers hold n.mu.
+func (n *Node) claimWinsLocked(ch *channelState, claimEpoch uint64, claimant pastry.Addr, claimantIsOwner bool) bool {
 	if claimEpoch != ch.ownerEpoch {
 		return claimEpoch > ch.ownerEpoch
 	}
 	if !ch.isOwner {
 		return true // ordinary periodic push at the claim's epoch
+	}
+	if !claimantIsOwner {
+		return false
 	}
 	return claimant.ID.Distance(ch.id).Cmp(n.Self().ID.Distance(ch.id)) < 0
 }
@@ -229,7 +324,8 @@ func (n *Node) handleReplicate(msg pastry.Message) {
 	}
 	n.mu.Lock()
 	ch := n.getChannel(p.URL)
-	if !n.claimWinsLocked(ch, p.OwnerEpoch, msg.From) {
+	if !n.claimWinsLocked(ch, p.OwnerEpoch, msg.From, p.FromOwner) &&
+		(ch.isOwner || ch.isReplica) {
 		// Stale-epoch push: reject on receipt. If we are the live owner,
 		// answer with our own state so the stale claimant demotes now
 		// instead of answering polls until its next self-check. A REPLICA
@@ -238,12 +334,19 @@ func (n *Node) handleReplicate(msg pastry.Message) {
 		// would otherwise be rejected here forever and this replica's
 		// copy would go permanently stale — the counter-push teaches the
 		// claimant the higher epoch, and it reconquers above it.
-		var counter *replicateMsg
-		if ch.isOwner || ch.isReplica {
-			counter = n.buildReplicateLocked(ch)
-		}
+		//
+		// Only owners and replicas get to reject, because only they can
+		// counter-push real state. A bystander's ownerEpoch is hearsay
+		// from update broadcasts: if the owner group behind that epoch
+		// died, a rejection here would silently strand the last surviving
+		// replica — its claims bounce off the hearsay forever, nothing
+		// teaches it the higher epoch, and the channel stays ownerless.
+		// Accepting instead is safe: should the hearsay owner still be
+		// alive, its next push or update claim outranks whatever this
+		// adoption produced and the fencing handshake re-converges.
+		counter := n.buildReplicateLocked(ch)
 		n.mu.Unlock()
-		if counter != nil && msg.From.ID != n.Self().ID {
+		if msg.From.ID != n.Self().ID {
 			n.overlay.SendDirect(msg.From, msgReplicate, counter)
 		}
 		return
@@ -258,6 +361,15 @@ func (n *Node) handleReplicate(msg pastry.Message) {
 	}
 	ch.isReplica = true
 	ch.ownerEpoch = p.OwnerEpoch
+	if p.FromOwner && msg.From.ID != n.Self().ID {
+		// Only a push from a node actually holding the owner role proves
+		// the owner is alive. Peer replicas' anti-entropy claims carry
+		// state but no such proof — counting them would let a ring of
+		// ownerless replicas refresh each other's staleness clocks
+		// forever, each claiming just often enough that no receiver ever
+		// deems the owner dead, and no one re-elects.
+		ch.ownerSeen = n.now()
+	}
 	ch.subs.count = p.Count
 	if p.Subscribers != nil {
 		ch.subs.ids = make(map[string]pastry.Addr, len(p.Subscribers))
@@ -285,8 +397,18 @@ func (n *Node) handleReplicate(msg pastry.Message) {
 	// channel's root, adopting the claim is only anti-entropy — take
 	// ownership back at claimEpoch+1 and re-replicate, so exactly the
 	// root survives the merge.
+	//
+	// Self-delivered claims promote too. A stale replica routes its
+	// claim toward the channel id; the routing layer retries through
+	// every closer candidate, evicting the ones whose sends fail, and
+	// delivers locally only when none survive — at which instant this
+	// node IS the root among reachable nodes. Skipping self-deliveries
+	// here livelocks: before the next anti-entropy round, stabilization
+	// gossip re-learns the dead closer peers from neighbors' leaf sets,
+	// IsRoot flips false again, and the replica re-routes the same doomed
+	// claim forever while the channel stays ownerless.
 	reclaimed := false
-	if msg.From.ID != n.Self().ID && n.overlay.IsRoot(ch.id) {
+	if n.overlay.IsRoot(ch.id) {
 		n.becomeOwnerLocked(ch)
 		reclaimed = ch.isOwner
 	}
@@ -419,12 +541,42 @@ func (n *Node) notifySubscribers(ch *channelState, version uint64, diff string) 
 			URL: ch.url, Version: version, Diff: diff, OwnerEpoch: epoch,
 		})
 	}
-	batches := n.sendEntryBatches(notify, ch.url, version, diff, *targets)
+	batches, failed := n.sendEntryBatches(notify, ch.url, version, diff, *targets)
 	n.putTargetScratch(targets)
 	if batches > 0 {
 		n.mu.Lock()
 		n.stats.NotifyBatchesSent += uint64(batches)
 		n.mu.Unlock()
+	}
+	n.expireFailedEntries(ch, failed)
+}
+
+// expireFailedEntries force-expires the leases of clients whose notify
+// batch bounced off a dead entry node — the same zero-time mark
+// handlePeerFault plants, but driven by the owner's own delivery
+// failures. The overlay fault callback fires at most once per eviction,
+// so entries inherited after it (a replica promoted later, a handed-off
+// subscriber set) would otherwise black-hole forever; here the very
+// update that failed to deliver schedules the repair, and the next lease
+// sweep re-points the records at survivors.
+func (n *Node) expireFailedEntries(ch *channelState, failed []notifyTarget) {
+	if len(failed) == 0 || n.cfg.CountSubscribersOnly {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !ch.isOwner {
+		return
+	}
+	for _, t := range failed {
+		entry, ok := ch.subs.ids[t.client]
+		if !ok || entry.ID != t.entry.ID {
+			continue // already re-pointed elsewhere
+		}
+		if ch.leases == nil {
+			ch.leases = make(map[string]time.Time)
+		}
+		ch.leases[t.client] = time.Time{}
 	}
 }
 

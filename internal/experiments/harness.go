@@ -25,6 +25,28 @@ type Harness struct {
 	Recorder *Recorder
 	Loads    *LoadSampler
 	Baseline *legacy.Baseline
+
+	// Endpoints[i] is the simnet endpoint name of Nodes[i]; Down[i] marks
+	// nodes the harness crashed (CrashNode) or that failed to join.
+	Endpoints []string
+	Down      map[int]bool
+
+	// Subs records every issued subscription when Options.Identity is set,
+	// so invariant checkers can audit the durable subscription set against
+	// owner-side records.
+	Subs []IssuedSub
+
+	opts     Options
+	fetcher  core.Fetcher
+	notifier core.Notifier
+}
+
+// IssuedSub is one recorded subscription: which client subscribed to which
+// channel through which node (an index into Harness.Nodes).
+type IssuedSub struct {
+	Client string
+	URL    string
+	Entry  int
 }
 
 // Options tunes harness construction beyond the scale parameters.
@@ -52,6 +74,24 @@ type Options struct {
 	ContentMode bool
 	// Notifier receives client notifications; nil counts them silently.
 	Notifier core.Notifier
+	// Identity tracks full per-client subscriber identity (entry records,
+	// leases, delegation) instead of counting-mode aggregation, and
+	// records issued subscriptions in Harness.Subs so invariant checkers
+	// can audit them. Figure runs keep counting mode for memory.
+	Identity bool
+	// OwnerReplicas sets the additional owner replica count (identity
+	// chaos runs want the PR-5 replication machinery active; figure runs
+	// keep 0).
+	OwnerReplicas int
+	// LeaseTTL and DelegateThreshold override the corresponding
+	// core.Config fields when nonzero.
+	LeaseTTL          time.Duration
+	DelegateThreshold int
+	// UpdateEvery, when positive, pins every channel's update interval
+	// instead of sampling the survey distribution (where half the
+	// channels never change). Chaos runs use it so delivery liveness is
+	// checkable on every channel.
+	UpdateEvery time.Duration
 }
 
 // countingNotifier is the default sink for notifications.
@@ -104,6 +144,11 @@ func NewHarness(scale Scale, opts Options) *Harness {
 		ZipfExponent:  0.5,
 		Seed:          scale.Seed,
 	})
+	if opts.UpdateEvery > 0 {
+		for i := range h.Work.Channels {
+			h.Work.Channels[i].UpdateInterval = opts.UpdateEvery
+		}
+	}
 	h.Origin = buildOrigin(h.Work, h.Sim.Now(), scale.Seed)
 	h.Recorder = NewRecorder(h.Work, h.Origin, h.Sim.Now(), scale.WarmUp, scale.Bucket)
 	h.Loads = NewLoadSampler(h.Origin, h.Sim.Now(), scale.Bucket)
@@ -116,11 +161,13 @@ func NewHarness(scale Scale, opts Options) *Harness {
 		return h
 	}
 
-	notifier := opts.Notifier
-	if notifier == nil {
-		notifier = &countingNotifier{}
+	h.opts = opts
+	h.Down = make(map[int]bool)
+	h.notifier = opts.Notifier
+	if h.notifier == nil {
+		h.notifier = &countingNotifier{}
 	}
-	fetcher := &core.OriginFetcher{Origin: h.Origin, Clock: h.Sim}
+	h.fetcher = &core.OriginFetcher{Origin: h.Origin, Clock: h.Sim}
 	rng := h.Sim.RNG("harness-node-ids")
 	overlays := make([]*pastry.Node, scale.Nodes)
 	for i := range overlays {
@@ -136,17 +183,9 @@ func NewHarness(scale Scale, opts Options) *Harness {
 	}
 	pastry.BuildStaticOverlay(overlays)
 	for i, overlay := range overlays {
-		cfg := core.DefaultConfig()
-		cfg.Policy = core.PolicyConfig{Scheme: opts.Scheme, FastTarget: opts.FastTarget}
-		cfg.PollInterval = scale.PollInterval
-		cfg.MaintenanceInterval = scale.MaintenanceInterval
-		cfg.NodeCount = scale.Nodes
-		cfg.CountSubscribersOnly = true
-		cfg.OwnerReplicas = 0
-		cfg.ContentMode = opts.ContentMode
-		cfg.Seed = scale.Seed + int64(i)
-		n := core.NewNode(cfg, overlay, h.Sim, fetcher, notifier, h.Recorder)
+		n := core.NewNode(h.nodeConfig(i), overlay, h.Sim, h.fetcher, h.notifier, h.Recorder)
 		h.Nodes = append(h.Nodes, n)
+		h.Endpoints = append(h.Endpoints, overlay.Self().Endpoint)
 	}
 
 	if opts.LegacyOn {
@@ -157,6 +196,27 @@ func NewHarness(scale Scale, opts Options) *Harness {
 		})
 	}
 	return h
+}
+
+// nodeConfig builds the core configuration for the i-th node (initial or
+// churn-joined) from the harness scale and options.
+func (h *Harness) nodeConfig(i int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.PolicyConfig{Scheme: h.opts.Scheme, FastTarget: h.opts.FastTarget}
+	cfg.PollInterval = h.Scale.PollInterval
+	cfg.MaintenanceInterval = h.Scale.MaintenanceInterval
+	cfg.NodeCount = h.Scale.Nodes
+	cfg.CountSubscribersOnly = !h.opts.Identity
+	cfg.OwnerReplicas = h.opts.OwnerReplicas
+	cfg.ContentMode = h.opts.ContentMode
+	cfg.Seed = h.Scale.Seed + int64(i)
+	if h.opts.LeaseTTL != 0 {
+		cfg.LeaseTTL = h.opts.LeaseTTL
+	}
+	if h.opts.DelegateThreshold != 0 {
+		cfg.DelegateThreshold = h.opts.DelegateThreshold
+	}
+	return cfg
 }
 
 // Run executes the experiment: subscriptions are issued (at once or
@@ -199,10 +259,14 @@ func (h *Harness) issueSubscriptions(opts Options) {
 	subIdx := 0
 	for i, ch := range h.Work.Channels {
 		for s := 0; s < ch.Subscribers; s++ {
-			entry := h.Nodes[rng.Intn(len(h.Nodes))]
+			entryIdx := rng.Intn(len(h.Nodes))
+			entry := h.Nodes[entryIdx]
 			url := ch.URL
 			client := fmt.Sprintf("u%d", subIdx)
 			subIdx++
+			if opts.Identity {
+				h.Subs = append(h.Subs, IssuedSub{Client: client, URL: url, Entry: entryIdx})
+			}
 			if ramp == 0 {
 				entry.Subscribe(client, url)
 				continue
@@ -212,6 +276,106 @@ func (h *Harness) issueSubscriptions(opts Options) {
 		}
 		_ = i
 	}
+}
+
+// InjectAt schedules a fault-injection (or any other) callback at the
+// given offset from the current simulator time. Chaos scenarios use it to
+// build their event timelines; it may be called before Run or from inside
+// an earlier injection.
+func (h *Harness) InjectAt(d time.Duration, fn func()) {
+	h.Sim.AfterFunc(d, fn)
+}
+
+// EveryCheckpoint arms a recurring callback every interval of virtual
+// time, for mid-run invariant checkpoints. The callback re-arms itself
+// forever; runs bounded by Sim.RunFor simply stop observing it.
+func (h *Harness) EveryCheckpoint(every time.Duration, fn func(now time.Time)) {
+	var tick func()
+	tick = func() {
+		fn(h.Sim.Now())
+		h.Sim.AfterFunc(every, tick)
+	}
+	h.Sim.AfterFunc(every, tick)
+}
+
+// CrashNode fail-stops Nodes[i]: its host drops off the network and its
+// timers stop. The slot is recorded in Down; crashed nodes never restart
+// (recovery from durable state is the live stack's job, not the sim's).
+func (h *Harness) CrashNode(i int) {
+	if h.Down[i] {
+		return
+	}
+	h.Down[i] = true
+	h.Net.Crash(h.Endpoints[i])
+	h.Nodes[i].Stop()
+}
+
+// LiveNodes returns the indexes of nodes not crashed by CrashNode.
+func (h *Harness) LiveNodes() []int {
+	live := make([]int, 0, len(h.Nodes))
+	for i := range h.Nodes {
+		if !h.Down[i] {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// JoinNode grows the cloud through the message-driven join protocol: a
+// fresh node with the given name joins via a live node, and once the join
+// completes (polled each virtual second, bounded by joinDeadline) it
+// starts and is appended to Nodes/Endpoints; onStarted, if non-nil, then
+// receives its index. A node whose join never completes is marked Down.
+// Callable from inside the simulation (churn injectors), so it never
+// blocks on virtual time.
+func (h *Harness) JoinNode(name string, via int, onStarted func(idx int)) error {
+	ep := "sim://" + name
+	holder := &struct{ n *pastry.Node }{}
+	endpoint := h.Net.Attach(ep, func(m pastry.Message) {
+		if holder.n != nil {
+			holder.n.Deliver(m)
+		}
+	})
+	overlay := pastry.NewNode(pastry.DefaultConfig(), pastry.Addr{ID: ids.HashString(name), Endpoint: ep}, endpoint, h.Sim)
+	holder.n = overlay
+	idx := len(h.Nodes)
+	n := core.NewNode(h.nodeConfig(idx), overlay, h.Sim, h.fetcher, h.notifier, h.Recorder)
+	h.Nodes = append(h.Nodes, n)
+	h.Endpoints = append(h.Endpoints, ep)
+	// abort kills a node whose join never completed. Marking it Down is
+	// not enough: the endpoint is already attached to the network and the
+	// half-joined overlay keeps answering routed messages — a "dead" node
+	// that is actually alive adopts channel state, wins ownership claims,
+	// and attracts lease re-points, all invisible to any audit that trusts
+	// Down. Down must imply genuinely unreachable.
+	abort := func() {
+		h.Down[idx] = true
+		h.Net.Crash(ep)
+		n.Stop()
+	}
+	if err := overlay.Join(h.Nodes[via].Self()); err != nil {
+		abort()
+		return err
+	}
+	const joinDeadline = 5 * time.Minute
+	deadline := h.Sim.Now().Add(joinDeadline)
+	var wait func()
+	wait = func() {
+		if overlay.Joined() {
+			n.Start()
+			if onStarted != nil {
+				onStarted(idx)
+			}
+			return
+		}
+		if h.Sim.Now().After(deadline) {
+			abort()
+			return
+		}
+		h.Sim.AfterFunc(time.Second, wait)
+	}
+	h.Sim.AfterFunc(time.Second, wait)
+	return nil
 }
 
 // PollersPerChannel counts, for each channel index, the nodes currently

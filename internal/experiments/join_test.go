@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"corona/internal/core"
+	"corona/internal/ids"
+	"corona/internal/pastry"
+)
+
+// TestAbortedJoinIsUnreachable pins the zombie-join bug: a node whose
+// join protocol never completes within the deadline must end up both
+// marked Down AND genuinely unreachable. Marking it Down while leaving
+// its endpoint attached produces a zombie — a half-joined overlay that
+// keeps answering routed messages, wins ownership claims, and attracts
+// lease re-points, all invisible to every audit that trusts Down (the
+// chaos invariant checker found channels owned by exactly such a node).
+func TestAbortedJoinIsUnreachable(t *testing.T) {
+	scale := tinyScale()
+	scale.Nodes = 16
+	scale.Channels = 4
+	scale.Subscriptions = 40
+	h := NewHarness(scale, Options{Scheme: core.SchemeLite})
+	for _, n := range h.Nodes {
+		n.Start()
+	}
+	h.Sim.RunFor(time.Minute)
+
+	// Wedge the join: partition the joiner away the instant it attaches.
+	// The join request already left, but every reply is cut off, so the
+	// protocol stalls past JoinNode's deadline and the harness aborts it.
+	started := false
+	if err := h.JoinNode("zombie", 0, func(int) { started = true }); err != nil {
+		t.Fatalf("JoinNode: %v", err)
+	}
+	h.Net.Partition("sim://zombie", 1)
+	h.Sim.RunFor(10 * time.Minute)
+	h.Net.Heal()
+	h.Sim.RunFor(time.Minute)
+
+	if started {
+		t.Fatalf("join completed despite the partition; test premise broken")
+	}
+	idx := len(h.Nodes) - 1
+	if !h.Down[idx] {
+		t.Fatalf("aborted join is not marked Down")
+	}
+	probe := h.Net.Attach("sim://probe", func(pastry.Message) {})
+	err := probe.Send(pastry.Addr{ID: ids.HashString("zombie"), Endpoint: "sim://zombie"}, pastry.Message{})
+	if err == nil {
+		t.Fatalf("aborted joiner still reachable after heal: Down node left attached (zombie)")
+	}
+}

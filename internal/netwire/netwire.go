@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,12 @@ type Transport struct {
 	bytesSent atomic.Uint64
 	bytesRecv atomic.Uint64
 	dropCount atomic.Uint64
+
+	// rng drives reconnect-backoff jitter; seeded per transport so
+	// same-config transports spread their retry schedules apart. Guarded
+	// by rngMu (multiple peer writers draw concurrently).
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// DialTimeout and WriteTimeout bound blocking network operations.
 	DialTimeout  time.Duration
@@ -181,8 +188,10 @@ func (t *Transport) retryPolicy() retryPolicy {
 	return r
 }
 
-// next advances the exponential backoff, returning the delay to wait
-// before the given attempt (zero for the first).
+// next advances the exponential backoff, returning the maximum delay to
+// wait before the given attempt (zero for the first). Actual reconnect
+// waits are jittered below this cap (jitterDelay); DialBudget uses the
+// cap directly, so it stays a true worst-case bound.
 func (r *retryPolicy) next(attempt int, backoff time.Duration) time.Duration {
 	if attempt == 0 {
 		return 0
@@ -191,6 +200,27 @@ func (r *retryPolicy) next(attempt int, backoff time.Duration) time.Duration {
 		return r.capAt
 	}
 	return backoff
+}
+
+// transportSeeds decorrelates transports created within one clock tick.
+var transportSeeds atomic.Int64
+
+// jitterDelay draws a randomized reconnect wait in [d/2, d]: half the
+// deterministic backoff as a floor (the peer really is down; hammering
+// helps nobody) plus a uniform jitter. Without it, every transport
+// sharing a configuration retries a restarted peer on the identical
+// schedule — the reconnect stampede arrives in synchronized waves.
+func (t *Transport) jitterDelay(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	t.rngMu.Lock()
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(time.Now().UnixNano() + transportSeeds.Add(1)*1000003))
+	}
+	j := t.rng.Int63n(int64(d)/2 + 1)
+	t.rngMu.Unlock()
+	return d/2 + time.Duration(j)
 }
 
 // DialBudget returns the worst-case time a writer spends trying to reach
@@ -631,7 +661,7 @@ func (p *peer) connect() (net.Conn, *bufio.Writer, error) {
 	for attempt := 0; attempt < r.attempts; attempt++ {
 		if wait := r.next(attempt, backoff); wait > 0 {
 			select {
-			case <-time.After(wait):
+			case <-time.After(p.t.jitterDelay(wait)):
 			case <-p.t.closing:
 				return nil, nil, errClosed
 			}

@@ -177,6 +177,26 @@ func (n *Node) handleStateReply(msg Message) {
 	}
 }
 
+// Stabilize runs one round of leaf-set anti-entropy: ask one known
+// contact, chosen by the caller-supplied draw, for its leaf set (the
+// reply is folded in by handleStateReply, and handleStateRequest learns
+// the asker symmetrically). Failure-triggered repair alone cannot re-merge
+// a healed partition: the two components each evicted every contact they
+// tried to reach across the cut, so no send fails anymore and no repair
+// ever fires — while each side's ring view stays self-consistently wrong.
+// Periodic exchange diffuses the surviving cross-component edges (a
+// handshake counter-push, an asymmetric eviction) back around the ring.
+func (n *Node) Stabilize(draw int) {
+	contacts := n.KnownNodes()
+	if len(contacts) == 0 {
+		return
+	}
+	if draw < 0 {
+		draw = -draw
+	}
+	n.SendDirect(contacts[draw%len(contacts)], msgStateRequest, nil)
+}
+
 // repairAfterFailure asks surviving contacts for replacement state after a
 // peer was evicted (paper §3.3: the overlay self-heals by replacing failed
 // contacts with other nodes satisfying the same prefix constraint).

@@ -17,6 +17,7 @@ package pastry
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"corona/internal/clock"
@@ -450,6 +451,9 @@ func (n *Node) KnownNodes() []Addr {
 	for _, a := range seen {
 		out = append(out, a)
 	}
+	// Fixed order: callers index into this with seeded draws (Stabilize),
+	// so map-iteration order would desynchronize identically-seeded runs.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Cmp(out[j].ID) < 0 })
 	return out
 }
 
@@ -477,14 +481,26 @@ func (n *Node) Deliver(msg Message) {
 		return
 	}
 	if !msg.Key.IsZero() && msg.Cover == 0 {
-		// Routed application message: forward if we are not the root.
-		if next, ok := n.nextHop(msg.Key); ok {
+		// Routed application message: forward if we are not the root. A
+		// synchronous send failure already evicted the dead hop (inside
+		// send), so retry against the post-eviction tables instead of
+		// dropping the message — each failure strictly shrinks the
+		// candidate set, and when no hop remains this node has become the
+		// root and the message belongs here. Without the retry, every
+		// routed message racing a node death is silently lost at whichever
+		// hop still lists the corpse.
+		for {
+			next, ok := n.nextHop(msg.Key)
+			if !ok {
+				break
+			}
 			msg.Hops++
 			n.mu.Lock()
 			n.stats.MessagesRouted++
 			n.mu.Unlock()
-			n.send(next, msg)
-			return
+			if n.send(next, msg) == nil {
+				return
+			}
 		}
 	}
 	if msg.Cover > 0 {
@@ -526,14 +542,21 @@ func (n *Node) SendDirect(to Addr, msgType string, payload any) error {
 
 // Route sends an application message toward the node whose identifier is
 // numerically closest to key. The message is delivered to the handler for
-// msgType at the root node (possibly this node itself).
+// msgType at the root node (possibly this node itself). A dead first hop
+// is evicted (inside send) and the next candidate tried — mirroring the
+// forwarding retry in Deliver — so Route only gives up by running out of
+// candidates, at which point this node is the root and delivers locally.
 func (n *Node) Route(key ids.ID, msgType string, payload any) error {
 	msg := Message{Type: msgType, Key: key, From: n.self, Payload: payload}
-	next, ok := n.nextHop(key)
-	if !ok {
-		n.deliverLocal(msg)
-		return nil
+	for {
+		next, ok := n.nextHop(key)
+		if !ok {
+			n.deliverLocal(msg)
+			return nil
+		}
+		msg.Hops = 1
+		if n.send(next, msg) == nil {
+			return nil
+		}
 	}
-	msg.Hops = 1
-	return n.send(next, msg)
 }

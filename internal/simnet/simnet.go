@@ -72,6 +72,18 @@ func (w WANLatency) Latency(_, _ string, rng *rand.Rand) time.Duration {
 	return d
 }
 
+// LinkFault overrides delivery behavior on one directed link, layered on
+// top of the network-wide LatencyModel and drop rate. It models slow-link
+// stragglers: ExtraLatency is added to every modeled delay on the link and
+// DropRate loses that fraction of the link's messages (in addition to any
+// global loss).
+type LinkFault struct {
+	ExtraLatency time.Duration
+	DropRate     float64
+}
+
+type linkKey struct{ from, to string }
+
 // Network is an in-memory message fabric bound to a simulator.
 type Network struct {
 	sim     *eventsim.Sim
@@ -83,6 +95,7 @@ type Network struct {
 	down      map[string]bool
 	dropRate  float64
 	partition map[string]int // endpoint -> partition group; 0 = default
+	links     map[linkKey]LinkFault
 	// measure enables codec-measured byte accounting (on by default);
 	// huge batch simulations can switch it off to skip the encode cost.
 	measure bool
@@ -102,6 +115,7 @@ func New(sim *eventsim.Sim, latency LatencyModel) *Network {
 		endpoints: make(map[string]*Endpoint),
 		down:      make(map[string]bool),
 		partition: make(map[string]int),
+		links:     make(map[linkKey]LinkFault),
 		measure:   true,
 	}
 }
@@ -153,6 +167,10 @@ func (ep *Endpoint) Send(to pastry.Addr, msg pastry.Message) error {
 	crashed := n.down[to.Endpoint] || n.down[ep.name]
 	partitioned := n.partition[ep.name] != n.partition[to.Endpoint]
 	drop := n.dropRate > 0 && n.rng.Float64() < n.dropRate
+	fault, faulty := n.links[linkKey{ep.name, to.Endpoint}]
+	if faulty && fault.DropRate > 0 && n.rng.Float64() < fault.DropRate {
+		drop = true
+	}
 	measure := n.measure
 	if ok && !crashed && !partitioned && !drop {
 		n.delivered++
@@ -178,6 +196,9 @@ func (ep *Endpoint) Send(to pastry.Addr, msg pastry.Message) error {
 		return nil // silently lost, like UDP loss; sender sees success
 	}
 	delay := n.latency.Latency(ep.name, to.Endpoint, n.rng)
+	if faulty {
+		delay += fault.ExtraLatency
+	}
 	n.sim.AfterFunc(delay, func() {
 		n.mu.Lock()
 		stillUp := !n.down[to.Endpoint]
@@ -229,6 +250,35 @@ func (n *Network) Partition(name string, group int) {
 func (n *Network) Heal() {
 	n.mu.Lock()
 	n.partition = make(map[string]int)
+	n.mu.Unlock()
+}
+
+// SetLinkFault installs a per-link override on the directed link from →
+// to: fault.ExtraLatency is added to the modeled latency of every message
+// on the link, and fault.DropRate loses that fraction of the link's
+// messages on top of the global drop rate. A zero-value fault clears the
+// override.
+func (n *Network) SetLinkFault(from, to string, fault LinkFault) {
+	n.mu.Lock()
+	if fault == (LinkFault{}) {
+		delete(n.links, linkKey{from, to})
+	} else {
+		n.links[linkKey{from, to}] = fault
+	}
+	n.mu.Unlock()
+}
+
+// SetLinkFaultBoth installs the same per-link override in both directions
+// between two endpoints, modeling a symmetric slow or lossy path.
+func (n *Network) SetLinkFaultBoth(a, b string, fault LinkFault) {
+	n.SetLinkFault(a, b, fault)
+	n.SetLinkFault(b, a, fault)
+}
+
+// ClearLinkFaults removes every per-link override.
+func (n *Network) ClearLinkFaults() {
+	n.mu.Lock()
+	n.links = make(map[linkKey]LinkFault)
 	n.mu.Unlock()
 }
 

@@ -166,3 +166,88 @@ func TestWANLatencyDistribution(t *testing.T) {
 		t.Fatal("NaN latency")
 	}
 }
+
+func TestLinkFaultExtraLatency(t *testing.T) {
+	sim, net, src, got := twoEndpoints(t, FixedLatency(50*time.Millisecond))
+	net.SetLinkFault("sim://src", "sim://dst", LinkFault{ExtraLatency: 200 * time.Millisecond})
+	if err := src.Send(dst, pastry.Message{Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(249 * time.Millisecond)
+	if len(*got) != 0 {
+		t.Fatal("delivered before link ExtraLatency elapsed")
+	}
+	sim.RunFor(2 * time.Millisecond)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(*got))
+	}
+
+	// Clearing the fault restores the base latency.
+	net.SetLinkFault("sim://src", "sim://dst", LinkFault{})
+	if err := src.Send(dst, pastry.Message{Type: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(51 * time.Millisecond)
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d messages after clear, want 2", len(*got))
+	}
+}
+
+func TestLinkFaultDropRate(t *testing.T) {
+	sim, net, src, got := twoEndpoints(t, FixedLatency(time.Millisecond))
+	net.SetLinkFault("sim://src", "sim://dst", LinkFault{DropRate: 1.0})
+	for i := 0; i < 20; i++ {
+		if err := src.Send(dst, pastry.Message{Type: "x"}); err != nil {
+			t.Fatal(err) // like UDP loss: sender still sees success
+		}
+	}
+	sim.RunFor(time.Second)
+	if len(*got) != 0 {
+		t.Fatalf("lossy link delivered %d messages, want 0", len(*got))
+	}
+	if net.Dropped() != 20 {
+		t.Fatalf("Dropped() = %d, want 20", net.Dropped())
+	}
+
+	// The fault is directional: other links are clean.
+	clean := net.Attach("sim://clean", nil)
+	var cleanGot []pastry.Message
+	net.Attach("sim://cleandst", func(m pastry.Message) { cleanGot = append(cleanGot, m) })
+	for i := 0; i < 5; i++ {
+		if err := clean.Send(pastry.Addr{ID: ids.HashString("cleandst"), Endpoint: "sim://cleandst"}, pastry.Message{Type: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.RunFor(time.Second)
+	if len(cleanGot) != 5 {
+		t.Fatalf("clean link delivered %d messages, want 5", len(cleanGot))
+	}
+}
+
+func TestLinkFaultBothAndClearAll(t *testing.T) {
+	sim, net, src, got := twoEndpoints(t, FixedLatency(time.Millisecond))
+	back := net.Attach("sim://back", nil)
+	var backGot []pastry.Message
+	net.Attach("sim://src", func(m pastry.Message) { backGot = append(backGot, m) })
+	net.SetLinkFaultBoth("sim://src", "sim://dst", LinkFault{DropRate: 1.0})
+
+	if err := src.Send(dst, pastry.Message{Type: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Send(pastry.Addr{ID: ids.HashString("src"), Endpoint: "sim://src"}, pastry.Message{Type: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Second)
+	if len(*got) != 0 {
+		t.Fatalf("faulted forward link delivered %d, want 0", len(*got))
+	}
+
+	net.ClearLinkFaults()
+	if err := src.Send(dst, pastry.Message{Type: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("cleared link delivered %d, want 1", len(*got))
+	}
+}

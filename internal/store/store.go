@@ -59,6 +59,28 @@ type Store struct {
 	rotating   bool // compaction file IO in flight; commits pause
 	closed     bool
 	err        error // first IO error, latched
+
+	commitLat [len(CommitLatencyBounds) + 1]uint64
+}
+
+// CommitLatencyBounds are the fixed bucket upper bounds of the commit
+// latency histogram in Stats.CommitLatency: bucket i counts commits that
+// took at most CommitLatencyBounds[i]; the final extra bucket counts the
+// overflow. A commit here is one group-commit flush — the write+fsync a
+// batch of appended records waits on before it is durable — so the
+// histogram is the store's answer to "what does durability cost on this
+// disk", with tail buckets exposing fsync stalls that averages hide.
+var CommitLatencyBounds = [...]time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
 }
 
 // Open recovers the directory's durable state (newest valid snapshot
@@ -256,7 +278,18 @@ func (s *Store) commitLocked() {
 	}
 	frames := s.pending
 	s.pending = nil
-	if err := s.wal.commit(frames); err != nil && s.err == nil {
+	t0 := time.Now()
+	err := s.wal.commit(frames)
+	elapsed := time.Since(t0)
+	bucket := len(CommitLatencyBounds)
+	for i, bound := range CommitLatencyBounds {
+		if elapsed <= bound {
+			bucket = i
+			break
+		}
+	}
+	s.commitLat[bucket]++
+	if err != nil && s.err == nil {
 		s.err = err
 	}
 }
@@ -385,6 +418,10 @@ type Stats struct {
 	RecordsSinceSnapshot int
 	// Channels is the materialized image's channel count.
 	Channels int
+	// CommitLatency is the fixed-bucket histogram of group-commit
+	// (write+fsync) latencies: CommitLatency[i] counts commits within
+	// CommitLatencyBounds[i], the last element the overflow.
+	CommitLatency [len(CommitLatencyBounds) + 1]uint64
 	// Err is the latched first IO error, nil while durability is intact.
 	Err error
 }
@@ -399,6 +436,7 @@ func (s *Store) Stats() Stats {
 		Generation:           s.gen,
 		RecordsSinceSnapshot: s.walRecords,
 		Channels:             len(s.state),
+		CommitLatency:        s.commitLat,
 		Err:                  s.err,
 	}
 	if s.wal != nil {

@@ -400,3 +400,25 @@ func TestStatsTrackWALGrowthAndCompaction(t *testing.T) {
 		t.Fatalf("RecordsSinceSnapshot = %d after compaction, want 0", st.RecordsSinceSnapshot)
 	}
 }
+
+func TestStatsCommitLatencyHistogram(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, Options{CommitWindow: -1}) // synchronous: one commit per append
+	defer s.Close()
+
+	if n := len(s.Stats().CommitLatency); n != len(CommitLatencyBounds)+1 {
+		t.Fatalf("histogram has %d buckets, want %d", n, len(CommitLatencyBounds)+1)
+	}
+	const appends = 25
+	for i := 0; i < appends; i++ {
+		s.Append(Record{Op: OpSubscribe, URL: "http://x/f.xml",
+			Sub: Sub{Client: "alice", EntryEndpoint: "n1:1"}})
+	}
+	var total uint64
+	for _, c := range s.Stats().CommitLatency {
+		total += c
+	}
+	if total != appends {
+		t.Fatalf("histogram counts %d commits, want %d", total, appends)
+	}
+}

@@ -287,6 +287,8 @@ func (ln *LiveNode) Info() clientproto.ServerInfo {
 		if st.Err != nil {
 			si.Store.Err = st.Err.Error()
 		}
+		si.HasCommitLatency = true
+		si.CommitLatency = st.CommitLatency[:]
 	}
 	ns := ln.node.Stats()
 	si.HasFanout = true
@@ -314,6 +316,10 @@ type StoreStats struct {
 	WALBytes int64
 	// RecordsSinceSnapshot is the replay debt a restart would pay.
 	RecordsSinceSnapshot int
+	// CommitLatency is the store's fixed-bucket group-commit (write+
+	// fsync) latency histogram; bucket i counts commits within
+	// store.CommitLatencyBounds[i], the last element the overflow.
+	CommitLatency []uint64
 	// Err is the store's latched first IO error, empty while durability
 	// is intact. A non-empty value means committed-window guarantees are
 	// gone until the node is restarted on healthy storage.
@@ -355,6 +361,7 @@ func (ln *LiveNode) Stats() LiveStats {
 			Generation:           st.Generation,
 			WALBytes:             st.WALBytes,
 			RecordsSinceSnapshot: st.RecordsSinceSnapshot,
+			CommitLatency:        st.CommitLatency[:],
 		}
 		if st.Err != nil {
 			ls.Store.Err = st.Err.Error()
