@@ -33,7 +33,9 @@ race:
 # encode) recorded in BENCH_client.json; hot-channel fan-out benchmarks
 # (owner messages per update with and without delegate sharding, plus the
 # encode-once NotifyBatch edge against the per-client-encode baseline)
-# recorded in BENCH_fanout.json.
+# recorded in BENCH_fanout.json; observability benchmarks (counter inc,
+# labeled lookup, histogram observe, a full /metrics render at 1k
+# series) recorded in BENCH_obs.json.
 bench:
 	$(GO) test -run xxx -bench 'Wire|UpdateEncode|UpdateDecodeForward|FanOutEncode|UpdateDissemination' -benchmem . ./internal/core/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_wire.json
@@ -43,6 +45,8 @@ bench:
 		| $(GO) run ./cmd/bench2json -o BENCH_client.json
 	$(GO) test -run xxx -bench 'Fanout' -benchmem ./internal/core/ ./internal/clientproto/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_fanout.json
+	$(GO) test -run xxx -bench 'Obs' -benchmem ./internal/metrics/ \
+		| $(GO) run ./cmd/bench2json -o BENCH_obs.json
 	$(MAKE) chaos
 
 # The torture suite: every chaos scenario at CI scale, with the invariant

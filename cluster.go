@@ -39,31 +39,34 @@ type cloud struct {
 type notifier struct{ c *cloud }
 
 // Notify implements core.Notifier.
-func (n notifier) Notify(client, channelURL string, version uint64, diff string) {
+func (n notifier) Notify(client, channelURL string, version uint64, diff string, at time.Time) {
 	n.c.mu.Lock()
 	cb := n.c.callbacks[client]
 	n.c.mu.Unlock()
+	if at.IsZero() {
+		at = n.c.clk.Now()
+	}
 	if cb != nil {
 		cb(Notification{
 			Client:  client,
 			Channel: channelURL,
 			Version: version,
 			Diff:    diff,
-			At:      n.c.clk.Now(),
+			At:      at,
 		})
 	}
 }
 
 // NotifyBatch implements core.Notifier: callback dispatch has no shared
 // encode to amortize, so a batch is the per-client path in a loop.
-func (n notifier) NotifyBatch(clients []string, channelURL string, version uint64, diff string) {
+func (n notifier) NotifyBatch(clients []string, channelURL string, version uint64, diff string, at time.Time) {
 	for _, c := range clients {
-		n.Notify(c, channelURL, version, diff)
+		n.Notify(c, channelURL, version, diff, at)
 	}
 }
 
 // NotifyCount implements core.Notifier (unused: clusters track clients).
-func (n notifier) NotifyCount(channelURL string, version uint64, count int) {}
+func (n notifier) NotifyCount(channelURL string, version uint64, count int, at time.Time) {}
 
 // buildCloud assembles nodes over the given simulator-backed network.
 func buildCloud(opts Options, sim *eventsim.Sim, net *simnet.Network, clk clock.Clock) *cloud {

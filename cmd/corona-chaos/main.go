@@ -82,6 +82,10 @@ func main() {
 			"peak owner %d notifies, wall %v\n",
 			res.Converged, res.ConvergeTime, res.Deliveries, res.Duplicates,
 			res.LostChannels, res.PeakOwnerNotifies, res.WallTime.Round(res.WallTime/100+1))
+		if res.DeliveryLatencyP50 > 0 {
+			fmt.Printf("delivery latency (detection to client, virtual time): p50=%v p99=%v\n",
+				res.DeliveryLatencyP50, res.DeliveryLatencyP99)
+		}
 		for _, v := range res.Violations {
 			fmt.Printf("  violation %v\n", v)
 		}

@@ -37,7 +37,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -64,7 +64,10 @@ func main() {
 	nodes := flag.Int("n", 0, "node count hint for the optimizer (0 = estimate)")
 	dataDir := flag.String("data", "", "data directory for durable channel state (empty = in-memory only)")
 	delegateThreshold := flag.Int("delegate-threshold", 0, "subscriber count at which an owner shards a channel's fan-out across delegates (0 = disabled)")
+	adminBind := flag.String("admin", "", "HTTP admin-plane listen address serving /metrics, /healthz, /readyz, /channels, /debug/pprof (empty = disabled)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	cfg := corona.LiveConfig{
 		Bind:                *bind,
@@ -76,16 +79,27 @@ func main() {
 		DataDir:             *dataDir,
 		ClientBind:          *clientBind,
 		DelegateThreshold:   *delegateThreshold,
+		AdminBind:           *adminBind,
 	}
 	if *seedNode != "" {
 		cfg.Seeds = []string{*seedNode}
 	}
+	joinMode := "bootstrap"
+	if len(cfg.Seeds) > 0 {
+		joinMode = "join"
+	}
+	logger.Info("starting",
+		"bind", *bind, "client", *clientBind, "im", *imBind, "admin", *adminBind,
+		"scheme", fmt.Sprint(cfg.Scheme), "poll", cfg.PollInterval,
+		"data_dir", *dataDir, "mode", joinMode, "seeds", cfg.Seeds)
 	node, err := corona.StartLiveNode(cfg)
 	if err != nil {
-		log.Fatalf("starting node: %v", err)
+		logger.Error("start failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("corona-node: overlay at %s, client at %s, IM at %s, scheme %s",
-		node.Addr(), node.ClientAddr(), *imBind, cfg.Scheme)
+	logger.Info("started",
+		"overlay", node.Addr(), "client", node.ClientAddr(), "admin", node.AdminAddr(),
+		"im", *imBind, "scheme", fmt.Sprint(cfg.Scheme), "mode", joinMode)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -93,14 +107,15 @@ func main() {
 	if *imBind == "" {
 		// Client-protocol only: block until a shutdown signal.
 		sig := <-sigs
-		shutdown(node, sig)
+		shutdown(logger, node, sig)
 		return
 	}
 
 	ln, err := net.Listen("tcp", *imBind)
 	if err != nil {
 		node.Close()
-		log.Fatalf("IM listener: %v", err)
+		logger.Error("IM listener failed", "bind", *imBind, "err", err)
+		os.Exit(1)
 	}
 
 	// A blocking Accept loop never reaches a defer, so shutdown runs off
@@ -123,20 +138,23 @@ func main() {
 			if shuttingDown.Load() {
 				break
 			}
-			log.Fatalf("accept: %v", err)
+			logger.Error("accept failed", "err", err)
+			os.Exit(1)
 		}
 		go serveIM(conn, node)
 	}
-	shutdown(node, sig)
+	shutdown(logger, node, sig)
 }
 
 // shutdown is the single graceful-exit path: stop the node (flushing
 // the durable store) and report.
-func shutdown(node *corona.LiveNode, sig os.Signal) {
-	log.Printf("corona-node: %v, shutting down", sig)
+func shutdown(logger *slog.Logger, node *corona.LiveNode, sig os.Signal) {
+	logger.Info("shutting down", "reason", fmt.Sprint(sig))
 	if err := node.Close(); err != nil {
-		log.Fatalf("shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
+		os.Exit(1)
 	}
+	logger.Info("stopped")
 }
 
 func parseScheme(s string) corona.Scheme {

@@ -157,6 +157,9 @@ func Execute(sc Scenario, cfg Config) Result {
 	}
 	start := time.Now()
 	r.H = experiments.NewHarness(scale, opts)
+	// Virtual-clock latency stamps: deliveries carrying a detection
+	// timestamp feed the end-to-end percentiles in the report.
+	r.Log.Now = r.H.Sim.Now
 	r.H.Net.SetByteAccounting(false)
 	r.rng = r.H.Sim.RNG("chaos/" + sc.Name)
 	r.lost = make(map[string]bool)
@@ -230,6 +233,11 @@ func Execute(sc Scenario, cfg Config) Result {
 		Duplicates:     r.Log.Duplicates(),
 		LostChannels:   len(r.lost),
 		WallTime:       time.Since(start),
+	}
+	if p50, ok := r.Log.LatencyQuantile(0.5); ok {
+		p99, _ := r.Log.LatencyQuantile(0.99)
+		res.DeliveryLatencyP50 = time.Duration(p50 * float64(time.Second))
+		res.DeliveryLatencyP99 = time.Duration(p99 * float64(time.Second))
 	}
 	for _, i := range r.H.LiveNodes() {
 		s := r.H.Nodes[i].Stats()

@@ -3,6 +3,9 @@ package chaos
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"corona/internal/metrics"
 )
 
 type deliveryKey struct {
@@ -38,11 +41,36 @@ type DeliveryLog struct {
 	windowSeen     map[deliveryKey]int
 	windowDups     uint64
 	windowFirstDup string
+
+	// Now, when set, is the harness's (virtual) clock; each delivery
+	// carrying a detection timestamp then records Now()-at into latency,
+	// so chaos runs report end-to-end delivery percentiles.
+	Now     func() time.Time
+	latency *metrics.Histogram
 }
 
 // NewDeliveryLog creates an empty log.
 func NewDeliveryLog() *DeliveryLog {
-	return &DeliveryLog{seen: make(map[deliveryKey]int)}
+	return &DeliveryLog{
+		seen:    make(map[deliveryKey]int),
+		latency: metrics.NewRegistry().Histogram("chaos_delivery_latency_seconds", "detection to delivery", metrics.DurationBuckets),
+	}
+}
+
+func (d *DeliveryLog) observe(at time.Time) {
+	if d.Now == nil || at.IsZero() {
+		return
+	}
+	d.latency.Observe(d.Now().Sub(at).Seconds())
+}
+
+// LatencyQuantile estimates the q-quantile of detection-to-delivery
+// latency across the run; (0, false) with no timestamped deliveries.
+func (d *DeliveryLog) LatencyQuantile(q float64) (float64, bool) {
+	if d.latency.Count() == 0 {
+		return 0, false
+	}
+	return d.latency.Quantile(q), true
 }
 
 func (d *DeliveryLog) record(client, url string, version uint64) {
@@ -68,24 +96,26 @@ func (d *DeliveryLog) record(client, url string, version uint64) {
 }
 
 // Notify implements core.Notifier.
-func (d *DeliveryLog) Notify(client, url string, version uint64, diff string) {
+func (d *DeliveryLog) Notify(client, url string, version uint64, diff string, at time.Time) {
 	d.mu.Lock()
 	d.record(client, url, version)
+	d.observe(at)
 	d.mu.Unlock()
 }
 
 // NotifyBatch implements core.Notifier.
-func (d *DeliveryLog) NotifyBatch(clients []string, url string, version uint64, diff string) {
+func (d *DeliveryLog) NotifyBatch(clients []string, url string, version uint64, diff string, at time.Time) {
 	d.mu.Lock()
 	for _, c := range clients {
 		d.record(c, url, version)
+		d.observe(at)
 	}
 	d.mu.Unlock()
 }
 
 // NotifyCount implements core.Notifier. Chaos runs use identity mode, so
 // counting-mode notifications only bump the total.
-func (d *DeliveryLog) NotifyCount(url string, version uint64, n int) {
+func (d *DeliveryLog) NotifyCount(url string, version uint64, n int, at time.Time) {
 	d.mu.Lock()
 	d.total += uint64(n)
 	d.mu.Unlock()

@@ -22,6 +22,11 @@ type Result struct {
 	Violations        []Violation   `json:"violations,omitempty"`
 	Deliveries        uint64        `json:"deliveries"`
 	Duplicates        uint64        `json:"duplicates"`
+	// DeliveryLatencyP50/P99 are detection-to-delivery percentiles in
+	// virtual time, estimated from the delivery log's histogram; zero
+	// when no delivery carried a detection timestamp.
+	DeliveryLatencyP50 time.Duration `json:"delivery_latency_p50_ns,omitempty"`
+	DeliveryLatencyP99 time.Duration `json:"delivery_latency_p99_ns,omitempty"`
 	LostChannels      int           `json:"lost_channels"`
 	PeakOwnerNotifies uint64        `json:"peak_owner_notifies"`
 	PeakOwnerMsgs     uint64        `json:"peak_owner_msgs"`
@@ -71,6 +76,8 @@ func WriteReport(w io.Writer, scaleName string, seed int64, results []Result) er
 				"invariant_violations": float64(len(res.Violations)),
 				"deliveries":           float64(res.Deliveries),
 				"dup_deliveries":       float64(res.Duplicates),
+				"delivery_p50_s":       res.DeliveryLatencyP50.Seconds(),
+				"delivery_p99_s":       res.DeliveryLatencyP99.Seconds(),
 				"lost_channels":        float64(res.LostChannels),
 				"peak_owner_notifies":  float64(res.PeakOwnerNotifies),
 				"peak_owner_msgs":      float64(res.PeakOwnerMsgs),

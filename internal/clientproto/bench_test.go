@@ -63,7 +63,7 @@ func BenchmarkClientGatewayFanout(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				v := uint64(i + 1)
 				for _, h := range handles {
-					g.Notify(h, url, v, benchDiff)
+					g.Notify(h, url, v, benchDiff, time.Time{})
 				}
 			}
 			b.StopTimer()

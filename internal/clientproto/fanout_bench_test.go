@@ -3,6 +3,7 @@ package clientproto
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"corona/internal/clock"
 	"corona/internal/im"
@@ -49,7 +50,7 @@ func BenchmarkFanoutNotifyBatch(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				g.NotifyBatch(handles, url, uint64(i+1), benchDiff)
+				g.NotifyBatch(handles, url, uint64(i+1), benchDiff, time.Time{})
 				for _, out := range outs {
 					sf := (<-out).(*sharedFrame)
 					sink += len(sf.buf)

@@ -89,6 +89,11 @@ type Server struct {
 	serving sync.WaitGroup
 
 	notifyDropped atomic.Uint64
+
+	// notifyLatency, when set, observes the time from an update's
+	// detection timestamp to the notification frame entering a client's
+	// outbound queue — the last server-side stage of the hot path.
+	notifyLatency atomic.Pointer[func(time.Duration)]
 }
 
 // Serve starts accepting connections from ln. Close stops the server and
@@ -110,6 +115,31 @@ func (s *Server) Addr() string { return s.listener.Addr().String() }
 // NotifyDropped returns how many notification frames were discarded
 // because a client's outbound queue was full.
 func (s *Server) NotifyDropped() uint64 { return s.notifyDropped.Load() }
+
+// Sessions returns the number of live logged-in sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// SetNotifyLatencyObserver installs a callback observing, per delivered
+// notification, the elapsed time between the update's detection
+// timestamp and the frame entering the client's outbound queue. The
+// admin plane wires it into the client_enqueue stage histogram.
+func (s *Server) SetNotifyLatencyObserver(obs func(time.Duration)) {
+	s.notifyLatency.Store(&obs)
+}
+
+// observeEnqueue records one enqueue-stage latency observation for a
+// notification stamped at detection time at.
+func (s *Server) observeEnqueue(at time.Time) {
+	p := s.notifyLatency.Load()
+	if p == nil || *p == nil || at.IsZero() {
+		return
+	}
+	(*p)(time.Since(at))
+}
 
 // Close shuts the listener, asks every live connection to finish, and
 // waits (bounded by closeDrainTimeout) for the per-connection writer
@@ -312,6 +342,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					}
 					select {
 					case out <- sf:
+						s.observeEnqueue(n.At)
 					default:
 						s.notifyDropped.Add(1)
 					}
@@ -320,6 +351,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				nf := &Notify{Channel: n.Channel, Version: n.Version, Diff: n.Diff, At: n.At}
 				select {
 				case out <- nf:
+					s.observeEnqueue(n.At)
 				default:
 					s.notifyDropped.Add(1)
 				}

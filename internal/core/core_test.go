@@ -64,14 +64,14 @@ func newRecordingNotifier() *recordingNotifier {
 	return &recordingNotifier{perUser: make(map[string][]uint64), counts: make(map[string]int)}
 }
 
-func (r *recordingNotifier) Notify(client, url string, version uint64, diff string) {
+func (r *recordingNotifier) Notify(client, url string, version uint64, diff string, at time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.perUser[client] = append(r.perUser[client], version)
 	r.counts[url]++
 }
 
-func (r *recordingNotifier) NotifyBatch(clients []string, url string, version uint64, diff string) {
+func (r *recordingNotifier) NotifyBatch(clients []string, url string, version uint64, diff string, at time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, c := range clients {
@@ -80,7 +80,7 @@ func (r *recordingNotifier) NotifyBatch(clients []string, url string, version ui
 	}
 }
 
-func (r *recordingNotifier) NotifyCount(url string, version uint64, count int) {
+func (r *recordingNotifier) NotifyCount(url string, version uint64, count int, at time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counts[url] += count

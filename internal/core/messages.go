@@ -72,6 +72,11 @@ type notifyMsg struct {
 	URL     string `json:"url"`
 	Version uint64 `json:"version"`
 	Diff    string `json:"diff,omitempty"`
+	// At is the detection timestamp (unix nanoseconds): when the polling
+	// node first observed this version. It rides every hop of the
+	// notification path unchanged, so each stage can report its latency
+	// since detection. Zero from nodes predating the field.
+	At int64 `json:"at,omitempty"`
 }
 
 // notifyBatchMsg carries one update for many clients from the channel
@@ -86,6 +91,8 @@ type notifyBatchMsg struct {
 	Version uint64   `json:"version"`
 	Diff    string   `json:"diff,omitempty"`
 	Clients []string `json:"clients"`
+	// At is the detection timestamp (unix nanoseconds); see notifyMsg.At.
+	At int64 `json:"at,omitempty"`
 }
 
 // replicateMsg carries owner state to the f closest neighbors so channel
@@ -254,6 +261,8 @@ type delegateNotifyMsg struct {
 	Version    uint64 `json:"version"`
 	Diff       string `json:"diff,omitempty"`
 	OwnerEpoch uint64 `json:"owner_epoch"`
+	// At is the detection timestamp (unix nanoseconds); see notifyMsg.At.
+	At int64 `json:"at,omitempty"`
 }
 
 // maintainMsg is the periodic exchange with routing-table contacts: the

@@ -76,7 +76,8 @@ func (m *notifyMsg) AppendBinary(dst []byte) ([]byte, error) {
 	dst = wirebin.AppendString(dst, m.Client)
 	dst = wirebin.AppendString(dst, m.URL)
 	dst = wirebin.AppendUvarint(dst, m.Version)
-	return wirebin.AppendString(dst, m.Diff), nil
+	dst = wirebin.AppendString(dst, m.Diff)
+	return wirebin.AppendUvarint(dst, uint64(m.At)), nil
 }
 
 // DecodeBinary implements the codec binary payload contract.
@@ -86,6 +87,7 @@ func (m *notifyMsg) DecodeBinary(src []byte) error {
 	m.URL = r.String()
 	m.Version = r.Uvarint()
 	m.Diff = r.String()
+	m.At = int64(r.Uvarint())
 	return wireErr("notify", r)
 }
 
@@ -100,7 +102,7 @@ func (m *notifyBatchMsg) AppendBinary(dst []byte) ([]byte, error) {
 	for _, c := range m.Clients {
 		dst = wirebin.AppendString(dst, c)
 	}
-	return dst, nil
+	return wirebin.AppendUvarint(dst, uint64(m.At)), nil
 }
 
 // DecodeBinary implements the codec binary payload contract.
@@ -118,6 +120,7 @@ func (m *notifyBatchMsg) DecodeBinary(src []byte) error {
 			m.Clients = append(m.Clients, r.String())
 		}
 	}
+	m.At = int64(r.Uvarint())
 	return wireErr("notifybatch", r)
 }
 
@@ -180,7 +183,8 @@ func (m *delegateNotifyMsg) AppendBinary(dst []byte) ([]byte, error) {
 	dst = wirebin.AppendString(dst, m.URL)
 	dst = wirebin.AppendUvarint(dst, m.Version)
 	dst = wirebin.AppendString(dst, m.Diff)
-	return wirebin.AppendUvarint(dst, m.OwnerEpoch), nil
+	dst = wirebin.AppendUvarint(dst, m.OwnerEpoch)
+	return wirebin.AppendUvarint(dst, uint64(m.At)), nil
 }
 
 // DecodeBinary implements the codec binary payload contract.
@@ -190,6 +194,7 @@ func (m *delegateNotifyMsg) DecodeBinary(src []byte) error {
 	m.Version = r.Uvarint()
 	m.Diff = r.String()
 	m.OwnerEpoch = r.Uvarint()
+	m.At = int64(r.Uvarint())
 	return wireErr("delegatenotify", r)
 }
 

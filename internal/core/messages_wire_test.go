@@ -145,13 +145,13 @@ var payloadGenerators = map[string]func(rng *rand.Rand) any{
 		return m
 	},
 	msgNotify: func(rng *rand.Rand) any {
-		return &notifyMsg{Client: randString(rng), URL: randString(rng), Version: rng.Uint64(), Diff: randString(rng)}
+		return &notifyMsg{Client: randString(rng), URL: randString(rng), Version: rng.Uint64(), Diff: randString(rng), At: rng.Int63() >> uint(rng.Intn(63))}
 	},
 	msgLease: func(rng *rand.Rand) any {
 		return &leaseMsg{URL: randString(rng), Client: randString(rng), Entry: randAddr(rng)}
 	},
 	msgNotifyBatch: func(rng *rand.Rand) any {
-		m := &notifyBatchMsg{URL: randString(rng), Version: rng.Uint64() >> uint(rng.Intn(64)), Diff: randString(rng)}
+		m := &notifyBatchMsg{URL: randString(rng), Version: rng.Uint64() >> uint(rng.Intn(64)), Diff: randString(rng), At: rng.Int63() >> uint(rng.Intn(63))}
 		for i, n := 0, rng.Intn(6); i < n; i++ {
 			m.Clients = append(m.Clients, randString(rng))
 		}
@@ -180,6 +180,7 @@ var payloadGenerators = map[string]func(rng *rand.Rand) any{
 			Version:    rng.Uint64() >> uint(rng.Intn(64)),
 			Diff:       randString(rng),
 			OwnerEpoch: rng.Uint64() >> uint(rng.Intn(64)),
+			At:         rng.Int63() >> uint(rng.Intn(63)),
 		}
 	},
 	msgLeaseExpire: func(rng *rand.Rand) any {
@@ -388,7 +389,7 @@ func FuzzBinaryPayloadDecode(f *testing.F) {
 		return b
 	}
 	f.Add(uint8(0), seedFor(&subscribeMsg{URL: "u", Client: "c", Entry: randAddr(rng)}))
-	f.Add(uint8(1), seedFor(&notifyMsg{Client: "c", URL: "u", Version: 3, Diff: "d"}))
+	f.Add(uint8(1), seedFor(&notifyMsg{Client: "c", URL: "u", Version: 3, Diff: "d", At: 12345}))
 	f.Add(uint8(2), seedFor(randPollCtl(rng)))
 	f.Add(uint8(3), seedFor(randUpdate(rng)))
 	f.Add(uint8(4), seedFor(&reportMsg{URL: "u", ObservedVersion: 9}))
@@ -397,7 +398,7 @@ func FuzzBinaryPayloadDecode(f *testing.F) {
 	f.Add(uint8(7), seedFor(payloadGenerators[msgReplicate](rng).(*replicateMsg)))
 	f.Add(uint8(9), seedFor(payloadGenerators[msgNotifyBatch](rng).(*notifyBatchMsg)))
 	f.Add(uint8(10), seedFor(payloadGenerators[msgDelegate](rng).(*delegateMsg)))
-	f.Add(uint8(11), seedFor(&delegateNotifyMsg{URL: "u", Version: 7, Diff: "d", OwnerEpoch: 2}))
+	f.Add(uint8(11), seedFor(&delegateNotifyMsg{URL: "u", Version: 7, Diff: "d", OwnerEpoch: 2, At: 12345}))
 	f.Add(uint8(6), []byte{})
 	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
 		target := fuzzTargets[int(which)%len(fuzzTargets)]

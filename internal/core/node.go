@@ -26,17 +26,20 @@ type Fetcher interface {
 // implements it (paper §3.5). In counting mode the node calls
 // NotifyCount instead of per-client Notify.
 type Notifier interface {
-	// Notify sends one client the diff for a channel update.
-	Notify(client, channelURL string, version uint64, diff string)
+	// Notify sends one client the diff for a channel update. at is the
+	// detection timestamp — when the polling node first observed the
+	// version — carried end to end so delivery latency is measurable;
+	// a zero at means the origin predates the timestamp.
+	Notify(client, channelURL string, version uint64, diff string, at time.Time)
 	// NotifyBatch sends every listed client the same diff for a channel
 	// update — one call per entry node per update, so the gateway can
 	// encode the notification once and share the bytes across clients.
 	// The clients slice is only valid for the duration of the call; the
 	// notifier must copy it if it retains the handles.
-	NotifyBatch(clients []string, channelURL string, version uint64, diff string)
+	NotifyBatch(clients []string, channelURL string, version uint64, diff string, at time.Time)
 	// NotifyCount reports that count subscribers of a channel were
 	// notified of version (counting mode, used at simulation scale).
-	NotifyCount(channelURL string, version uint64, count int)
+	NotifyCount(channelURL string, version uint64, count int, at time.Time)
 }
 
 // DetectionSink receives update-detection events for measurement. The
@@ -239,6 +242,11 @@ type Node struct {
 	// re-records itself on the next failed send.
 	recentFaults map[ids.ID]time.Time
 
+	// obsOwnerSend/obsEntryRecv are per-stage latency callbacks on the
+	// notification path (SetNotifyLatencyObservers); nil disables them.
+	obsOwnerSend func(time.Duration)
+	obsEntryRecv func(time.Duration)
+
 	stats Stats
 }
 
@@ -273,6 +281,20 @@ func (n *Node) SetNotifier(notify Notifier) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.notify = notify
+}
+
+// SetNotifyLatencyObservers installs per-stage latency callbacks on the
+// notification hot path, each invoked with the elapsed time since the
+// update's detection timestamp: ownerSend as the owner hands the update
+// to dissemination, entryRecv as an entry node receives a notify batch
+// for its attached clients. Either may be nil. The admin plane wires
+// these into latency histograms; a node without observers pays only a
+// nil check.
+func (n *Node) SetNotifyLatencyObservers(ownerSend, entryRecv func(time.Duration)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.obsOwnerSend = ownerSend
+	n.obsEntryRecv = entryRecv
 }
 
 // Self returns the node's overlay address.

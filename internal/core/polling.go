@@ -139,7 +139,7 @@ func (n *Node) updateDetected(ch *channelState, res fetchedUpdate) {
 
 	switch {
 	case isOwner:
-		n.notifySubscribers(ch, res.Version, diffText)
+		n.notifySubscribers(ch, res.Version, diffText, now)
 	case !res.HasTimestamp:
 		// Channels without reliable server timestamps get their version
 		// assigned by the primary owner; report the observation (§3.4).
@@ -230,9 +230,11 @@ func (n *Node) handleUpdate(msg pastry.Message) {
 		n.applyDiff(ch, p.Diff)
 	}
 	// Owners notify their subscribers when the update reaches them via
-	// dissemination rather than their own poll.
+	// dissemination rather than their own poll. Updates carry no
+	// detection timestamp, so the receipt time anchors the latency
+	// stages — the dissemination hop before it is not counted.
 	if isOwner && msg.From.ID != n.Self().ID {
-		n.notifySubscribers(ch, p.Version, p.Diff)
+		n.notifySubscribers(ch, p.Version, p.Diff, n.now())
 	}
 }
 
@@ -285,5 +287,5 @@ func (n *Node) handleReport(msg pastry.Message) {
 		URL: p.URL, Version: p.ObservedVersion, Diff: p.Diff, Bytes: p.Bytes,
 		OwnerEpoch: claimEpoch, Owner: n.Self(),
 	})
-	n.notifySubscribers(ch, p.ObservedVersion, p.Diff)
+	n.notifySubscribers(ch, p.ObservedVersion, p.Diff, n.now())
 }

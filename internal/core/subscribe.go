@@ -503,19 +503,20 @@ func (n *Node) handlePeerFault(dead pastry.Addr) {
 // — so the owner's per-update cost scales with distinct entry nodes, and
 // a sharded channel (delegate.go) sends one delegateNotify per delegate
 // plus batches for the owner's own slot, scaling with delegates alone.
-func (n *Node) notifySubscribers(ch *channelState, version uint64, diff string) {
+func (n *Node) notifySubscribers(ch *channelState, version uint64, diff string, at time.Time) {
 	n.mu.Lock()
 	notify := n.notify
 	if notify == nil {
 		n.mu.Unlock()
 		return
 	}
+	obsOwnerSend := n.obsOwnerSend
 	if n.cfg.CountSubscribersOnly {
 		count := ch.subs.count
 		n.stats.NotificationsSent += uint64(count)
 		n.mu.Unlock()
 		if count > 0 {
-			notify.NotifyCount(ch.url, version, count)
+			notify.NotifyCount(ch.url, version, count, at)
 		}
 		return
 	}
@@ -536,12 +537,15 @@ func (n *Node) notifySubscribers(ch *channelState, version uint64, diff string) 
 	n.stats.NotificationsSent += uint64(len(*targets))
 	n.stats.DelegateUpdates += uint64(len(delegates))
 	n.mu.Unlock()
+	if obsOwnerSend != nil && !at.IsZero() {
+		obsOwnerSend(n.now().Sub(at))
+	}
 	for _, d := range delegates {
 		n.overlay.SendDirect(d, msgDelegateNotify, &delegateNotifyMsg{
-			URL: ch.url, Version: version, Diff: diff, OwnerEpoch: epoch,
+			URL: ch.url, Version: version, Diff: diff, OwnerEpoch: epoch, At: atNanos(at),
 		})
 	}
-	batches, failed := n.sendEntryBatches(notify, ch.url, version, diff, *targets)
+	batches, failed := n.sendEntryBatches(notify, ch.url, version, diff, at, *targets)
 	n.putTargetScratch(targets)
 	if batches > 0 {
 		n.mu.Lock()
@@ -591,9 +595,14 @@ func (n *Node) handleNotify(msg pastry.Message) {
 	}
 	n.mu.Lock()
 	notify := n.notify
+	obs := n.obsEntryRecv
 	n.mu.Unlock()
+	at := atTime(p.At)
+	if obs != nil && !at.IsZero() {
+		obs(n.now().Sub(at))
+	}
 	if notify != nil {
-		notify.Notify(p.Client, p.URL, p.Version, p.Diff)
+		notify.Notify(p.Client, p.URL, p.Version, p.Diff, at)
 	}
 }
 
@@ -607,11 +616,32 @@ func (n *Node) handleNotifyBatch(msg pastry.Message) {
 	}
 	n.mu.Lock()
 	notify := n.notify
+	obs := n.obsEntryRecv
 	n.mu.Unlock()
+	at := atTime(p.At)
+	if obs != nil && !at.IsZero() {
+		obs(n.now().Sub(at))
+	}
 	if notify != nil {
-		notify.NotifyBatch(p.Clients, p.URL, p.Version, p.Diff)
+		notify.NotifyBatch(p.Clients, p.URL, p.Version, p.Diff, at)
 	}
 }
 
 // now returns the node's clock time; extracted for brevity.
 func (n *Node) now() time.Time { return n.clk.Now() }
+
+// atNanos and atTime convert the detection timestamp between its wire
+// form (unix nanoseconds, zero = absent) and time.Time.
+func atNanos(at time.Time) int64 {
+	if at.IsZero() {
+		return 0
+	}
+	return at.UnixNano()
+}
+
+func atTime(nanos int64) time.Time {
+	if nanos == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, nanos)
+}

@@ -97,11 +97,15 @@ type Options struct {
 // countingNotifier is the default sink for notifications.
 type countingNotifier struct{ count uint64 }
 
-func (c *countingNotifier) Notify(client, url string, version uint64, diff string) { c.count++ }
-func (c *countingNotifier) NotifyBatch(clients []string, url string, version uint64, diff string) {
+func (c *countingNotifier) Notify(client, url string, version uint64, diff string, at time.Time) {
+	c.count++
+}
+func (c *countingNotifier) NotifyBatch(clients []string, url string, version uint64, diff string, at time.Time) {
 	c.count += uint64(len(clients))
 }
-func (c *countingNotifier) NotifyCount(url string, version uint64, n int) { c.count += uint64(n) }
+func (c *countingNotifier) NotifyCount(url string, version uint64, n int, at time.Time) {
+	c.count += uint64(n)
+}
 
 // legacyOrigin mirrors a workload onto a second origin with identical
 // update processes, so Corona and legacy load accounting stay separate

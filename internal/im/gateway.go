@@ -30,7 +30,9 @@ type Notification struct {
 	Version uint64
 	// Diff is the delta-encoded change (see internal/diffengine).
 	Diff string
-	// At is the gateway-side emission time.
+	// At is the update's detection timestamp when the notifying node
+	// carried one, else the gateway-side emission time — either way the
+	// best anchor the delivery layer has for end-to-end latency.
 	At time.Time
 	// Shared, when non-nil, is a per-batch cell the delivery layer may use
 	// to encode the notification once and reuse the result for every
@@ -199,13 +201,16 @@ func (g *Gateway) reply(to, body string) {
 // Notify implements the Corona node's Notifier. An attached client gets
 // the structured notification immediately; everyone else gets the legacy
 // IM rendering through the pacing queue.
-func (g *Gateway) Notify(client, channelURL string, version uint64, diff string) {
+func (g *Gateway) Notify(client, channelURL string, version uint64, diff string, at time.Time) {
+	if at.IsZero() {
+		at = g.clk.Now()
+	}
 	n := Notification{
 		Client:  client,
 		Channel: channelURL,
 		Version: version,
 		Diff:    diff,
-		At:      g.clk.Now(),
+		At:      at,
 	}
 	g.mu.Lock()
 	g.notifyCounts[channelURL]++
@@ -229,15 +234,18 @@ func (g *Gateway) Notify(client, channelURL string, version uint64, diff string)
 // server encodes the frame once and hands the same bytes to every
 // connection; unattached clients fall back to the paced legacy IM queue,
 // with the text body rendered once for the whole batch.
-func (g *Gateway) NotifyBatch(clients []string, channelURL string, version uint64, diff string) {
+func (g *Gateway) NotifyBatch(clients []string, channelURL string, version uint64, diff string, at time.Time) {
 	if len(clients) == 0 {
 		return
+	}
+	if at.IsZero() {
+		at = g.clk.Now()
 	}
 	n := Notification{
 		Channel: channelURL,
 		Version: version,
 		Diff:    diff,
-		At:      g.clk.Now(),
+		At:      at,
 		Shared:  &Shared{},
 	}
 	var delivers []Deliverer
@@ -276,7 +284,7 @@ func (g *Gateway) NotifyBatch(clients []string, channelURL string, version uint6
 }
 
 // NotifyCount implements counting-mode notification accounting.
-func (g *Gateway) NotifyCount(channelURL string, version uint64, count int) {
+func (g *Gateway) NotifyCount(channelURL string, version uint64, count int, at time.Time) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.notifyCounts[channelURL] += uint64(count)
@@ -320,6 +328,29 @@ func (g *Gateway) Notified(url string) uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.notifyCounts[url]
+}
+
+// Counters is one coherent snapshot of the gateway's delivery counters.
+type Counters struct {
+	Undeliverable uint64
+	NotifyBatches uint64
+	BatchClients  uint64
+	QueueDepth    int
+}
+
+// CounterSnapshot reads every delivery counter under one lock
+// acquisition, so callers assembling stats (the admin plane's /metrics,
+// ServerInfo) never publish a torn view — Undeliverable from before a
+// batch landed next to BatchClients from after it.
+func (g *Gateway) CounterSnapshot() Counters {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Counters{
+		Undeliverable: g.undeliverable,
+		NotifyBatches: g.notifyBatches,
+		BatchClients:  g.batchClients,
+		QueueDepth:    len(g.queue),
+	}
 }
 
 // Undeliverable returns how many notifications found neither an attached

@@ -1,0 +1,73 @@
+// Registry hot-path and scrape-cost benchmarks, recorded in
+// BENCH_obs.json (make bench). The numbers to watch: counter increment
+// and histogram observe must stay single-digit nanoseconds — negligible
+// next to the ~30ns client-edge notify encode — and a full /metrics
+// render at 1k series must stay far below any sane scrape interval.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_ops_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_labeled_total", "x", "peer")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("10.0.0.1:9001").Inc()
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_latency_seconds", "x", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+// BenchmarkObsRender1kSeries renders a registry holding ~1000 series
+// (mixed counters, gauges, and histogram buckets) to io.Discard — the
+// marginal cost a scrape adds to a serving node.
+func BenchmarkObsRender1kSeries(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 300; i++ {
+		c := r.Counter(fmt.Sprintf("bench_c%d_total", i), "series")
+		c.Add(uint64(i) * 17)
+	}
+	for i := 0; i < 300; i++ {
+		g := r.Gauge(fmt.Sprintf("bench_g%d", i), "series")
+		g.Set(float64(i) * 1.5)
+	}
+	// 20 histograms x 16 buckets + sum + count + 40 labeled gauges ≈ 400 series.
+	for i := 0; i < 20; i++ {
+		h := r.Histogram(fmt.Sprintf("bench_h%d_seconds", i), "series", DurationBuckets)
+		for j := 0; j < 64; j++ {
+			h.Observe(time.Duration(j * int(time.Millisecond)).Seconds())
+		}
+	}
+	v := r.GaugeVec("bench_peer_depth", "series", "peer")
+	for i := 0; i < 40; i++ {
+		v.With(fmt.Sprintf("10.0.0.%d:9001", i)).Set(float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

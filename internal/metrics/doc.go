@@ -1,0 +1,53 @@
+// Package metrics is Corona's dependency-free metrics registry and
+// Prometheus exposition encoder — the admin plane's /metrics endpoint is
+// a Registry rendered through WriteText.
+//
+// # Instruments
+//
+// Three instrument types, each available unlabeled or as a labeled
+// family (Vec) whose children are created on first With call:
+//
+//   - Counter: monotonically non-decreasing uint64. Inc/Add for direct
+//     instrumentation; Set for mirroring an already-cumulative total
+//     from another subsystem's snapshot (the caller owns monotonicity).
+//   - Gauge: float64 that moves both ways (Set/Add).
+//   - Histogram: fixed ascending bucket upper bounds plus an implicit
+//     +Inf overflow bucket. Observe is lock-free: one binary search and
+//     two atomic ops (~tens of ns — see BENCH_obs.json). SetSnapshot
+//     re-exposes a histogram another subsystem maintains in native
+//     bucket form (the store's commit-latency array); Quantile gives a
+//     linear-interpolation percentile estimate for reports.
+//
+// Registration panics on duplicate or malformed names: metric wiring is
+// startup code and a bad name is a bug, not a runtime condition. After
+// registration every instrument is safe for concurrent use.
+//
+// Snapshot-fed sources register an OnGather hook, run at the start of
+// every WriteText call, to refresh their instruments from one coherent
+// Stats() snapshot — a scrape never observes half-updated families from
+// a single source.
+//
+// # Exposition subset
+//
+// WriteText emits text format version 0.0.4, restricted to the subset
+// Prometheus-compatible scrapers require:
+//
+//   - one "# HELP name text" and "# TYPE name counter|gauge|histogram"
+//     pair per family, immediately followed by its samples;
+//   - counter and gauge samples as "name{label="value",...} value";
+//   - histograms as cumulative "name_bucket{...,le="bound"}" lines
+//     (ending in le="+Inf"), plus "name_sum" and "name_count";
+//   - label values escaped per the spec (backslash, double quote,
+//     newline), HELP text escaped (backslash, newline);
+//   - floats in shortest round-trip form, +Inf/-Inf/NaN spelled out.
+//
+// Deliberately unsupported: timestamps on samples, untyped metrics,
+// summaries (quantile sketches — histograms cover the need), the
+// OpenMetrics superset (exemplars, _created lines), and protobuf
+// exposition. Content-Type for HTTP responses is
+// "text/plain; version=0.0.4; charset=utf-8".
+//
+// Families render in registration order and children in creation order,
+// so consecutive scrapes diff cleanly; Prometheus itself imposes no
+// ordering requirement beyond HELP/TYPE adjacency.
+package metrics

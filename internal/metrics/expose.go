@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type for the text exposition format
+// WriteText produces.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family, then one sample line per child (per bucket, for histograms).
+// OnGather hooks run first, so snapshot-fed metrics are fresh.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.onGather...)
+	families := append([]*family{}, r.families...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	var b strings.Builder
+	for _, f := range families {
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+		for _, c := range f.snapshotChildren() {
+			switch m := c.metric.(type) {
+			case *Counter:
+				writeSample(&b, f.name, "", f.labels, c.labelValues, "", "", formatUint(m.Value()))
+			case *Gauge:
+				writeSample(&b, f.name, "", f.labels, c.labelValues, "", "", formatFloat(m.Value()))
+			case *Histogram:
+				counts, sum, total := m.Snapshot()
+				var cum uint64
+				for i, bound := range f.bounds {
+					cum += counts[i]
+					writeSample(&b, f.name, "_bucket", f.labels, c.labelValues, "le", formatFloat(bound), formatUint(cum))
+				}
+				writeSample(&b, f.name, "_bucket", f.labels, c.labelValues, "le", "+Inf", formatUint(total))
+				writeSample(&b, f.name, "_sum", f.labels, c.labelValues, "", "", formatFloat(sum))
+				writeSample(&b, f.name, "_count", f.labels, c.labelValues, "", "", formatUint(total))
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSample appends one sample line: name[suffix]{labels...} value.
+func writeSample(b *strings.Builder, name, suffix string, labels, values []string, extraLabel, extraValue, sample string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 || extraLabel != "" {
+		b.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraLabel != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraLabel)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extraValue))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(sample)
+	b.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders like Prometheus clients: shortest round-trip
+// representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in # HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, double quote, and newline in label
+// values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,387 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's type as exposed in the # TYPE line.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration happens at startup (duplicate or
+// malformed registrations panic — they are wiring bugs, not runtime
+// conditions); instruments are then safe for concurrent use and cost an
+// atomic op or two on the hot path.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+	onGather []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// OnGather registers a hook run at the start of every WriteText call,
+// before any family is encoded. Snapshot-fed sources (a node's Stats()
+// seam) use it to refresh their gauges and counters so a scrape always
+// reads one coherent snapshot per source.
+func (r *Registry) OnGather(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onGather = append(r.onGather, f)
+}
+
+// family is one named metric with zero or more label dimensions. The
+// unlabeled case is a single child keyed by the empty string.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+	bounds []float64 // histogram families only
+
+	mu       sync.Mutex
+	order    []string // child insertion order, for stable exposition
+	children map[string]child
+}
+
+type child struct {
+	labelValues []string
+	metric      any // *Counter, *Gauge, or *Histogram
+}
+
+func (r *Registry) register(name, help string, kind Kind, labels []string, bounds []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, name))
+		}
+	}
+	if kind == KindHistogram {
+		if len(bounds) == 0 {
+			panic(fmt.Sprintf("metrics: histogram %s needs at least one bucket bound", name))
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("metrics: histogram %s bucket bounds not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %s", name))
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   labels,
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]child),
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// childKey joins label values with an unprintable separator; label
+// values themselves may contain anything.
+func childKey(values []string) string {
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += "\x00"
+		}
+		key += v
+	}
+	return key
+}
+
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := childKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = child{labelValues: append([]string(nil), values...), metric: make()}
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c.metric
+}
+
+// reset drops every child (a Vec whose members come and go — per-peer
+// gauges — clears and repopulates each scrape).
+func (f *family) reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.children = make(map[string]child)
+	f.order = nil
+}
+
+// snapshotChildren copies the child list for encoding without holding
+// the family lock across writes.
+func (f *family) snapshotChildren() []child {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]child, 0, len(f.order))
+	for _, key := range f.order {
+		out = append(out, f.children[key])
+	}
+	return out
+}
+
+// --- Counter ---------------------------------------------------------------
+
+// Counter is a monotonically non-decreasing integer metric. Snapshot-fed
+// counters (values copied from another subsystem's cumulative totals)
+// use Set; direct instrumentation uses Inc/Add.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Set overwrites the value. The caller owns monotonicity: it is meant
+// for mirroring an already-cumulative total from another subsystem's
+// snapshot, not for general use.
+func (c *Counter) Set(v uint64) { c.v.Store(v) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter registers (and returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, KindCounter, nil, nil)
+	return f.child(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// CounterVec is a counter family with label dimensions.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the child counter for the given label values, creating
+// it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// Reset drops every child; the next With recreates them. Use for label
+// sets whose members churn (per-peer metrics).
+func (v *CounterVec) Reset() { v.f.reset() }
+
+// --- Gauge -----------------------------------------------------------------
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (atomic, CAS loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge registers (and returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, KindGauge, nil, nil)
+	return f.child(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec is a gauge family with label dimensions.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Reset drops every child; the next With recreates them.
+func (v *GaugeVec) Reset() { v.f.reset() }
+
+// --- Histogram -------------------------------------------------------------
+
+// Histogram is a fixed-bucket distribution: bounds are the inclusive
+// upper limits of each bucket, with an implicit +Inf overflow bucket.
+// Observe is lock-free (one binary search, two atomic ops).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow
+	sum    atomic.Uint64   // float64 bits, CAS-added
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// SetSnapshot overwrites the per-bucket counts (and sum) wholesale,
+// for re-exposing a histogram another subsystem already maintains in
+// native bucket form (the store's commit-latency array). counts must
+// have len(bounds)+1 entries, the last the overflow bucket.
+func (h *Histogram) SetSnapshot(counts []uint64, sum float64) {
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("metrics: SetSnapshot with %d buckets, histogram has %d", len(counts), len(h.counts)))
+	}
+	for i, c := range counts {
+		h.counts[i].Store(c)
+	}
+	h.sum.Store(math.Float64bits(sum))
+}
+
+// Snapshot returns per-bucket counts (overflow last), the value sum,
+// and the total observation count.
+func (h *Histogram) Snapshot() (counts []uint64, sum float64, total uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, math.Float64frombits(h.sum.Load()), total
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket the rank falls in; the overflow
+// bucket reports its lower bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _, total := h.Snapshot()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // overflow: report the last bound
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - seen) / float64(c)
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		seen += float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Histogram registers (and returns) an unlabeled histogram with the
+// given ascending bucket upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, KindHistogram, nil, bounds)
+	return f.child(nil, func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family with label dimensions; every child
+// shares the family's bucket bounds.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, KindHistogram, labels, bounds)}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() any { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+// DurationBuckets are default latency bucket bounds in seconds, 1ms to
+// 60s — wide enough for the notification hot path from in-process
+// dissemination to multi-minute polling tails (the +Inf overflow
+// catches the rest).
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}

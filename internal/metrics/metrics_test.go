@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "operations")
+	g := r.Gauge("test_depth", "queue depth")
+	c.Add(41)
+	c.Inc()
+	g.Set(2.5)
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total operations\n",
+		"# TYPE test_ops_total counter\n",
+		"test_ops_total 42\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 2.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_drops_total", "drops by peer", "peer")
+	v.With("10.0.0.1:9001").Add(3)
+	v.With(`weird"peer\n`).Inc()
+
+	out := render(t, r)
+	if !strings.Contains(out, `test_drops_total{peer="10.0.0.1:9001"} 3`) {
+		t.Errorf("labeled sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, `test_drops_total{peer="weird\"peer\\n"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+
+	// Same label values return the same child.
+	if v.With("10.0.0.1:9001").Value() != 3 {
+		t.Error("With did not return the existing child")
+	}
+	v.Reset()
+	if v.With("10.0.0.1:9001").Value() != 0 {
+		t.Error("Reset did not clear children")
+	}
+}
+
+func TestHistogramObserveAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+
+	counts, sum, total := h.Snapshot()
+	if want := []uint64{2, 1, 1, 1}; len(counts) != 4 || counts[0] != want[0] || counts[1] != want[1] || counts[2] != want[2] || counts[3] != want[3] {
+		t.Fatalf("bucket counts = %v, want %v", counts, want)
+	}
+	if total != 5 || math.Abs(sum-102.6) > 1e-9 {
+		t.Fatalf("total=%d sum=%g", total, sum)
+	}
+
+	out := render(t, r)
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 2`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="10"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		`test_latency_seconds_sum 102.6`,
+		`test_latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryValueIsInclusive(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	counts, _, _ := h.Snapshot()
+	if counts[0] != 1 {
+		t.Fatalf("boundary observation landed in bucket %v", counts)
+	}
+}
+
+func TestHistogramSetSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_commit_seconds", "commit latency", []float64{0.001, 0.01})
+	h.SetSnapshot([]uint64{5, 2, 1}, 0.25)
+	counts, sum, total := h.Snapshot()
+	if counts[0] != 5 || counts[2] != 1 || total != 8 || sum != 0.25 {
+		t.Fatalf("snapshot = %v sum=%g total=%d", counts, sum, total)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	// 100 observations uniform in (0,10], 100 in (10,20].
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 10 {
+		t.Errorf("p50 = %g, want within first bucket", q)
+	}
+	if q := h.Quantile(0.99); q <= 10 || q > 20 {
+		t.Errorf("p99 = %g, want within second bucket", q)
+	}
+	empty := newHistogram([]float64{1})
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", q)
+	}
+}
+
+func TestOnGatherRunsBeforeEncoding(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_fresh", "refreshed at scrape")
+	r.OnGather(func() { g.Set(7) })
+	if out := render(t, r); !strings.Contains(out, "test_fresh 7\n") {
+		t.Errorf("OnGather hook did not run before encoding:\n%s", out)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("test_dup", "x")
+	expectPanic("duplicate", func() { r.Gauge("test_dup", "y") })
+	expectPanic("bad name", func() { r.Counter("bad-name", "x") })
+	expectPanic("bad label", func() { r.CounterVec("test_l", "x", "bad-label") })
+	expectPanic("empty bounds", func() { r.Histogram("test_h", "x", nil) })
+	expectPanic("unsorted bounds", func() { r.Histogram("test_h2", "x", []float64{2, 1}) })
+	expectPanic("label arity", func() {
+		v := r.CounterVec("test_arity", "x", "a", "b")
+		v.With("only-one")
+	})
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "x")
+	h := r.Histogram("test_conc_seconds", "x", []float64{0.5})
+	v := r.CounterVec("test_conc_labeled", "x", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.25)
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if v.With("a").Value() != 8000 {
+		t.Errorf("vec counter = %d, want 8000", v.With("a").Value())
+	}
+}

@@ -77,8 +77,15 @@ type Transport struct {
 	// their queues or on reconnect backoff.
 	closing chan struct{}
 
-	bytesSent atomic.Uint64
-	bytesRecv atomic.Uint64
+	// wireMu guards the byte-counter pair so WireBytes reads both sides
+	// of one coherent total — two separate atomics let a scrape observe
+	// a sent count from after a frame next to a received count from
+	// before its response, a torn pair that breaks sent/received ratio
+	// dashboards. Counter bumps are per-frame (alongside a syscall), so
+	// the mutex adds nothing measurable.
+	wireMu    sync.Mutex
+	bytesSent uint64
+	bytesRecv uint64
 	dropCount atomic.Uint64
 
 	// rng drives reconnect-backoff jitter; seeded per transport so
@@ -156,9 +163,24 @@ func (t *Transport) Addr() string {
 }
 
 // WireBytes returns total bytes written to and read from the network,
-// implementing pastry.ByteCounter.
+// implementing pastry.ByteCounter. The pair is read under one lock, so
+// callers never see a torn sent/received combination.
 func (t *Transport) WireBytes() (sent, received uint64) {
-	return t.bytesSent.Load(), t.bytesRecv.Load()
+	t.wireMu.Lock()
+	defer t.wireMu.Unlock()
+	return t.bytesSent, t.bytesRecv
+}
+
+func (t *Transport) addBytesSent(n uint64) {
+	t.wireMu.Lock()
+	t.bytesSent += n
+	t.wireMu.Unlock()
+}
+
+func (t *Transport) addBytesRecv(n uint64) {
+	t.wireMu.Lock()
+	t.bytesRecv += n
+	t.wireMu.Unlock()
 }
 
 // retryPolicy is the resolved dial-retry configuration, shared by
@@ -326,7 +348,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 	if c == nil {
 		return // unknown codec; drop the connection
 	}
-	t.bytesRecv.Add(1)
+	t.addBytesRecv(1)
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
@@ -340,7 +362,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(br, body); err != nil {
 			return
 		}
-		t.bytesRecv.Add(uint64(4 + n))
+		t.addBytesRecv(uint64(4 + n))
 		if !t.deliverFrame(c, body) {
 			return
 		}
@@ -693,7 +715,7 @@ func (p *peer) dialOnce(r retryPolicy) (net.Conn, *bufio.Writer, error) {
 		conn.Close()
 		return nil, nil, err
 	}
-	p.t.bytesSent.Add(1)
+	p.t.addBytesSent(1)
 	return conn, bw, nil
 }
 
@@ -729,7 +751,7 @@ func (p *peer) writeFrames(conn net.Conn, bw *bufio.Writer, bodies [][]byte) (in
 		if err := bw.Flush(); err != nil {
 			return sent, err
 		}
-		p.t.bytesSent.Add(uint64(len(frame)))
+		p.t.addBytesSent(uint64(len(frame)))
 		sent += n
 		bodies = bodies[n:]
 	}

@@ -60,7 +60,8 @@ type Store struct {
 	closed     bool
 	err        error // first IO error, latched
 
-	commitLat [len(CommitLatencyBounds) + 1]uint64
+	commitLat    [len(CommitLatencyBounds) + 1]uint64
+	commitLatSum time.Duration
 }
 
 // CommitLatencyBounds are the fixed bucket upper bounds of the commit
@@ -289,6 +290,7 @@ func (s *Store) commitLocked() {
 		}
 	}
 	s.commitLat[bucket]++
+	s.commitLatSum += elapsed
 	if err != nil && s.err == nil {
 		s.err = err
 	}
@@ -406,6 +408,18 @@ func (s *Store) Err() error {
 	return s.err
 }
 
+// InjectIOError latches err as if a commit had failed, if no error is
+// latched yet. It exists for tests and operational drills that need to
+// see the degraded-durability path — /readyz flipping to 503 — without
+// arranging a real disk fault.
+func (s *Store) InjectIOError(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
 // Stats is an operator-facing snapshot of the store's durability state.
 type Stats struct {
 	// Generation is the current snapshot/WAL generation.
@@ -422,6 +436,10 @@ type Stats struct {
 	// (write+fsync) latencies: CommitLatency[i] counts commits within
 	// CommitLatencyBounds[i], the last element the overflow.
 	CommitLatency [len(CommitLatencyBounds) + 1]uint64
+	// CommitLatencySum is the total time spent in group commits — with
+	// the bucket counts it gives the histogram an honest _sum in
+	// Prometheus exposition instead of a bucket-midpoint estimate.
+	CommitLatencySum time.Duration
 	// Err is the latched first IO error, nil while durability is intact.
 	Err error
 }
@@ -437,6 +455,7 @@ func (s *Store) Stats() Stats {
 		RecordsSinceSnapshot: s.walRecords,
 		Channels:             len(s.state),
 		CommitLatency:        s.commitLat,
+		CommitLatencySum:     s.commitLatSum,
 		Err:                  s.err,
 	}
 	if s.wal != nil {

@@ -3,6 +3,7 @@ package corona
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"time"
 
 	"corona/internal/clientproto"
@@ -11,6 +12,7 @@ import (
 	"corona/internal/core"
 	"corona/internal/ids"
 	"corona/internal/im"
+	"corona/internal/metrics"
 	"corona/internal/netwire"
 	"corona/internal/pastry"
 	"corona/internal/store"
@@ -67,6 +69,12 @@ type LiveConfig struct {
 	// across them, keeping the owner's per-update sends O(delegates)
 	// instead of O(entry nodes). Zero or negative disables sharding.
 	DelegateThreshold int
+	// AdminBind, when set, serves the HTTP admin plane on this TCP
+	// address: /metrics (Prometheus text exposition), /healthz, /readyz,
+	// /channels, and /debug/pprof. It starts before the ring join so the
+	// readiness transition is observable. Empty starts no admin listener;
+	// ServeAdmin can start one later.
+	AdminBind string
 }
 
 // LiveNode is one Corona overlay member speaking TCP, polling real HTTP
@@ -79,6 +87,13 @@ type LiveNode struct {
 	service   *im.Service
 	store     *store.Store        // nil when DataDir is unset
 	clients   *clientproto.Server // nil until ServeClients
+	admin     *http.Server        // nil until ServeAdmin
+	adminL    net.Listener
+	adminReg  *metrics.Registry
+	// obsClientEnqueue is the admin plane's client_enqueue stage
+	// observer, held so a client listener started after ServeAdmin still
+	// gets wired into the latency histogram.
+	obsClientEnqueue func(time.Duration)
 }
 
 func init() {
@@ -167,6 +182,18 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		service:   service,
 		store:     st,
 	}
+	// The admin plane comes up before the join so /healthz answers and
+	// /readyz reports the 503→200 transition instead of appearing only
+	// after the node is already ready.
+	if cfg.AdminBind != "" {
+		if _, err := ln.ServeAdmin(cfg.AdminBind); err != nil {
+			transport.Close()
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+	}
 	if len(cfg.Seeds) == 0 {
 		overlay.Bootstrap()
 	} else {
@@ -186,6 +213,7 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 			}
 		}
 		if !joined {
+			ln.closeAdmin()
 			transport.Close()
 			if st != nil {
 				st.Close()
@@ -250,6 +278,9 @@ func (ln *LiveNode) ServeClients(bind string) (addr string, err error) {
 		return "", fmt.Errorf("corona: client listener: %w", err)
 	}
 	ln.clients = clientproto.Serve(l, ln)
+	if ln.obsClientEnqueue != nil {
+		ln.clients.SetNotifyLatencyObserver(ln.obsClientEnqueue)
+	}
 	return ln.clients.Addr(), nil
 }
 
@@ -291,13 +322,14 @@ func (ln *LiveNode) Info() clientproto.ServerInfo {
 		si.CommitLatency = st.CommitLatency[:]
 	}
 	ns := ln.node.Stats()
+	gc := ln.notifier.CounterSnapshot()
 	si.HasFanout = true
 	si.Fanout = clientproto.FanoutInfo{
 		NotifyBatches:   ns.NotifyBatchesSent,
 		DelegateUpdates: ns.DelegateUpdates,
 		DelegatesActive: uint64(ns.DelegatesActive),
 		DelegatesHeld:   uint64(ns.DelegatesHeld),
-		Undeliverable:   ln.notifier.Undeliverable(),
+		Undeliverable:   gc.Undeliverable,
 	}
 	if ln.clients != nil {
 		si.Fanout.NotifyDropped = ln.clients.NotifyDropped()
@@ -320,6 +352,9 @@ type StoreStats struct {
 	// fsync) latency histogram; bucket i counts commits within
 	// store.CommitLatencyBounds[i], the last element the overflow.
 	CommitLatency []uint64
+	// CommitLatencySum is total time spent in group commits, giving the
+	// histogram an honest sum alongside the bucket counts.
+	CommitLatencySum time.Duration
 	// Err is the store's latched first IO error, empty while durability
 	// is intact. A non-empty value means committed-window guarantees are
 	// gone until the node is restarted on healthy storage.
@@ -349,8 +384,11 @@ type LiveStats struct {
 // store's WAL size, records-since-snapshot, and latched IO error.
 func (ln *LiveNode) Stats() LiveStats {
 	ls := LiveStats{Stats: ln.node.Stats()}
-	ls.Undeliverable = ln.notifier.Undeliverable()
-	ls.NotifyBatchesRecv, ls.BatchClients = ln.notifier.NotifyBatches()
+	// One gateway lock acquisition for the whole counter group, so the
+	// batch totals and undeliverable count come from the same instant.
+	gc := ln.notifier.CounterSnapshot()
+	ls.Undeliverable = gc.Undeliverable
+	ls.NotifyBatchesRecv, ls.BatchClients = gc.NotifyBatches, gc.BatchClients
 	if ln.clients != nil {
 		ls.NotifyDropped = ln.clients.NotifyDropped()
 	}
@@ -362,6 +400,7 @@ func (ln *LiveNode) Stats() LiveStats {
 			WALBytes:             st.WALBytes,
 			RecordsSinceSnapshot: st.RecordsSinceSnapshot,
 			CommitLatency:        st.CommitLatency[:],
+			CommitLatencySum:     st.CommitLatencySum,
 		}
 		if st.Err != nil {
 			ls.Store.Err = st.Err.Error()
@@ -398,6 +437,14 @@ func (ln *LiveNode) WireDropped() uint64 {
 	return ln.transport.Dropped()
 }
 
+// closeAdmin tears down the admin listener and in-flight admin
+// requests; a no-op when none is running.
+func (ln *LiveNode) closeAdmin() {
+	if ln.admin != nil {
+		ln.admin.Close()
+	}
+}
+
 // CloseClients gracefully stops the client-protocol listener, draining
 // every connection's writer goroutine so no client sees a torn frame.
 // Safe to call before Close (which is idempotent about it); a no-op when
@@ -414,6 +461,7 @@ func (ln *LiveNode) CloseClients() {
 // protocol and the transport, then flushes and closes the durable store
 // so no committed-window state is lost on a graceful shutdown.
 func (ln *LiveNode) Close() error {
+	ln.closeAdmin()
 	if ln.clients != nil {
 		ln.clients.Close()
 	}
@@ -432,6 +480,7 @@ func (ln *LiveNode) Close() error {
 // without a flush, losing whatever sat inside the current group-commit
 // window. Production shutdown is Close.
 func (ln *LiveNode) Kill() {
+	ln.closeAdmin()
 	if ln.clients != nil {
 		ln.clients.Close() // connected clients see an abrupt EOF, as in a crash
 	}
