@@ -20,10 +20,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The wire layer, the durable store, and the client edge are the
+# The wire layer, the durable store, and the client/web edges are the
 # concurrency hot spots; run them under the race detector explicitly.
 race:
-	$(GO) test -race ./internal/netwire/ ./internal/codec/ ./internal/pastry/ ./internal/store/ ./internal/clientproto/ ./client/
+	$(GO) test -race ./internal/netwire/ ./internal/codec/ ./internal/pastry/ ./internal/store/ ./internal/clientproto/ ./internal/im/ ./internal/webgateway/ ./client/
 
 # Wire-layer benchmarks (payload encode, fan-out, round trip, end-to-end
 # dissemination) recorded in BENCH_wire.json; durable-store benchmarks
@@ -35,7 +35,9 @@ race:
 # encode-once NotifyBatch edge against the per-client-encode baseline)
 # recorded in BENCH_fanout.json; observability benchmarks (counter inc,
 # labeled lookup, histogram observe, a full /metrics render at 1k
-# series) recorded in BENCH_obs.json.
+# series) recorded in BENCH_obs.json; web-edge benchmarks (replay ring
+# append/replay, WS frame encode/parse, tap-to-queue delivery with the
+# encode-once shared slot) recorded in BENCH_web.json.
 bench:
 	$(GO) test -run xxx -bench 'Wire|UpdateEncode|UpdateDecodeForward|FanOutEncode|UpdateDissemination' -benchmem . ./internal/core/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_wire.json
@@ -47,6 +49,8 @@ bench:
 		| $(GO) run ./cmd/bench2json -o BENCH_fanout.json
 	$(GO) test -run xxx -bench 'Obs' -benchmem ./internal/metrics/ \
 		| $(GO) run ./cmd/bench2json -o BENCH_obs.json
+	$(GO) test -run xxx -bench 'Web' -benchmem ./internal/webgateway/ \
+		| $(GO) run ./cmd/bench2json -o BENCH_web.json
 	$(MAKE) chaos
 
 # The torture suite: every chaos scenario at CI scale, with the invariant

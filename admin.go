@@ -141,6 +141,7 @@ func (ln *LiveNode) newAdminRegistry() *metrics.Registry {
 	ownerSend := stage.With("owner_send")
 	entryRecv := stage.With("entry_recv")
 	clientEnqueue := stage.With("client_enqueue")
+	webEnqueue := stage.With("web_enqueue")
 	ln.node.SetNotifyLatencyObservers(
 		func(d time.Duration) { ownerSend.Observe(d.Seconds()) },
 		func(d time.Duration) { entryRecv.Observe(d.Seconds()) },
@@ -148,6 +149,16 @@ func (ln *LiveNode) newAdminRegistry() *metrics.Registry {
 	ln.obsClientEnqueue = func(d time.Duration) { clientEnqueue.Observe(d.Seconds()) }
 	if ln.clients != nil {
 		ln.clients.SetNotifyLatencyObserver(ln.obsClientEnqueue)
+	}
+	// The web gateway registers its own labeled families (sessions by
+	// transport, replay hits/misses/wraps, drops and disconnects by
+	// cause) and observes the web_enqueue stage. Each wiring happens in
+	// whichever of ServeAdmin/ServeWeb runs second, so both orders work
+	// and each instrument registers exactly once.
+	ln.obsWebEnqueue = func(d time.Duration) { webEnqueue.Observe(d.Seconds()) }
+	if ln.web != nil {
+		ln.web.RegisterMetrics(reg)
+		ln.web.SetNotifyLatencyObserver(ln.obsWebEnqueue)
 	}
 
 	reg.OnGather(func() {
@@ -276,6 +287,10 @@ func (ln *LiveNode) ServeAdmin(bind string) (addr string, err error) {
 				http.Error(w, "not ready: store: "+serr.Error(), http.StatusServiceUnavailable)
 				return
 			}
+		}
+		if ln.web != nil && ln.web.Closed() {
+			http.Error(w, "not ready: web gateway stopped", http.StatusServiceUnavailable)
+			return
 		}
 		fmt.Fprintln(w, "ready")
 	})

@@ -65,6 +65,9 @@ func main() {
 	dataDir := flag.String("data", "", "data directory for durable channel state (empty = in-memory only)")
 	delegateThreshold := flag.Int("delegate-threshold", 0, "subscriber count at which an owner shards a channel's fan-out across delegates (0 = disabled)")
 	adminBind := flag.String("admin", "", "HTTP admin-plane listen address serving /metrics, /healthz, /readyz, /channels, /debug/pprof (empty = disabled)")
+	webBind := flag.String("web", "", "web edge gateway listen address serving /ws (WebSocket) and /sse (Server-Sent Events) with replay-ring resume (empty = disabled)")
+	webReplay := flag.Int("web-replay", 0, "web gateway per-channel replay ring capacity (0 = default)")
+	webDisconnectSlow := flag.Bool("web-disconnect-slow", false, "disconnect slow web clients instead of dropping their oldest queued notification")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -80,6 +83,9 @@ func main() {
 		ClientBind:          *clientBind,
 		DelegateThreshold:   *delegateThreshold,
 		AdminBind:           *adminBind,
+		WebBind:             *webBind,
+		WebReplayCap:        *webReplay,
+		WebDisconnectSlow:   *webDisconnectSlow,
 	}
 	if *seedNode != "" {
 		cfg.Seeds = []string{*seedNode}
@@ -90,7 +96,7 @@ func main() {
 	}
 	logger.Info("starting",
 		"bind", *bind, "client", *clientBind, "im", *imBind, "admin", *adminBind,
-		"scheme", fmt.Sprint(cfg.Scheme), "poll", cfg.PollInterval,
+		"web", *webBind, "scheme", fmt.Sprint(cfg.Scheme), "poll", cfg.PollInterval,
 		"data_dir", *dataDir, "mode", joinMode, "seeds", cfg.Seeds)
 	node, err := corona.StartLiveNode(cfg)
 	if err != nil {
@@ -99,7 +105,7 @@ func main() {
 	}
 	logger.Info("started",
 		"overlay", node.Addr(), "client", node.ClientAddr(), "admin", node.AdminAddr(),
-		"im", *imBind, "scheme", fmt.Sprint(cfg.Scheme), "mode", joinMode)
+		"web", node.WebAddr(), "im", *imBind, "scheme", fmt.Sprint(cfg.Scheme), "mode", joinMode)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

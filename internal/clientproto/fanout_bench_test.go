@@ -34,11 +34,11 @@ func BenchmarkFanoutNotifyBatch(b *testing.B) {
 				g.Attach(handles[i], func(n im.Notification) {
 					// The server's batch deliverer: encode into the shared
 					// cell once, reuse the bytes for every later recipient.
-					sf, _ := n.Shared.Enc.(*sharedFrame)
+					sf, _ := n.Shared.Load(sharedKeyFrame).(*sharedFrame)
 					if sf == nil {
 						wire := AppendFrame(nil, &Notify{Channel: n.Channel, Version: n.Version, Diff: n.Diff, At: n.At})
 						sf = &sharedFrame{buf: wire, oversize: len(wire)-4 > MaxFrame}
-						n.Shared.Enc = sf
+						n.Shared.Store(sharedKeyFrame, sf)
 					}
 					select {
 					case out <- sf:

@@ -2,8 +2,6 @@ package clientproto
 
 import (
 	"bufio"
-	"bytes"
-	"crypto/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -61,25 +59,28 @@ type sharedFrame struct {
 	oversize bool
 }
 
+// sharedKeyFrame keys this package's slot in a batch's im.Shared cell;
+// other delivery layers (the web gateway's JSON encoding) hold their own
+// slots in the same cell.
+var sharedKeyFrame = new(byte)
+
 func (f *sharedFrame) frameType() byte { return TypeNotify }
 func (f *sharedFrame) appendBody(dst []byte) []byte {
 	return append(dst, f.buf[5:]...) // skip length prefix + type byte
 }
 
-// session is one logged-in connection's server-side state.
-type session struct {
-	conn  net.Conn
-	token []byte
-}
+// TransportBinary is this server's transport name in the session table;
+// the web gateway registers its sessions as "ws" and "sse".
+const TransportBinary = "binary"
 
 // Server accepts client-protocol connections on a listener and serves
 // them against a Backend.
 type Server struct {
 	backend Backend
+	table   *SessionTable
 
 	mu       sync.Mutex
 	listener net.Listener
-	sessions map[string]*session // handle -> live session
 	conns    map[net.Conn]struct{}
 	closed   bool
 
@@ -96,13 +97,20 @@ type Server struct {
 	notifyLatency atomic.Pointer[func(time.Duration)]
 }
 
-// Serve starts accepting connections from ln. Close stops the server and
-// every live connection.
+// Serve starts accepting connections from ln with a private session
+// table. Close stops the server and every live connection.
 func Serve(ln net.Listener, backend Backend) *Server {
+	return ServeSessions(ln, backend, NewSessionTable())
+}
+
+// ServeSessions starts accepting connections from ln, registering
+// sessions in the given table — share one table across transports so a
+// handle has one live session per node however it connects.
+func ServeSessions(ln net.Listener, backend Backend, table *SessionTable) *Server {
 	s := &Server{
 		backend:  backend,
+		table:    table,
 		listener: ln,
-		sessions: make(map[string]*session),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	go s.acceptLoop()
@@ -116,11 +124,10 @@ func (s *Server) Addr() string { return s.listener.Addr().String() }
 // because a client's outbound queue was full.
 func (s *Server) NotifyDropped() uint64 { return s.notifyDropped.Load() }
 
-// Sessions returns the number of live logged-in sessions.
+// Sessions returns the number of live logged-in binary-protocol
+// sessions (web-transport sessions in a shared table are not counted).
 func (s *Server) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	return s.table.Count(TransportBinary)
 }
 
 // SetNotifyLatencyObserver installs a callback observing, per delivered
@@ -297,13 +304,14 @@ func (s *Server) serveConn(conn net.Conn) {
 	reply := func(f Frame) { out <- f }
 
 	var handle string
+	var sess *TableSession
 	var detach func()
 	defer func() {
 		if detach != nil {
 			detach()
 		}
 		if handle != "" {
-			s.endSession(handle, conn)
+			s.table.End(handle, sess)
 		}
 	}()
 
@@ -330,11 +338,11 @@ func (s *Server) serveConn(conn net.Conn) {
 					// later recipient reuses the bytes. Deliverers for one
 					// batch run sequentially on the gateway's goroutine, so
 					// the cell needs no locking.
-					sf, _ := n.Shared.Enc.(*sharedFrame)
+					sf, _ := n.Shared.Load(sharedKeyFrame).(*sharedFrame)
 					if sf == nil {
 						b := AppendFrame(nil, &Notify{Channel: n.Channel, Version: n.Version, Diff: n.Diff, At: n.At})
 						sf = &sharedFrame{buf: b, oversize: len(b)-4 > MaxFrame}
-						n.Shared.Enc = sf
+						n.Shared.Store(sharedKeyFrame, sf)
 					}
 					if sf.oversize {
 						s.notifyDropped.Add(1)
@@ -356,12 +364,12 @@ func (s *Server) serveConn(conn net.Conn) {
 					s.notifyDropped.Add(1)
 				}
 			}
-			token, det, ok := s.beginSession(req.Handle, req.ResumeToken, conn, deliver)
+			token, ts, det, ok := s.beginSession(req.Handle, req.ResumeToken, conn, deliver)
 			if !ok {
 				reply(&Nak{ReqID: req.ReqID, Reason: "handle in use (resume token mismatch)"})
 				continue
 			}
-			handle, detach = req.Handle, det
+			handle, sess, detach = req.Handle, ts, det
 			reply(&Ack{ReqID: req.ReqID, Token: token})
 			reply(s.info(ver))
 		case *Subscribe:
@@ -427,41 +435,14 @@ func (s *Server) info(ver byte) *ServerInfo {
 	return &si
 }
 
-// beginSession claims handle for conn and attaches its notification
-// deliverer in one atomic step (a same-handle login racing in after the
-// claim must not interleave its attach with ours, or the survivor could
-// end up deliverer-less). A live session for the handle is displaced —
-// its connection closed — only when the presented token matches its
-// token; otherwise the claim is refused. With no live session, a
-// presented token is adopted (failover resume on a node that never saw
-// this client) and an empty one is replaced by a fresh mint.
-func (s *Server) beginSession(handle string, token []byte, conn net.Conn, deliver func(im.Notification)) ([]byte, func(), bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.sessions[handle]; ok {
-		if len(token) == 0 || !bytes.Equal(token, prev.token) {
-			return nil, nil, false
-		}
-		prev.conn.Close() // stale connection; its reader cleans up
-	}
-	if len(token) == 0 {
-		token = make([]byte, tokenLen)
-		rand.Read(token)
-	}
-	s.sessions[handle] = &session{conn: conn, token: token}
-	// Attach under s.mu: the gateway's lock is leaf-level (it never calls
-	// back into the server), and the displaced session's own detach is
-	// identity-guarded, so ordering is now claim+attach as one unit.
-	detach := s.backend.Attach(handle, deliver)
-	return token, detach, true
-}
-
-// endSession releases handle if conn still owns it (a displaced session
-// must not end its successor).
-func (s *Server) endSession(handle string, conn net.Conn) {
-	s.mu.Lock()
-	if sess, ok := s.sessions[handle]; ok && sess.conn == conn {
-		delete(s.sessions, handle)
-	}
-	s.mu.Unlock()
+// beginSession claims handle for conn in the shared session table and
+// attaches its notification deliverer in one atomic step (the table runs
+// the attach under its lock: the gateway's lock is leaf-level, it never
+// calls back into the server or the table, and the displaced session's
+// own detach is identity-guarded, so claim+attach form one unit). The
+// displacement/adoption token rules live in SessionTable.Begin.
+func (s *Server) beginSession(handle string, token []byte, conn net.Conn, deliver func(im.Notification)) ([]byte, *TableSession, func(), bool) {
+	return s.table.Begin(handle, token, TransportBinary,
+		func() { conn.Close() }, // stale connection; its reader cleans up
+		func() func() { return s.backend.Attach(handle, deliver) })
 }

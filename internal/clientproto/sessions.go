@@ -1,0 +1,104 @@
+package clientproto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"sync"
+)
+
+// SessionTable is the node-wide resume-token session registry, shared by
+// every client-facing transport (the binary protocol server and the web
+// gateway's WebSocket/SSE frontends), so the displacement and resumption
+// semantics specified in this package's doc hold across transports: a
+// handle has at most one live session per node regardless of how it
+// connected, a newer login presenting the live session's token evicts
+// the old connection wherever it attached, and a token minted over one
+// transport resumes over another (a binary client falling back to SSE
+// through a proxy keeps its session identity).
+type SessionTable struct {
+	mu       sync.Mutex
+	sessions map[string]*TableSession
+}
+
+// TableSession is one live claim on a handle. Its pointer identity is
+// the claim: End releases the handle only when the claimant still owns
+// it, so a displaced session cannot end its successor.
+type TableSession struct {
+	token     []byte
+	transport string
+	evict     func()
+}
+
+// NewSessionTable returns an empty table.
+func NewSessionTable() *SessionTable {
+	return &SessionTable{sessions: make(map[string]*TableSession)}
+}
+
+// Begin claims handle for a new session on the named transport. A live
+// session for the handle is displaced — its evict func called — only
+// when the presented token matches its token; otherwise the claim is
+// refused. With no live session, a presented token is adopted (failover
+// resume on a node that never saw this client) and an empty one is
+// replaced by a fresh mint; the returned token is what the client
+// presents next time.
+//
+// attach runs under the table lock, making claim+attach one atomic step
+// (a same-handle login racing in after the claim must not interleave its
+// deliverer attachment with ours, or the survivor could end up
+// deliverer-less); it must not call back into the table. Its return
+// value — typically the gateway detach func — is handed back to the
+// caller. evict is called under the lock too, when a LATER Begin
+// displaces this session; it must only schedule the old connection's
+// teardown (closing the socket is fine), never re-enter the table
+// synchronously.
+func (t *SessionTable) Begin(handle string, token []byte, transport string, evict func(), attach func() func()) (tok []byte, sess *TableSession, detach func(), ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if prev, live := t.sessions[handle]; live {
+		if len(token) == 0 || !bytes.Equal(token, prev.token) {
+			return nil, nil, nil, false
+		}
+		if prev.evict != nil {
+			prev.evict() // stale connection; its teardown path cleans up
+		}
+	}
+	if len(token) == 0 {
+		token = make([]byte, tokenLen)
+		rand.Read(token)
+	}
+	sess = &TableSession{token: token, transport: transport, evict: evict}
+	t.sessions[handle] = sess
+	if attach != nil {
+		detach = attach()
+	}
+	return token, sess, detach, true
+}
+
+// End releases handle if sess still owns it.
+func (t *SessionTable) End(handle string, sess *TableSession) {
+	t.mu.Lock()
+	if cur, ok := t.sessions[handle]; ok && cur == sess {
+		delete(t.sessions, handle)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of live sessions across every transport.
+func (t *SessionTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}
+
+// Count returns the number of live sessions begun on one transport.
+func (t *SessionTable) Count(transport string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, s := range t.sessions {
+		if s.transport == transport {
+			n++
+		}
+	}
+	return n
+}

@@ -34,19 +34,53 @@ type Notification struct {
 	// carried one, else the gateway-side emission time — either way the
 	// best anchor the delivery layer has for end-to-end latency.
 	At time.Time
-	// Shared, when non-nil, is a per-batch cell the delivery layer may use
+	// Shared, when non-nil, is a per-batch cell a delivery layer may use
 	// to encode the notification once and reuse the result for every
-	// client in the batch (the frame body excludes Client, so the bytes
+	// client in the batch (the encoded body excludes Client, so the bytes
 	// are identical). Deliverers for the same batch run sequentially on
-	// one goroutine, so the cell needs no locking.
+	// one goroutine, so the cell needs no locking — but for exactly that
+	// reason a Deliverer must only touch the cell (and the Notification's
+	// Shared pointer) synchronously, before it returns: a deliverer that
+	// hands the cell to another goroutine races the next deliverer's
+	// Store. TestNotifyBatchAttachDetachRace pins the contract.
 	Shared *Shared
 }
 
-// Shared is the batch-scoped encode-once cell. Enc is owned by whichever
-// delivery layer consumes the batch (the client-protocol server stores
-// its pre-encoded frame here); the gateway only allocates the cell.
+// Shared is the batch-scoped encode-once cell. With the binary client
+// protocol and the web gateway attached to the same node, one batch can
+// have more than one delivery layer encoding it (a wire frame and a JSON
+// event), so the cell holds one slot per consumer, keyed by a pointer
+// each consumer owns. Two slots cover every deployed shape; more append.
+// The gateway only allocates the cell; deliverers for one batch run
+// sequentially, so Load/Store need no locking.
 type Shared struct {
-	Enc any
+	slots []sharedSlot
+}
+
+type sharedSlot struct {
+	key, val any
+}
+
+// Load returns the value the batch's earlier deliverers stored under
+// key, nil if none did.
+func (s *Shared) Load(key any) any {
+	for _, sl := range s.slots {
+		if sl.key == key {
+			return sl.val
+		}
+	}
+	return nil
+}
+
+// Store saves val under key for the batch's later deliverers.
+func (s *Shared) Store(key, val any) {
+	for i := range s.slots {
+		if s.slots[i].key == key {
+			s.slots[i].val = val
+			return
+		}
+	}
+	s.slots = append(s.slots, sharedSlot{key: key, val: val})
 }
 
 // LegacyBody renders the notification as the prototype's IM message text
@@ -91,7 +125,17 @@ type Gateway struct {
 	undeliverable uint64            // notifications with no deliverer and no IM account
 	notifyBatches uint64            // NotifyBatch calls received
 	batchClients  uint64            // clients covered by those batches
+
+	// tap, when set, observes every channel update flowing through the
+	// gateway — once per Notify/NotifyBatch call, before any deliverer
+	// runs (same goroutine), so a consumer recording updates (the web
+	// gateway's replay rings) is guaranteed to hold an update before any
+	// per-client delivery of it can be observed or suppressed.
+	tap Tap
 }
+
+// Tap observes one channel update passing through the gateway.
+type Tap func(channel string, version uint64, diff string, at time.Time)
 
 // attachment is one registered structured deliverer; the pointer's
 // identity lets Detach remove only its own registration after a
@@ -134,6 +178,15 @@ func (g *Gateway) SetPaceInterval(d time.Duration) {
 
 // Handle returns the gateway's buddy handle.
 func (g *Gateway) Handle() string { return g.handle }
+
+// SetTap installs the gateway's update tap (nil clears it). The tap runs
+// once per notification call, on the delivering goroutine, before the
+// call's deliverers; it must not block.
+func (g *Gateway) SetTap(tap Tap) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tap = tap
+}
 
 // Attach registers a structured deliverer for client, replacing any
 // previous one (a reconnecting client displaces its stale registration).
@@ -213,6 +266,15 @@ func (g *Gateway) Notify(client, channelURL string, version uint64, diff string,
 		At:      at,
 	}
 	g.mu.Lock()
+	tap := g.tap
+	g.mu.Unlock()
+	if tap != nil {
+		// Before the deliverer (and before the attachment check): a
+		// notification for a detached client must still reach the tap's
+		// replay rings, or the client could never fetch what it missed.
+		tap(channelURL, version, diff, at)
+	}
+	g.mu.Lock()
 	g.notifyCounts[channelURL]++
 	if a, ok := g.attached[client]; ok {
 		g.mu.Unlock()
@@ -247,6 +309,13 @@ func (g *Gateway) NotifyBatch(clients []string, channelURL string, version uint6
 		Diff:    diff,
 		At:      at,
 		Shared:  &Shared{},
+	}
+	g.mu.Lock()
+	tap := g.tap
+	g.mu.Unlock()
+	if tap != nil {
+		// Once per batch, before any deliverer: see Notify.
+		tap(channelURL, version, diff, at)
 	}
 	var delivers []Deliverer
 	var handles []string

@@ -1,0 +1,155 @@
+package im
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"corona/internal/clock"
+)
+
+type nopNode struct{}
+
+func (nopNode) Subscribe(client, url string) error   { return nil }
+func (nopNode) Unsubscribe(client, url string) error { return nil }
+
+// TestNotifyBatchAttachDetachRace pins the gateway seam's concurrency
+// contract now that three delivery layers consume it (binary client
+// protocol, web gateway, legacy IM): deliverers may attach and detach
+// while NotifyBatch calls are in flight from several goroutines (an
+// owner's local batch racing entry-node batch receipts), every deliverer
+// touches its batch's Shared cell and the update tap observes each call
+// — all of it must be race-clean, and a detach mid-batch must never
+// corrupt a later recipient's view of the cell. Run under -race.
+func TestNotifyBatchAttachDetachRace(t *testing.T) {
+	service := NewService(clock.Real{})
+	g := NewGateway(service, clock.Real{}, "corona", nopNode{})
+	g.SetPaceInterval(time.Millisecond)
+
+	var tapped atomic.Uint64
+	g.SetTap(func(channel string, version uint64, diff string, at time.Time) {
+		tapped.Add(1)
+	})
+
+	const clients = 24
+	handles := make([]string, clients)
+	for i := range handles {
+		handles[i] = fmt.Sprintf("user%d", i)
+	}
+	// Two consumer keys stand in for the two encode-once delivery layers
+	// sharing one batch cell.
+	keyFrame, keyJSON := new(byte), new(byte)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var delivered atomic.Uint64
+
+	// Flappers: every client's deliverer registration churns, half per
+	// consumer key. The deliverer honors the cell contract: synchronous
+	// Load/Store only, copying what it needs before returning.
+	for i := range handles {
+		key := keyFrame
+		if i%2 == 1 {
+			key = keyJSON
+		}
+		wg.Add(1)
+		go func(h string, key any) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				detach := g.Attach(h, func(n Notification) {
+					if n.Shared != nil {
+						enc, _ := n.Shared.Load(key).([]byte)
+						if enc == nil {
+							enc = append([]byte(nil), n.Diff...)
+							n.Shared.Store(key, enc)
+						}
+						if string(enc) != n.Diff {
+							panic("shared cell returned another consumer's encoding")
+						}
+					}
+					delivered.Add(1)
+				})
+				runtime.Gosched()
+				detach()
+			}
+		}(handles[i], key)
+	}
+
+	// Notifiers: concurrent batches with distinct versions and diffs, so
+	// a cross-batch cell mixup is observable as a diff mismatch above.
+	var version atomic.Uint64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := version.Add(1)
+				g.NotifyBatch(handles, "http://feeds.example.com/a.xml", v, fmt.Sprintf("diff-%d", v), time.Time{})
+			}
+		}()
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if tapped.Load() == 0 {
+		t.Fatal("tap never observed an update")
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("no deliverer ran while flapping")
+	}
+}
+
+// TestSharedCellPerConsumerSlots pins the multi-consumer cell shape: one
+// batch delivered to clients attached through two different delivery
+// layers encodes exactly once per layer, and neither layer ever reads
+// the other's slot — the regression the keyed slots fix (a single Enc
+// field thrashed between consumer types, degrading the encode-once edge
+// to per-client encodes whenever transports interleave).
+func TestSharedCellPerConsumerSlots(t *testing.T) {
+	service := NewService(clock.Real{})
+	g := NewGateway(service, clock.Real{}, "corona", nopNode{})
+
+	keyA, keyB := new(byte), new(byte)
+	var encodesA, encodesB int
+	attach := func(h string, key *byte, encodes *int, want string) {
+		g.Attach(h, func(n Notification) {
+			enc, _ := n.Shared.Load(key).(string)
+			if enc == "" {
+				*encodes++
+				enc = want
+				n.Shared.Store(key, enc)
+			}
+			if enc != want {
+				t.Errorf("client %s read %q from its consumer slot, want %q", h, enc, want)
+			}
+		})
+	}
+	// Interleave the two consumers across the batch order.
+	handles := []string{"a0", "b0", "a1", "b1", "a2", "b2"}
+	for _, h := range handles {
+		if h[0] == 'a' {
+			attach(h, keyA, &encodesA, "enc-A")
+		} else {
+			attach(h, keyB, &encodesB, "enc-B")
+		}
+	}
+	g.NotifyBatch(handles, "http://feeds.example.com/a.xml", 7, "d", time.Time{})
+	if encodesA != 1 || encodesB != 1 {
+		t.Fatalf("encodes per consumer = %d/%d, want 1/1", encodesA, encodesB)
+	}
+}

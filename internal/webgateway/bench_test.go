@@ -1,0 +1,92 @@
+package webgateway
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"corona/internal/im"
+)
+
+// BenchmarkWebFanoutDeliver measures the hot path a channel update takes
+// through the web edge: one shared JSON encode per batch, then a
+// watermark check and queue append per session. Sessions are drained by
+// writer stand-ins so the queues stay below the slow-client bound.
+func BenchmarkWebFanoutDeliver(b *testing.B) {
+	diff := strings.Repeat("x", 512)
+	for _, clients := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			s := New(Config{Backend: newFakeBackend(), QueueLen: 1 << 16})
+			sessions := make([]*webSession, clients)
+			for i := range sessions {
+				ws := s.newSession(TransportWS, nil)
+				go func() {
+					for {
+						select {
+						case <-ws.kick:
+							ws.drain()
+						case <-ws.done:
+							return
+						}
+					}
+				}()
+				sessions[i] = ws
+			}
+			at := time.Now()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shared := &im.Shared{}
+				n := im.Notification{Channel: "u", Version: uint64(i + 1), Diff: diff, At: at, Shared: shared}
+				for _, ws := range sessions {
+					ws.deliver(n)
+				}
+			}
+			b.StopTimer()
+			for _, ws := range sessions {
+				ws.close(causeGone)
+			}
+		})
+	}
+}
+
+// BenchmarkWebReplayAppend measures the tap's cost per update: what
+// every notification pays whether or not a web client is connected.
+func BenchmarkWebReplayAppend(b *testing.B) {
+	r := NewReplay(DefaultReplayCap)
+	diff := strings.Repeat("x", 512)
+	at := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Append("u", uint64(i+1), diff, at)
+	}
+}
+
+// BenchmarkWebReplayFrom measures a resume scan over a full ring.
+func BenchmarkWebReplayFrom(b *testing.B) {
+	r := NewReplay(DefaultReplayCap)
+	for v := uint64(1); v <= DefaultReplayCap; v++ {
+		r.Append("u", v, "diff", time.Time{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, complete := r.From("u", DefaultReplayCap/2); !complete {
+			b.Fatal("expected complete replay")
+		}
+	}
+}
+
+// BenchmarkWebWSFrameEncode measures server-frame encoding alone.
+func BenchmarkWebWSFrameEncode(b *testing.B) {
+	payload := []byte(strings.Repeat("x", 512))
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendWSFrame(buf[:0], opText, payload)
+	}
+	_ = buf
+}

@@ -1,0 +1,211 @@
+package webgateway
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SSE cursor: every event's id line carries the session's full position
+// as "escape(channel):version[,escape(channel):version...]" — a
+// composite cursor rather than a per-event one, because the browser's
+// EventSource resends only the LAST id it saw as Last-Event-ID, and the
+// reconnect must resume every channel, not just the one that happened to
+// update last.
+
+// parseCursor parses a composite cursor; unparseable elements are
+// skipped (a bad cursor degrades to live-only on those channels, it
+// never errors the stream).
+func parseCursor(s string) map[string]uint64 {
+	cursor := make(map[string]uint64)
+	for _, part := range strings.Split(s, ",") {
+		colon := strings.LastIndexByte(part, ':')
+		if colon < 0 {
+			continue
+		}
+		channel, err := url.QueryUnescape(part[:colon])
+		if err != nil || channel == "" {
+			continue
+		}
+		version, err := strconv.ParseUint(part[colon+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		cursor[channel] = version
+	}
+	return cursor
+}
+
+// cursorString renders a composite cursor in sorted channel order (the
+// id must be byte-stable for identical positions).
+func cursorString(cursor map[string]uint64) string {
+	channels := make([]string, 0, len(cursor))
+	for ch := range cursor {
+		channels = append(channels, ch)
+	}
+	sort.Strings(channels)
+	var b strings.Builder
+	for i, ch := range channels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(url.QueryEscape(ch))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(cursor[ch], 10))
+	}
+	return b.String()
+}
+
+// handleSSE serves one Server-Sent Events stream. The request line
+// carries what WS messages carry: handle and token as query parameters,
+// channels as repeated ch parameters; the resume cursor arrives in
+// Last-Event-ID (browser reconnect) or a since parameter (curl). The
+// handler goroutine is the writer: it subscribes, replays, then drains
+// the session queue into the response until the client goes away or the
+// session is closed (displacement, slow-client policy, shutdown).
+func (s *Server) handleSSE(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	q := r.URL.Query()
+	handle := q.Get("handle")
+	if handle == "" {
+		http.Error(w, "handle parameter required", http.StatusBadRequest)
+		return
+	}
+	token, err := hex.DecodeString(q.Get("token"))
+	if err != nil {
+		http.Error(w, "malformed token: not hex", http.StatusBadRequest)
+		return
+	}
+	channels := q["ch"]
+	cursor := make(map[string]uint64)
+	if id := r.Header.Get("Last-Event-ID"); id != "" {
+		cursor = parseCursor(id)
+	} else if since := q.Get("since"); since != "" {
+		cursor = parseCursor(since)
+	}
+
+	ws := s.newSession(TransportSSE, nil)
+	defer ws.close(causeGone)
+
+	tok, sess, detach, ok := s.table.Begin(handle, token, TransportSSE,
+		func() { ws.close(causeDisplaced) },
+		func() func() { return s.backend.Attach(handle, ws.deliver) })
+	if !ok {
+		http.Error(w, "handle in use (resume token mismatch)", http.StatusConflict)
+		return
+	}
+	ws.mu.Lock()
+	ws.handle = handle
+	ws.mu.Unlock()
+	defer func() {
+		detach()
+		s.table.End(handle, sess)
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	// EventSource is CORS-governed (unlike WebSocket); the gateway
+	// carries no ambient credentials, so any origin may stream.
+	h.Set("Access-Control-Allow-Origin", "*")
+	w.WriteHeader(http.StatusOK)
+
+	// The writer's own cursor copy advances as events go out, so each
+	// event's id is exactly the stream position after that event.
+	written := make(map[string]uint64, len(cursor))
+
+	info := s.backend.Info()
+	ws.control(outEvent{name: "hello", opcode: opText,
+		json: marshalMsg(serverMsg{Type: "hello", Token: hex.EncodeToString(tok), Node: info.Node, Peers: info.Peers})})
+
+	// Subscribe each channel; per-channel failures become nak events on
+	// the stream rather than killing it (the client may hold a mix of
+	// valid and stale URLs after a failover).
+	for _, ch := range channels {
+		ws.gate(ch)
+		if err := s.backend.Subscribe(handle, ch); err != nil {
+			ws.mu.Lock()
+			delete(ws.gated, ch)
+			ws.mu.Unlock()
+			ws.control(outEvent{name: "nak", opcode: opText,
+				json: marshalMsg(serverMsg{Type: "nak", Channel: ch, Reason: err.Error()})})
+			continue
+		}
+		var since *uint64
+		if v, resumed := cursor[ch]; resumed {
+			since = &v
+			written[ch] = v
+		}
+		ws.replayAndUngate(ch, since)
+	}
+
+	rc := http.NewResponseController(w)
+	hb := time.NewTicker(s.heartbeat)
+	lease := time.NewTicker(s.leaseEvery)
+	defer hb.Stop()
+	defer lease.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ws.kick:
+			rc.SetWriteDeadline(time.Now().Add(wsWriteTimeout))
+			for _, ev := range ws.drain() {
+				if err := writeSSEEvent(w, ev, written); err != nil {
+					return
+				}
+			}
+			flusher.Flush()
+		case <-hb.C:
+			rc.SetWriteDeadline(time.Now().Add(wsWriteTimeout))
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-lease.C:
+			ws.refreshLeases()
+		case <-ctx.Done():
+			return
+		case <-ws.done:
+			// Flush whatever was queued before the close, then end the
+			// stream; the client reconnects with its cursor.
+			for _, ev := range ws.drain() {
+				writeSSEEvent(w, ev, written)
+			}
+			flusher.Flush()
+			return
+		}
+	}
+}
+
+// writeSSEEvent renders one queued event as an SSE frame, advancing the
+// writer's cursor on notify events. WS heartbeat pings queued before a
+// transport switch would be meaningless here and are skipped.
+func writeSSEEvent(w http.ResponseWriter, ev outEvent, written map[string]uint64) error {
+	if ev.opcode != opText {
+		return nil
+	}
+	if ev.name == "notify" {
+		written[ev.channel] = ev.version
+	}
+	if ev.name == "notify" || ev.name == "snapshot_required" {
+		if _, err := fmt.Fprintf(w, "id: %s\n", cursorString(written)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.json)
+	return err
+}

@@ -16,6 +16,7 @@ import (
 	"corona/internal/netwire"
 	"corona/internal/pastry"
 	"corona/internal/store"
+	"corona/internal/webgateway"
 )
 
 // LiveConfig configures one deployed Corona node.
@@ -75,6 +76,20 @@ type LiveConfig struct {
 	// readiness transition is observable. Empty starts no admin listener;
 	// ServeAdmin can start one later.
 	AdminBind string
+	// WebBind, when set, serves the web edge gateway on this TCP address:
+	// /ws (WebSocket) and /sse (Server-Sent Events) speaking the JSON
+	// projection of the client-protocol session model, backed by
+	// per-channel replay ring buffers (internal/webgateway). Empty starts
+	// no web listener; ServeWeb can start one later.
+	WebBind string
+	// WebReplayCap is the web gateway's per-channel replay ring capacity;
+	// zero uses the package default.
+	WebReplayCap int
+	// WebDisconnectSlow switches the web gateway's slow-client policy
+	// from drop-oldest (default: shed the oldest queued notification and
+	// let the client replay the gap) to disconnect (close the session and
+	// let the client reconnect with its resume cursor).
+	WebDisconnectSlow bool
 }
 
 // LiveNode is one Corona overlay member speaking TCP, polling real HTTP
@@ -87,13 +102,25 @@ type LiveNode struct {
 	service   *im.Service
 	store     *store.Store        // nil when DataDir is unset
 	clients   *clientproto.Server // nil until ServeClients
+	web       *webgateway.Server  // nil until ServeWeb
 	admin     *http.Server        // nil until ServeAdmin
 	adminL    net.Listener
 	adminReg  *metrics.Registry
-	// obsClientEnqueue is the admin plane's client_enqueue stage
-	// observer, held so a client listener started after ServeAdmin still
-	// gets wired into the latency histogram.
+	// sessions is the node-wide resume-token session table, shared by the
+	// binary client-protocol server and the web gateway so a handle has
+	// one live session per node however it connects, and displacement
+	// works across transports.
+	sessions *clientproto.SessionTable
+	// Web-gateway tuning captured from LiveConfig for a ServeWeb that
+	// runs after StartLiveNode.
+	webReplayCap      int
+	webDisconnectSlow bool
+	// obsClientEnqueue and obsWebEnqueue are the admin plane's
+	// client_enqueue / web_enqueue stage observers, held so a listener
+	// started after ServeAdmin still gets wired into the latency
+	// histogram.
 	obsClientEnqueue func(time.Duration)
+	obsWebEnqueue    func(time.Duration)
 }
 
 func init() {
@@ -175,12 +202,15 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	}
 
 	ln := &LiveNode{
-		transport: transport,
-		overlay:   overlay,
-		node:      node,
-		notifier:  gateway,
-		service:   service,
-		store:     st,
+		transport:         transport,
+		overlay:           overlay,
+		node:              node,
+		notifier:          gateway,
+		service:           service,
+		store:             st,
+		sessions:          clientproto.NewSessionTable(),
+		webReplayCap:      cfg.WebReplayCap,
+		webDisconnectSlow: cfg.WebDisconnectSlow,
 	}
 	// The admin plane comes up before the join so /healthz answers and
 	// /readyz reports the 503→200 transition instead of appearing only
@@ -233,6 +263,12 @@ func StartLiveNode(cfg LiveConfig) (*LiveNode, error) {
 			return nil, err
 		}
 	}
+	if cfg.WebBind != "" {
+		if _, err := ln.ServeWeb(cfg.WebBind); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	return ln, nil
 }
 
@@ -277,11 +313,60 @@ func (ln *LiveNode) ServeClients(bind string) (addr string, err error) {
 	if err != nil {
 		return "", fmt.Errorf("corona: client listener: %w", err)
 	}
-	ln.clients = clientproto.Serve(l, ln)
+	ln.clients = clientproto.ServeSessions(l, ln, ln.sessions)
 	if ln.obsClientEnqueue != nil {
 		ln.clients.SetNotifyLatencyObserver(ln.obsClientEnqueue)
 	}
 	return ln.clients.Addr(), nil
+}
+
+// ServeWeb starts the web edge gateway (internal/webgateway: /ws and
+// /sse with per-channel replay rings) on bind and returns the bound
+// address. The gateway shares the node's session table with the binary
+// client listener, installs its update tap on the gateway seam, and —
+// when the admin plane is running — registers its instruments on the
+// node's metric registry. A node serves at most one web listener, which
+// closes with the node; StartLiveNode calls it when WebBind is set.
+func (ln *LiveNode) ServeWeb(bind string) (addr string, err error) {
+	if ln.web != nil {
+		return "", fmt.Errorf("corona: web listener already running at %s", ln.web.Addr())
+	}
+	l, err := net.Listen("tcp", bind)
+	if err != nil {
+		return "", fmt.Errorf("corona: web listener: %w", err)
+	}
+	policy := webgateway.PolicyDropOldest
+	if ln.webDisconnectSlow {
+		policy = webgateway.PolicyDisconnect
+	}
+	web := webgateway.New(webgateway.Config{
+		Backend:    ln,
+		Sessions:   ln.sessions,
+		ReplayCap:  ln.webReplayCap,
+		SlowPolicy: policy,
+	})
+	// The tap feeds every local-delivery update into the replay rings
+	// before any deliverer runs — the ordering the resume path's
+	// exactly-once merge depends on.
+	ln.notifier.SetTap(web.Tap())
+	web.Serve(l)
+	ln.web = web
+	if ln.adminReg != nil {
+		web.RegisterMetrics(ln.adminReg)
+	}
+	if ln.obsWebEnqueue != nil {
+		web.SetNotifyLatencyObserver(ln.obsWebEnqueue)
+	}
+	return web.Addr(), nil
+}
+
+// WebAddr returns the web gateway's listen address, empty when no web
+// listener is running.
+func (ln *LiveNode) WebAddr() string {
+	if ln.web == nil {
+		return ""
+	}
+	return ln.web.Addr()
 }
 
 // ClientAddr returns the client-protocol listen address, empty when no
@@ -361,12 +446,46 @@ type StoreStats struct {
 	Err string
 }
 
+// WebStats is the web edge gateway's session and delivery accounting,
+// zero-valued when no web listener runs. Disconnect and shed outcomes
+// are split by cause: slow-client (the drop policy fired), buffer-wrap
+// (a resume cursor fell out of the replay window and was answered
+// snapshot-required), and displaced (a newer login took the handle).
+// These fields mirror the gateway's self-registered labeled metric
+// families (corona_web_*) rather than the liveStatsSpec scalars.
+type WebStats struct {
+	// SessionsWS and SessionsSSE count currently attached sessions by
+	// transport.
+	SessionsWS  int
+	SessionsSSE int
+	// DroppedSlowClient counts notify events shed on full outbound
+	// queues under the drop-oldest policy (or refused at the bound).
+	DroppedSlowClient uint64
+	// DroppedOversize counts notify events beyond the message bound.
+	DroppedOversize uint64
+	// DisconnectsSlowClient counts sessions closed by the disconnect
+	// slow-client policy.
+	DisconnectsSlowClient uint64
+	// DisconnectsDisplaced counts sessions evicted by a displacing login.
+	DisconnectsDisplaced uint64
+	// ReplayHits counts resume cursors served completely from the ring;
+	// ReplayMissesBufferWrap counts cursors past the window (the
+	// buffer-wrap outcome, answered snapshot-required); ReplayWraps
+	// counts ring entries overwritten by wrap-around.
+	ReplayHits             uint64
+	ReplayMissesBufferWrap uint64
+	ReplayWraps            uint64
+	// Notifies counts notify events enqueued to web sessions.
+	Notifies uint64
+}
+
 // LiveStats extends the node's protocol counters with deployment-only
-// state: the durable store's health and the client edge's delivery
-// counters.
+// state: the durable store's health and the client and web edges'
+// delivery counters.
 type LiveStats struct {
 	core.Stats
 	Store StoreStats
+	Web   WebStats
 	// Undeliverable counts notifications that found neither an attached
 	// deliverer nor an IM account for their client at this node's gateway.
 	Undeliverable uint64
@@ -391,6 +510,21 @@ func (ln *LiveNode) Stats() LiveStats {
 	ls.NotifyBatchesRecv, ls.BatchClients = gc.NotifyBatches, gc.BatchClients
 	if ln.clients != nil {
 		ls.NotifyDropped = ln.clients.NotifyDropped()
+	}
+	if ln.web != nil {
+		wc := ln.web.Counters()
+		ls.Web = WebStats{
+			SessionsWS:             wc.SessionsWS,
+			SessionsSSE:            wc.SessionsSSE,
+			DroppedSlowClient:      wc.NotifyDroppedSlow,
+			DroppedOversize:        wc.NotifyDroppedOversize,
+			DisconnectsSlowClient:  wc.DisconnectsSlow,
+			DisconnectsDisplaced:   wc.DisconnectsDisplaced,
+			ReplayHits:             wc.Replay.Hits,
+			ReplayMissesBufferWrap: wc.Replay.Misses,
+			ReplayWraps:            wc.Replay.Wraps,
+			Notifies:               wc.Notifies,
+		}
 	}
 	if ln.store != nil {
 		st := ln.store.Stats()
@@ -445,16 +579,25 @@ func (ln *LiveNode) closeAdmin() {
 	}
 }
 
-// CloseClients gracefully stops the client-protocol listener, draining
-// every connection's writer goroutine so no client sees a torn frame.
+// closeWeb tears down the web gateway listener and every live WS/SSE
+// session; a no-op when none is running.
+func (ln *LiveNode) closeWeb() {
+	if ln.web != nil {
+		ln.web.Close()
+	}
+}
+
+// CloseClients gracefully stops the client-facing listeners — the
+// binary client protocol (draining every connection's writer goroutine
+// so no client sees a torn frame) and the web gateway's WS/SSE sessions.
 // Safe to call before Close (which is idempotent about it); a no-op when
-// no client listener is running. cmd/corona-node's signal handler uses it
-// to stop client traffic alongside the IM listener before the node's WAL
-// flush.
+// neither is running. cmd/corona-node's signal handler uses it to stop
+// client traffic alongside the IM listener before the node's WAL flush.
 func (ln *LiveNode) CloseClients() {
 	if ln.clients != nil {
 		ln.clients.Close()
 	}
+	ln.closeWeb()
 }
 
 // Close stops the client listener (draining per-connection writers), the
@@ -465,6 +608,7 @@ func (ln *LiveNode) Close() error {
 	if ln.clients != nil {
 		ln.clients.Close()
 	}
+	ln.closeWeb()
 	ln.node.Stop()
 	err := ln.transport.Close()
 	if ln.store != nil {
@@ -484,6 +628,7 @@ func (ln *LiveNode) Kill() {
 	if ln.clients != nil {
 		ln.clients.Close() // connected clients see an abrupt EOF, as in a crash
 	}
+	ln.closeWeb() // WS/SSE clients see an abrupt EOF too
 	ln.node.Stop()
 	ln.transport.Close()
 	if ln.store != nil {

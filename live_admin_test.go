@@ -30,6 +30,28 @@ func TestLiveStatsSpecCompleteness(t *testing.T) {
 		"Store.CommitLatency":    "corona_store_commit_latency_seconds buckets",
 		"Store.CommitLatencySum": "corona_store_commit_latency_seconds sum",
 	}
+	// Fields mirrored by the web gateway's self-registered labeled
+	// families (webgateway.RegisterMetrics) rather than spec scalars —
+	// the vec form keeps transports and causes as labels instead of a
+	// metric name per combination.
+	webCovered := map[string]string{
+		"Web.SessionsWS":             `corona_web_sessions{transport="ws"}`,
+		"Web.SessionsSSE":            `corona_web_sessions{transport="sse"}`,
+		"Web.DroppedSlowClient":      `corona_web_notify_dropped_total{cause="slow_client"}`,
+		"Web.DroppedOversize":        `corona_web_notify_dropped_total{cause="oversize"}`,
+		"Web.DisconnectsSlowClient":  `corona_web_disconnects_total{cause="slow_client"}`,
+		"Web.DisconnectsDisplaced":   `corona_web_disconnects_total{cause="displaced"}`,
+		"Web.ReplayHits":             "corona_web_replay_hits_total",
+		"Web.ReplayMissesBufferWrap": "corona_web_replay_misses_total",
+		"Web.ReplayWraps":            "corona_web_replay_wraps_total",
+		"Web.Notifies":               "corona_web_notifies_total",
+	}
+	for path, name := range webCovered {
+		if _, dup := histogramCovered[path]; dup {
+			t.Errorf("web coverage entry %s duplicates a histogram entry", path)
+		}
+		histogramCovered[path] = name
+	}
 
 	specFields := make(map[string]liveStatSpec, len(liveStatsSpec))
 	names := make(map[string]string, len(liveStatsSpec))
