@@ -6,8 +6,8 @@ import (
 	"strings"
 
 	"corona/internal/core"
-	"corona/internal/ids"
 	"corona/internal/experiments"
+	"corona/internal/ids"
 )
 
 // Violation is one machine-checked invariant failure, with enough detail
@@ -194,9 +194,16 @@ func (r *Run) checkDelegates(url string, own ownerView, liveEndpoint map[string]
 		return out
 	}
 	// The owner slot plus the delegate partitions must tile the subscriber
-	// set exactly as the shared partition function dictates.
+	// set exactly as the shared partition function dictates. Clients are
+	// visited in sorted order so the violation list — part of the JSON
+	// report — is identical across reruns of the same seed.
+	clients := make([]string, 0, len(rec.Subscribers))
+	for c := range rec.Subscribers {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
 	covered := 0
-	for client := range rec.Subscribers {
+	for _, client := range clients {
 		slot := core.DelegateSlot(client, slots)
 		if slot == 0 {
 			if _, ok := rec.OwnEntries[client]; !ok {

@@ -87,8 +87,15 @@ func (n *Node) sendEntryBatches(notify Notifier, url string, version uint64, dif
 		return 0, nil
 	}
 	self := n.Self().ID
+	// Order by (entry, client), not entry alone: the collect loops feed
+	// targets in map-iteration order, so without the client tiebreak the
+	// Clients list inside each batch would differ between identically
+	// seeded runs.
 	sort.Slice(targets, func(i, j int) bool {
-		return targets[i].entry.ID.Cmp(targets[j].entry.ID) < 0
+		if c := targets[i].entry.ID.Cmp(targets[j].entry.ID); c != 0 {
+			return c < 0
+		}
+		return targets[i].client < targets[j].client
 	})
 	batches := 0
 	var failed []notifyTarget
@@ -230,6 +237,11 @@ func (n *Node) refreshDelegatesLocked(ch *channelState, pushes []delegatePush, e
 			parts[s] = append(parts[s], replicatedSub{Client: c, Entry: entry})
 		}
 	}
+	// Each partition crosses the wire in a delegatePush; sort so the
+	// payload bytes are a pure function of the subscriber set.
+	for i := range parts {
+		sort.Slice(parts[i], func(a, b int) bool { return parts[i][a].Client < parts[i][b].Client })
+	}
 	ch.ownEntries = own
 	for i, d := range ch.delegates {
 		pushes = append(pushes, delegatePush{to: d, msg: &delegateMsg{
@@ -340,6 +352,7 @@ func (n *Node) handleDelegateNotify(msg pastry.Message) {
 	}
 	targets := n.targetScratch(len(ch.delegSubs))
 	for c, entry := range ch.delegSubs {
+		//lint:allow maporder sendEntryBatches sorts targets by (entry, client) before anything is sent
 		*targets = append(*targets, notifyTarget{client: c, entry: entry})
 	}
 	owner := ch.delegFrom

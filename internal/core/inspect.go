@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"corona/internal/ids"
@@ -116,6 +117,9 @@ func (n *Node) EachChannel(visit func(ChannelRecords)) {
 		snaps = append(snaps, ch.recordsLocked())
 	}
 	n.mu.Unlock()
+	// Visit in URL order, not map order: the chaos harness folds visitor
+	// output into seeded-run reports, which must be rerun-stable.
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].URL < snaps[j].URL })
 	for _, s := range snaps {
 		visit(s)
 	}

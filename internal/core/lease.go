@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"corona/internal/ids"
@@ -165,12 +166,26 @@ func (n *Node) leaseSweep() {
 	n.mu.Lock()
 	var rerouted []*channelState
 	var pushes []delegatePush
+	// Sweep channels and leases in sorted order: fallback picks, WAL
+	// records, and replication pushes all flow from this loop, and map
+	// iteration order would make them differ between identically seeded
+	// runs.
+	swept := make([]*channelState, 0, len(n.channels))
 	for _, ch := range n.channels {
-		if !ch.isOwner || len(ch.leases) == 0 {
-			continue
+		if ch.isOwner && len(ch.leases) > 0 {
+			swept = append(swept, ch)
 		}
+	}
+	sort.Slice(swept, func(i, j int) bool { return swept[i].url < swept[j].url })
+	for _, ch := range swept {
 		moved := false
-		for client, last := range ch.leases {
+		clients := make([]string, 0, len(ch.leases))
+		for client := range ch.leases {
+			clients = append(clients, client)
+		}
+		sort.Strings(clients)
+		for _, client := range clients {
+			last := ch.leases[client]
 			entry, subscribed := ch.subs.ids[client]
 			if !subscribed {
 				delete(ch.leases, client)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -391,6 +392,7 @@ func (n *Node) EachPolled(visit func(url string, level int)) {
 		}
 	}
 	n.mu.Unlock()
+	sort.Slice(polled, func(i, j int) bool { return polled[i].url < polled[j].url })
 	for _, e := range polled {
 		visit(e.url, e.level)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"corona/internal/ids"
@@ -48,6 +49,9 @@ func (n *Node) emitMetaLocked(ch *channelState, replaceSubs bool) {
 		for client, entry := range ch.subs.ids {
 			rec.Subs = append(rec.Subs, store.Sub{Client: client, EntryID: entry.ID, EntryEndpoint: entry.Endpoint})
 		}
+		// The record lands in the WAL; sort so identical state writes
+		// identical bytes (and byte-compares across seeded runs).
+		sort.Slice(rec.Subs, func(i, j int) bool { return rec.Subs[i].Client < rec.Subs[j].Client })
 	}
 	n.durable.StateChanged(rec)
 }
@@ -205,7 +209,15 @@ func (n *Node) ReconcileRecovered() {
 	var resumed []*channelState
 	var handoffs []handoff
 	var pushes []delegatePush
+	// Reconcile channels in URL order: resumption pushes, handoff
+	// re-injections, and the WAL records emitted below must not follow
+	// map iteration order, or recovery would desynchronize seeded runs.
+	chans := make([]*channelState, 0, len(n.channels))
 	for _, ch := range n.channels {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i].url < chans[j].url })
+	for _, ch := range chans {
 		if !ch.recoveredOwner {
 			continue
 		}
@@ -229,6 +241,7 @@ func (n *Node) ReconcileRecovered() {
 		for client, entry := range ch.subs.ids {
 			h.subs = append(h.subs, replicatedSub{Client: client, Entry: entry})
 		}
+		sort.Slice(h.subs, func(i, j int) bool { return h.subs[i].Client < h.subs[j].Client })
 		if len(h.subs) > 0 {
 			handoffs = append(handoffs, h)
 		}

@@ -122,6 +122,9 @@ func (n *Node) buildReplicateLocked(ch *channelState) *replicateMsg {
 		for c, entry := range ch.subs.ids {
 			rep.Subscribers = append(rep.Subscribers, replicatedSub{Client: c, Entry: entry})
 		}
+		// Replication payload bytes must be a pure function of the
+		// subscriber set, not of map iteration order.
+		sort.Slice(rep.Subscribers, func(i, j int) bool { return rep.Subscribers[i].Client < rep.Subscribers[j].Client })
 	}
 	return rep
 }
@@ -304,6 +307,7 @@ func handoffMissingLocked(ch *channelState, pushed []replicatedSub) []replicated
 			missing = append(missing, replicatedSub{Client: c, Entry: entry})
 		}
 	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Client < missing[j].Client })
 	return missing
 }
 
@@ -447,6 +451,9 @@ func (n *Node) handlePeerFault(dead pastry.Addr) {
 			promoted = append(promoted, ch)
 		}
 	}
+	// Promote in URL order: becomeOwnerLocked emits WAL records and
+	// epoch bumps whose order must be rerun-stable under one seed.
+	sort.Slice(promoted, func(i, j int) bool { return promoted[i].url < promoted[j].url })
 	for _, ch := range promoted {
 		n.becomeOwnerLocked(ch)
 		n.stats.LevelChanges++ // ownership transfer shows up in churn stats
@@ -529,6 +536,7 @@ func (n *Node) notifySubscribers(ch *channelState, version uint64, diff string, 
 	epoch := ch.ownerEpoch
 	targets := n.targetScratch(len(src))
 	for c, entry := range src {
+		//lint:allow maporder sendEntryBatches sorts targets by (entry, client) before anything is sent
 		*targets = append(*targets, notifyTarget{client: c, entry: entry})
 	}
 	// Count only the targets this node fans out itself; delegates count
