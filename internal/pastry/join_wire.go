@@ -1,0 +1,87 @@
+package pastry
+
+import (
+	"fmt"
+
+	"corona/internal/ids"
+	"corona/internal/wirebin"
+)
+
+// Native binary wire forms for the overlay's own protocol payloads,
+// matching the codec contract the Corona message set follows (package
+// core, messages_wire.go): join requests and state snapshots previously
+// rode the codec's JSON fallback, which made them the only registered
+// payloads without a deterministic byte encoding. Conventions are the
+// wirebin house rules: uvarint counts, length-prefixed strings, and a
+// raw 20-byte identifier plus endpoint string per address.
+
+func appendAddr(dst []byte, a Addr) []byte {
+	dst = append(dst, a.ID[:]...)
+	return wirebin.AppendString(dst, a.Endpoint)
+}
+
+func readAddr(r *wirebin.Reader) Addr {
+	var a Addr
+	copy(a.ID[:], r.Take(ids.Bytes))
+	a.Endpoint = r.String()
+	return a
+}
+
+func appendAddrs(dst []byte, as []Addr) []byte {
+	dst = wirebin.AppendUvarint(dst, uint64(len(as)))
+	for _, a := range as {
+		dst = appendAddr(dst, a)
+	}
+	return dst
+}
+
+func readAddrs(r *wirebin.Reader) []Addr {
+	n := r.ListLen(ids.Bytes + 1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Addr, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, readAddr(r))
+	}
+	return out
+}
+
+// wireErr wraps a reader's latched error with the payload type.
+func wireErr(what string, r *wirebin.Reader) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("pastry: decoding %s payload: %w", what, err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("pastry: decoding %s payload: %d trailing bytes", what, r.Len())
+	}
+	return nil
+}
+
+// AppendBinary implements the codec binary payload contract.
+func (p *joinPayload) AppendBinary(dst []byte) ([]byte, error) {
+	dst = appendAddr(dst, p.Joiner)
+	return appendAddrs(dst, p.Rows), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (p *joinPayload) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	p.Joiner = readAddr(r)
+	p.Rows = readAddrs(r)
+	return wireErr("join", r)
+}
+
+// AppendBinary implements the codec binary payload contract.
+func (p *statePayload) AppendBinary(dst []byte) ([]byte, error) {
+	dst = appendAddrs(dst, p.Leaves)
+	return appendAddrs(dst, p.Table), nil
+}
+
+// DecodeBinary implements the codec binary payload contract.
+func (p *statePayload) DecodeBinary(src []byte) error {
+	r := wirebin.NewReader(src)
+	p.Leaves = readAddrs(r)
+	p.Table = readAddrs(r)
+	return wireErr("state", r)
+}
