@@ -1,0 +1,62 @@
+// Command corona-lint runs Corona's house analyzers — the statically
+// checkable slice of the invariants the chaos harness checks dynamically —
+// over the repository and fails on any violation:
+//
+//	go run ./cmd/corona-lint ./...
+//
+// Each finding prints as file:line:col: analyzer: message. Deliberate
+// exceptions are annotated in source with a checked directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above. See internal/analysis
+// for the analyzer catalogue and the historical bugs motivating each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"corona/internal/analysis"
+	"corona/internal/analysis/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: corona-lint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corona-lint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corona-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "corona-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Deliberate exceptions are annotated in source as
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or on its own line immediately above. The directive
+// is checked, not free-form: the analyzer name must belong to the suite,
+// the reason is mandatory, and an allow that suppresses nothing is itself
+// a finding — so stale exceptions cannot rot in place after the code they
+// excused is rewritten.
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos       token.Pos // position of the comment
+	line      int       // line the comment sits on
+	file      string    // filename
+	analyzer  string
+	reason    string
+	malformed string // non-empty: why the directive is invalid
+	used      bool   // suppressed at least one diagnostic
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows extracts every //lint:allow directive from the files,
+// validating shape and analyzer name against known.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &allowDirective{pos: c.Pos(), line: pos.Line, file: pos.Filename}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// Something like //lint:allowed — not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "missing analyzer name and reason"
+				case len(fields) == 1:
+					d.analyzer = fields[0]
+					d.malformed = "missing reason (write //lint:allow " + fields[0] + " <why this is safe>)"
+				default:
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				if d.malformed == "" && !known[d.analyzer] {
+					d.malformed = "unknown analyzer " + d.analyzer
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether the directive suppresses a diagnostic from
+// analyzer at the given position: same analyzer, same file, and the
+// directive sits on the diagnostic's line or the line directly above.
+func (d *allowDirective) matches(analyzer string, pos token.Position) bool {
+	if d.malformed != "" || d.analyzer != analyzer || d.file != pos.Filename {
+		return false
+	}
+	return d.line == pos.Line || d.line == pos.Line-1
+}

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"corona/internal/analysis"
+	"corona/internal/analysis/load"
+)
+
+// TestAllowDirectives drives the suppression path end to end on the
+// allowfix fixture with the full analyzer suite: a well-formed allow
+// silences its finding, a wrong-analyzer allow silences nothing (and is
+// itself flagged unused), a missing reason or unknown analyzer is
+// malformed, and an allow with no finding in range is unused.
+func TestAllowDirectives(t *testing.T) {
+	pkgs, err := load.Fixtures("testdata", "allowfix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Logf("finding: %s", f)
+	}
+
+	type expect struct {
+		analyzer string
+		fragment string
+	}
+	expects := []expect{
+		// wrongAnalyzer: the lockblock finding survives...
+		{"lockblock", "channel send while x.mu is held"},
+		// ...and its maporder directive is unused.
+		{"allow", "unused //lint:allow maporder"},
+		// missingReason: malformed + surviving finding.
+		{"allow", "missing reason"},
+		{"lockblock", "channel send while x.mu is held"},
+		// unknownAnalyzer: malformed + surviving finding.
+		{"allow", "unknown analyzer nosuchcheck"},
+		{"lockblock", "channel send while x.mu is held"},
+		// unusedAllow: flagged as unused.
+		{"allow", "unused //lint:allow lockblock"},
+	}
+	if len(findings) != len(expects) {
+		t.Fatalf("got %d findings, want %d", len(findings), len(expects))
+	}
+	remaining := append([]analysis.Finding{}, findings...)
+	for _, e := range expects {
+		found := -1
+		for i, f := range remaining {
+			if f.Analyzer == e.analyzer && strings.Contains(f.Message, e.fragment) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("no finding for %s %q", e.analyzer, e.fragment)
+			continue
+		}
+		remaining = append(remaining[:found], remaining[found+1:]...)
+	}
+	for _, f := range remaining {
+		t.Errorf("unexpected finding: %s", f)
+	}
+
+	// The two correctly-allowed sends must not appear at all.
+	for _, f := range findings {
+		if strings.Contains(f.Message, "buffered") {
+			t.Errorf("suppressed finding leaked: %s", f)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check. The shape mirrors
+// golang.org/x/tools/go/analysis so the analyzers read idiomatically and
+// could migrate to the upstream framework if the dependency ever lands;
+// the driver here is self-contained on the standard library.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //lint:allow directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by corona-lint -list.
+	Doc string
+	// Run reports this analyzer's findings for one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset positions every file below.
+	Fset *token.FileSet
+	// Files are the package's compiled files, type-checked.
+	Files []*ast.File
+	// TestFiles are the package's *_test.go files, parsed but not
+	// type-checked (syntax-only facts).
+	TestFiles []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds expression types, identifier uses/defs, and selections.
+	Info *types.Info
+	// Report records one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full Corona analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, LockBlock, WireSym, WallClock}
+}

@@ -1,0 +1,135 @@
+// Package analysistest runs one analyzer against fixture packages under
+// a testdata tree and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the
+// self-contained loader.
+//
+// A fixture line expecting a diagnostic carries a comment of the form
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//
+// Every reported diagnostic must match a want on its line, and every
+// want must be matched by a diagnostic; mismatches fail the test with
+// the full delta.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"corona/internal/analysis"
+	"corona/internal/analysis/load"
+)
+
+// lineKey addresses one fixture source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// Run loads the fixture packages at <testdata>/src/<path> and applies
+// the analyzer, comparing findings with // want comments. The driver's
+// //lint:allow machinery is active, so fixtures can exercise
+// suppressions too.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := load.Fixtures(testdata, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+		for _, f := range files {
+			collectWants(t, pkg.Fset, f, wants)
+		}
+	}
+
+	matched := map[*regexp.Regexp]bool{}
+	for _, f := range findings {
+		k := lineKey{f.Pos.Filename, f.Pos.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if !matched[re] && re.MatchString(f.Message) {
+				matched[re] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("missing finding at %s:%d: want match for %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants parses // want comments into per-line expectations.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[lineKey][]*regexp.Regexp) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, q := range splitQuoted(m[1]) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				k := lineKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+}
+
+// splitQuoted splits `"a" "b c"` into quoted chunks.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			break
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			break
+		}
+		out = append(out, s[:end+1])
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"corona/internal/analysis/load"
+)
+
+// Finding is one reported violation, positioned and attributed.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings: diagnostics not excused by a matching //lint:allow directive,
+// plus driver findings for malformed or unused directives. Findings come
+// back sorted by position.
+func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows := parseAllows(pkg.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...), known)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				TestFiles: pkg.TestFiles,
+				Pkg:       pkg.Types,
+				Info:      pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				for _, al := range allows {
+					if al.matches(name, pos) {
+						al.used = true
+						return
+					}
+				}
+				findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+		for _, al := range allows {
+			pos := pkg.Fset.Position(al.pos)
+			switch {
+			case al.malformed != "":
+				findings = append(findings, Finding{Analyzer: "allow", Pos: pos, Message: "malformed //lint:allow: " + al.malformed})
+			case !al.used && running[al.analyzer]:
+				// Only judge directives whose analyzer actually ran this
+				// invocation; a single-analyzer run must not condemn the
+				// others' exceptions.
+				findings = append(findings, Finding{Analyzer: "allow", Pos: pos, Message: fmt.Sprintf("unused //lint:allow %s: no %s finding on this or the next line; delete the directive or re-check the code", al.analyzer, al.analyzer)})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockBlock (no-blocking-under-lock) flags blocking work performed while
+// a sync.Mutex or sync.RWMutex acquired in the same function is still
+// held: channel sends (outside a select with a default case), calls into
+// the wire layer (method names like Send/SendBatch, blocking net.Conn or
+// crypto/tls I/O methods), and durable-store calls that wait on fsync
+// (store Append/Sync/Compact/Close, (*os.File).Sync). Holding a node's
+// mutex across a transport send is the pre-PR-6 fanOut shape: one slow
+// peer stalls every reader of the lock.
+//
+// The analysis is intra-procedural and tracks lock state in source
+// order: a Lock/RLock opens a region that a non-deferred Unlock/RUnlock
+// of the same expression closes; a deferred unlock holds to the end of
+// the function. Function literals are analyzed as separate functions
+// (they usually run on other goroutines).
+var LockBlock = &Analyzer{
+	Name: "lockblock",
+	Doc: "flags channel sends, transport/net.Conn calls, and WAL/fsync calls made while a " +
+		"sync mutex acquired in the same function is still held (the pre-PR-6 fanOut-under-RLock shape)",
+	Run: runLockBlock,
+}
+
+// blockingStoreMethods are methods on corona/internal/store types that
+// block on group-commit fsync or compaction.
+var blockingStoreMethods = map[string]bool{
+	"Append": true, "Sync": true, "Compact": true, "Close": true,
+}
+
+// blockingSendMethods are method names that transmit on a transport.
+var blockingSendMethods = map[string]bool{
+	"Send": true, "send": true, "SendTo": true, "SendBatch": true,
+}
+
+// blockingNetMethods are the net/tls methods that actually wait on the
+// network. Deadline setters, Addr getters, and Close are bookkeeping:
+// Close in particular is routinely (and correctly) called under a lock
+// to fence connection state.
+var blockingNetMethods = map[string]bool{
+	"Read": true, "Write": true, "Accept": true, "Handshake": true,
+	"ReadFrom": true, "WriteTo": true, "ReadFromUDP": true, "WriteToUDP": true,
+}
+
+func runLockBlock(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockRegions(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkLockRegions(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockState tracks which mutex expressions are held at the current point
+// of the source-order walk.
+type lockState struct {
+	pass *Pass
+	// held maps a normalized mutex expression ("n.mu") to the count of
+	// open acquisitions.
+	held map[string]int
+	// lockLine remembers where each held mutex was last acquired, for
+	// the message.
+	lockLine map[string]int
+}
+
+func checkLockRegions(pass *Pass, body *ast.BlockStmt) {
+	st := &lockState{pass: pass, held: map[string]int{}, lockLine: map[string]int{}}
+	st.walk(body)
+}
+
+// anyHeld returns the lexically-smallest held mutex expression, or ""
+// (smallest, not first-found: this linter holds itself to the map-order
+// determinism it enforces).
+func (st *lockState) anyHeld() string {
+	best := ""
+	for k, n := range st.held {
+		if n > 0 && (best == "" || k < best) {
+			best = k
+		}
+	}
+	return best
+}
+
+// walk visits stmts in source order, updating lock state and reporting
+// blocking operations in held regions. Nested function literals are
+// skipped (analyzed separately with fresh state).
+func (st *lockState) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the region open; any other deferred
+			// call runs after the function body, outside the region.
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			st.checkSelect(n)
+			return false
+		case *ast.SendStmt:
+			if mu := st.anyHeld(); mu != "" {
+				st.pass.Reportf(n.Pos(), "channel send while %s is held (locked at line %d): a full channel blocks every waiter on the lock; move the send after unlock or use a select with default", mu, st.lockLine[mu])
+			}
+		case *ast.CallExpr:
+			st.checkCall(n)
+		}
+		return true
+	})
+}
+
+// checkSelect walks a select statement: sends and receives inside a
+// select with a default case never block, so only selects without a
+// default are checked (their comm clauses can block the lock holder).
+func (st *lockState) checkSelect(sel *ast.SelectStmt) {
+	hasDefault := false
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		if mu := st.anyHeld(); mu != "" {
+			st.pass.Reportf(sel.Pos(), "blocking select while %s is held (locked at line %d): add a default case or move it after unlock", mu, st.lockLine[mu])
+		}
+	}
+	// Clause bodies run after the (possibly non-blocking) communication;
+	// walk them normally.
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok {
+			for _, s := range cc.Body {
+				st.walk(s)
+			}
+		}
+	}
+}
+
+func (st *lockState) checkCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+
+	// Mutex transitions first.
+	if st.isSyncLockCall(sel) {
+		key := exprString(sel.X)
+		switch name {
+		case "Lock", "RLock":
+			st.held[key]++
+			st.lockLine[key] = st.pass.Fset.Position(call.Pos()).Line
+		case "Unlock", "RUnlock":
+			if st.held[key] > 0 {
+				st.held[key]--
+			}
+		}
+		return
+	}
+
+	mu := st.anyHeld()
+	if mu == "" {
+		return
+	}
+	recv := st.pass.Info.Types[sel.X].Type
+	switch {
+	case blockingSendMethods[name] && st.isMethodCall(sel):
+		st.pass.Reportf(call.Pos(), "%s while %s is held (locked at line %d): a slow peer stalls every waiter on the lock; collect targets under the lock, send after unlock", name, mu, st.lockLine[mu])
+	case recv != nil && blockingNetMethods[name] && receiverInPackage(recv, "net", "crypto/tls"):
+		st.pass.Reportf(call.Pos(), "%s.%s while %s is held (locked at line %d): network I/O under a lock; move it after unlock", exprString(sel.X), name, mu, st.lockLine[mu])
+	case blockingStoreMethods[name] && recv != nil && receiverInPackage(recv, "corona/internal/store"):
+		st.pass.Reportf(call.Pos(), "store %s while %s is held (locked at line %d): group-commit fsync under a lock; stage the record and append after unlock", name, mu, st.lockLine[mu])
+	case name == "Sync" && recv != nil && receiverNamed(recv, "os", "File"):
+		st.pass.Reportf(call.Pos(), "(*os.File).Sync while %s is held (locked at line %d): fsync under a lock; move it after unlock", mu, st.lockLine[mu])
+	}
+}
+
+// isSyncLockCall reports whether sel selects a sync.Mutex/RWMutex
+// Lock/RLock/Unlock/RUnlock method (directly or through an embedded
+// field).
+func (st *lockState) isSyncLockCall(sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	s, ok := st.pass.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return false
+	}
+	return true
+}
+
+// isMethodCall reports whether sel resolves to a method (not a field of
+// function type or a package-level function — those transmit too, but
+// matching bare names across all packages would be noise).
+func (st *lockState) isMethodCall(sel *ast.SelectorExpr) bool {
+	s, ok := st.pass.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	_, ok = s.Obj().(*types.Func)
+	return ok
+}
+
+// receiverInPackage reports whether t (or its pointee) is a named type
+// declared in one of the given packages, or an interface whose methods
+// come from one of them (net.Conn).
+func receiverInPackage(t types.Type, pkgs ...string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	for _, p := range pkgs {
+		if obj.Pkg().Path() == p {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverNamed reports whether t (or its pointee) is the named type
+// pkg.Name.
+func receiverNamed(t types.Type, pkg, name string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"corona/internal/analysis"
+	"corona/internal/analysis/load"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over the whole
+// repository — the same sweep `make check` and CI run via corona-lint.
+// Any regression of a house invariant (an unsorted map range feeding
+// the wire in a deterministic package, a transport send under a lock, a
+// half-implemented wire type, a wall-clock read in the simulation
+// stack) fails this test with the finding's position.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the whole repo")
+	}
+	pkgs, err := load.Packages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	findings, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

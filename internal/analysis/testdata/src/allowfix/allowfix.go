@@ -1,0 +1,57 @@
+// Fixture for the //lint:allow suppression path itself: correct allows
+// suppress, wrong-analyzer allows do not, malformed allows are findings,
+// and allows with nothing to suppress are findings.
+package allowfix
+
+import "sync"
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// allowedSend: correctly formed allow on the line above — suppressed.
+func (x *q) allowedSend() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	//lint:allow lockblock the channel is buffered to len(q) and drained by a dedicated goroutine
+	x.ch <- 1
+}
+
+// sameLineAllow: the directive may ride the flagged line itself.
+func (x *q) sameLineAllow() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ch <- 1 //lint:allow lockblock buffered and drained, cannot block
+}
+
+// wrongAnalyzer: the allow names maporder, so the lockblock finding
+// survives and the maporder allow is unused.
+func (x *q) wrongAnalyzer() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	//lint:allow maporder this names the wrong analyzer
+	x.ch <- 2
+}
+
+// missingReason: rejected as malformed; the finding survives.
+func (x *q) missingReason() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	//lint:allow lockblock
+	x.ch <- 3
+}
+
+// unknownAnalyzer: rejected as malformed; the finding survives.
+func (x *q) unknownAnalyzer() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	//lint:allow nosuchcheck because reasons
+	x.ch <- 4
+}
+
+// unusedAllow: nothing on the next line triggers lockblock.
+func (x *q) unusedAllow() {
+	//lint:allow lockblock nothing here needs this
+	_ = x
+}

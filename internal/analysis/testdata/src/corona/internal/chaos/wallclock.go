@@ -1,0 +1,26 @@
+// Fixture: chaos always runs on the virtual clock; wall-clock reads are
+// flagged, pure time construction and arithmetic are not.
+package chaos
+
+import "time"
+
+type result struct {
+	at time.Time
+}
+
+func run() result {
+	start := time.Now()           // want "time.Now in a virtual-clock package"
+	_ = time.Since(start)         // want "time.Since in a virtual-clock package"
+	<-time.After(time.Second)     // want "time.After in a virtual-clock package"
+	time.Sleep(time.Millisecond)  // want "time.Sleep in a virtual-clock package"
+	t := time.NewTimer(time.Hour) // want "time.NewTimer in a virtual-clock package"
+	t.Stop()
+	return result{at: time.Unix(0, 0)} // pure construction: clean
+}
+
+// allowedWallTime shows the checked exception path: the directive names
+// the analyzer and carries a reason, so the finding is suppressed.
+func allowedWallTime() time.Time {
+	//lint:allow wallclock reporting-only wall time, never feeds simulation state
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Fixture stub of corona/internal/clock: importing it marks a package
+// as a virtual-clock consumer for the wallclock analyzer.
+package clock
+
+import "time"
+
+type Clock interface {
+	Now() time.Time
+}

@@ -1,0 +1,20 @@
+// Fixture: a package that takes an injected clock.Clock is a
+// virtual-clock consumer — a direct time.Now beside it is exactly the
+// bug the injection exists to prevent.
+package clockconsumer
+
+import (
+	"time"
+
+	"corona/internal/clock"
+)
+
+type sched struct{ c clock.Clock }
+
+func (s *sched) due() time.Time {
+	return time.Now() // want "time.Now in a virtual-clock package"
+}
+
+func (s *sched) dueInjected() time.Time {
+	return s.c.Now() // the injected clock: clean
+}

@@ -1,0 +1,127 @@
+// Fixture: the pre-PR-7 determinism bugs. pastry is a deterministic
+// package, so map ranges whose order escapes must be flagged.
+package pastry
+
+import (
+	"math/rand"
+	"sort"
+)
+
+type ID string
+
+type Addr struct{ ID ID }
+
+type Node struct {
+	peers map[ID]Addr
+}
+
+// KnownNodesUnsorted is the exact pre-PR-7 KnownNodes shape: map keys
+// flow out in iteration order and feed seeded-draw indexing upstream.
+func (n *Node) KnownNodesUnsorted() []Addr {
+	out := make([]Addr, 0, len(n.peers))
+	for _, a := range n.peers {
+		out = append(out, a) // want "append to out inside range over map n.peers"
+	}
+	return out
+}
+
+// KnownNodesSorted is the PR-7 fix: collect, then sort. The append is
+// sanctioned by the sort.Slice downstream.
+func (n *Node) KnownNodesSorted() []Addr {
+	out := make([]Addr, 0, len(n.peers))
+	for _, a := range n.peers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+type transport struct{}
+
+func (transport) Send(to Addr) error { return nil }
+
+// gossipAll sends in map order: flagged.
+func (n *Node) gossipAll(t transport) {
+	for _, a := range n.peers {
+		t.Send(a) // want "Send call inside range over map n.peers"
+	}
+}
+
+func send(a Addr) {}
+
+// flood calls a package-level send helper in map order: flagged.
+func (n *Node) flood() {
+	for _, a := range n.peers {
+		send(a) // want "send call inside range over map n.peers"
+	}
+}
+
+// publish pushes map elements onto a channel in map order: flagged.
+func (n *Node) publish(ch chan Addr) {
+	for _, a := range n.peers {
+		ch <- a // want "channel send inside range over map n.peers"
+	}
+}
+
+// jitter draws from a seeded RNG once per map element: the draw sequence
+// depends on iteration order even though no element escapes.
+func (n *Node) jitter(rng *rand.Rand) int {
+	s := 0
+	for range n.peers {
+		s += rng.Intn(3) // want "seeded RNG draw inside range over map n.peers"
+	}
+	return s
+}
+
+type group struct {
+	key  ID
+	addr []Addr
+}
+
+// perIterationComposite: the outer map range appends through a struct
+// declared inside its body — the outer order cannot shape any one
+// group's elements. The inner range over a map is judged on its own
+// (and is sanctioned here by the sort).
+func (n *Node) perIterationComposite(shards map[ID]map[ID]Addr) []group {
+	var groups []group
+	for key, shard := range shards {
+		g := group{key: key}
+		for _, a := range shard {
+			g.addr = append(g.addr, a)
+		}
+		sort.Slice(g.addr, func(i, j int) bool { return g.addr[i].ID < g.addr[j].ID })
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	return groups
+}
+
+// count is order-independent accumulation: not flagged.
+func (n *Node) count() int {
+	c := 0
+	for range n.peers {
+		c++
+	}
+	return c
+}
+
+// index builds a map from a map: order-independent, not flagged.
+func (n *Node) index() map[ID]bool {
+	m := map[ID]bool{}
+	for id := range n.peers {
+		m[id] = true
+	}
+	return m
+}
+
+// localScratch appends to a slice that lives and dies inside one
+// iteration: order cannot escape, not flagged.
+func (n *Node) localScratch() int {
+	total := 0
+	for _, a := range n.peers {
+		var parts []ID
+		parts = append(parts, a.ID)
+		total += len(parts)
+	}
+	return total
+}

@@ -1,0 +1,9 @@
+// Fixture: simnet is in the always-virtual set even though it does not
+// import internal/clock.
+package simnet
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in a virtual-clock package"
+}

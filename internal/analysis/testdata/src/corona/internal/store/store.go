@@ -1,0 +1,14 @@
+// Fixture stub of corona/internal/store: just enough surface for the
+// lockblock fixture to exercise the WAL-under-lock check.
+package store
+
+type Store struct{}
+
+// Append blocks on group-commit fsync in the real store.
+func (s *Store) Append(op byte) error { return nil }
+
+// Sync forces an fsync in the real store.
+func (s *Store) Sync() error { return nil }
+
+// Stats is a cheap read: never flagged.
+func (s *Store) Stats() int { return 0 }

@@ -1,0 +1,23 @@
+// Fixture: webgateway is NOT a deterministic package — the identical
+// unsorted shape that maporder flags in pastry must pass clean here.
+package webgateway
+
+type session struct{ id string }
+
+type hub struct {
+	sessions map[string]session
+}
+
+func (h *hub) all() []session {
+	out := make([]session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (h *hub) push(ch chan session) {
+	for _, s := range h.sessions {
+		ch <- s
+	}
+}

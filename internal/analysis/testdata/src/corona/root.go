@@ -1,0 +1,14 @@
+// Fixture: the root corona package is the composition root that wires
+// clock.Real into live deployments — exempt from wallclock even though
+// it imports internal/clock.
+package corona
+
+import (
+	"time"
+
+	"corona/internal/clock"
+)
+
+type live struct{ c clock.Clock }
+
+func bootWall() time.Time { return time.Now() }

@@ -1,0 +1,138 @@
+// Fixture: blocking work under a mutex held in the same function — the
+// pre-PR-6 fanOut-under-RLock shape and its relatives.
+package lockblock
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"corona/internal/store"
+)
+
+type transport struct{}
+
+func (transport) Send(to string, b []byte) error { return nil }
+
+type row struct{ addr string }
+
+type node struct {
+	mu   sync.RWMutex
+	rows []row
+	t    transport
+	ch   chan row
+	conn net.Conn
+	wal  *store.Store
+	f    *os.File
+}
+
+// fanOutUnderLock is the exact pre-PR-6 shape: transport sends while the
+// read lock is held, so one slow peer stalls every reader.
+func (n *node) fanOutUnderLock(b []byte) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, r := range n.rows {
+		n.t.Send(r.addr, b) // want "Send while n.mu is held"
+	}
+}
+
+// fanOutAfterUnlock is the PR-6 fix: collect under the lock, send after.
+func (n *node) fanOutAfterUnlock(b []byte) {
+	n.mu.RLock()
+	targets := make([]row, len(n.rows))
+	copy(targets, n.rows)
+	n.mu.RUnlock()
+	for _, r := range targets {
+		n.t.Send(r.addr, b)
+	}
+}
+
+// sendOnChannel blocks on a possibly-full channel with the lock held.
+func (n *node) sendOnChannel(r row) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ch <- r // want "channel send while n.mu is held"
+}
+
+// nonBlockingSend uses select-with-default: never blocks, not flagged.
+func (n *node) nonBlockingSend(r row) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- r:
+	default:
+	}
+}
+
+// blockingSelect has no default case: it can park the lock holder.
+func (n *node) blockingSelect(r row) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want "blocking select while n.mu is held"
+	case n.ch <- r:
+	}
+}
+
+// connWriteUnderLock performs network I/O with the lock held.
+func (n *node) connWriteUnderLock(b []byte) {
+	n.mu.Lock()
+	n.conn.Write(b) // want "n.conn.Write while n.mu is held"
+	n.mu.Unlock()
+}
+
+// connBookkeepingUnderLock: deadline setters and Close do not wait on
+// the network — fencing a conn under a lock is fine, not flagged.
+func (n *node) connBookkeepingUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.conn.SetWriteDeadline(time.Time{})
+	n.conn.Close()
+	_ = n.conn.RemoteAddr()
+}
+
+// connWriteAfterUnlock releases first: not flagged.
+func (n *node) connWriteAfterUnlock(b []byte) {
+	n.mu.Lock()
+	n.mu.Unlock()
+	n.conn.Write(b)
+}
+
+// walAppendUnderLock waits on group-commit fsync with the lock held.
+func (n *node) walAppendUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.wal.Append(1) // want "store Append while n.mu is held"
+}
+
+// fsyncUnderLock fsyncs with the lock held.
+func (n *node) fsyncUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.f.Sync() // want "Sync while n.mu is held"
+}
+
+// statsUnderLock reads a cheap counter: not flagged.
+func (n *node) statsUnderLock() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.wal.Stats()
+}
+
+// goroutineSend hands the send to another goroutine: the lock holder
+// does not block, not flagged.
+func (n *node) goroutineSend(b []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go n.t.Send("x", b)
+}
+
+// literalOwnLock: a function literal acquires and misuses its own lock —
+// analyzed as a separate function with fresh state.
+func (n *node) literalOwnLock(r row) func() {
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.ch <- r // want "channel send while n.mu is held"
+	}
+}

@@ -1,0 +1,46 @@
+// Fixture: codec-registration symmetry. register has the registry shape
+// (msgType string, factory func() any), matching codec.RegisterPayload
+// and the register-callback in core.RegisterPayloadTypes.
+package wiresym
+
+func register(msgType string, factory func() any) {}
+
+// okMsg has both halves and fuzz coverage: clean.
+type okMsg struct{ A int }
+
+func (m *okMsg) AppendBinary(dst []byte) ([]byte, error) { return dst, nil }
+func (m *okMsg) DecodeBinary(src []byte) error           { return nil }
+
+// encOnlyMsg encodes but cannot decode what it sent.
+type encOnlyMsg struct{}
+
+func (m *encOnlyMsg) AppendBinary(dst []byte) ([]byte, error) { return dst, nil }
+
+// decOnlyMsg decodes but falls back to JSON on encode.
+type decOnlyMsg struct{}
+
+func (m *decOnlyMsg) DecodeBinary(src []byte) error { return nil }
+
+// nakedMsg has no binary form at all.
+type nakedMsg struct{}
+
+// untestedMsg has both halves but no robustness test references it.
+type untestedMsg struct{}
+
+func (m *untestedMsg) AppendBinary(dst []byte) ([]byte, error) { return dst, nil }
+func (m *untestedMsg) DecodeBinary(src []byte) error           { return nil }
+
+func registerAll() {
+	register("w.ok", func() any { return &okMsg{} })
+	register("w.enc", func() any { return &encOnlyMsg{} })       // want "encOnlyMsg registered with an AppendBinary encoder but no DecodeBinary"
+	register("w.dec", func() any { return &decOnlyMsg{} })       // want "decOnlyMsg registered with a DecodeBinary decoder but no AppendBinary"
+	register("w.naked", func() any { return &nakedMsg{} })       // want "nakedMsg registered without a native binary wire form"
+	register("w.untested", func() any { return &untestedMsg{} }) // want "untestedMsg has no truncation/fuzz coverage"
+}
+
+// notARegistration: two args but the wrong signature — ignored.
+func notARegistration(name string, n int) {}
+
+func otherCalls() {
+	notARegistration("x", 1)
+}

@@ -1,0 +1,17 @@
+package wiresym
+
+import "testing"
+
+// FuzzDecodeTruncations gives okMsg its robustness coverage; the file
+// defines a Fuzz* function and references the type.
+func FuzzDecodeTruncations(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := &okMsg{}
+		if err := m.DecodeBinary(data); err != nil {
+			return
+		}
+		if _, err := m.AppendBinary(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

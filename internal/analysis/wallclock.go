@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock (no-wall-clock) flags direct wall-clock reads — time.Now,
+// time.Since, bare time.After/Tick/Sleep, timer constructors — in
+// packages that must run on the virtual clock: the simulation stack
+// (internal/chaos, internal/eventsim, internal/simnet) plus every
+// consumer of corona/internal/clock (those packages took an injected
+// Clock precisely so the discrete-event simulator can drive them; a
+// stray time.Now() silently reintroduces wall time and desynchronizes
+// seeded runs in ways no fixed-seed test can reproduce).
+//
+// The root corona package is exempt: it is the composition root that
+// wires clock.Real into live deployments, so it legitimately touches
+// both clocks. Package internal/clock itself defines the wall-clock
+// boundary and is not a consumer.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/time.Since/time.After and friends in virtual-clock packages " +
+		"(chaos, eventsim, simnet, and internal/clock consumers) — wall-clock reads break seeded reproducibility",
+	Run: runWallClock,
+}
+
+// virtualClockPkgs always run under the simulator's clock.
+var virtualClockPkgs = map[string]bool{
+	"corona/internal/chaos":    true,
+	"corona/internal/eventsim": true,
+	"corona/internal/simnet":   true,
+}
+
+// wallClockExempt packages may read the wall clock even though they
+// import internal/clock.
+var wallClockExempt = map[string]bool{
+	// The composition root: constructs clock.Real for live deployments.
+	"corona": true,
+}
+
+// wallClockFuncs are the time-package functions that read or schedule
+// against the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "Sleep": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWallClock(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if wallClockExempt[path] {
+		return nil
+	}
+	if !virtualClockPkgs[path] && !importsClock(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s in a virtual-clock package: use the injected clock.Clock (sim time) so seeded runs stay reproducible", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// importsClock reports whether pkg directly imports corona/internal/clock.
+func importsClock(pkg *types.Package) bool {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == "corona/internal/clock" {
+			return true
+		}
+	}
+	return false
+}

@@ -112,6 +112,7 @@ func (c *WSClient) write(opcode byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	//lint:allow lockblock wmu exists solely to serialize frame writes on this conn; it guards no other state
 	_, err := c.conn.Write(appendMaskedFrame(nil, opcode, payload))
 	return err
 }
