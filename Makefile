@@ -7,9 +7,9 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all bench-smoke chaos chaos-long
+.PHONY: check vet build test race lint bench bench-all bench-smoke chaos chaos-long
 
-check: vet build test
+check: vet build test lint
 
 vet:
 	$(GO) vet ./...
@@ -20,10 +20,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The wire layer, the durable store, and the client/web edges are the
-# concurrency hot spots; run them under the race detector explicitly.
+# The whole tree under the race detector — not just the historical hot
+# spots: every package is cheap enough, and the edges between them are
+# where the lockblock-class bugs lived.
 race:
-	$(GO) test -race ./internal/netwire/ ./internal/codec/ ./internal/pastry/ ./internal/store/ ./internal/clientproto/ ./internal/im/ ./internal/webgateway/ ./client/
+	$(GO) test -race ./...
+
+# Static analysis: gofmt gating, the house analyzers (corona-lint:
+# maporder, lockblock, wiresym, wallclock), and — when their pinned
+# binaries are installed (CI installs them; they need network to fetch)
+# — staticcheck and govulncheck.
+lint:
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./cmd/corona-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck -checks 'SA*' ./...; \
+		else echo "staticcheck not installed; skipped (CI runs it pinned)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipped (CI runs it pinned)"; fi
 
 # Wire-layer benchmarks (payload encode, fan-out, round trip, end-to-end
 # dissemination) recorded in BENCH_wire.json; durable-store benchmarks

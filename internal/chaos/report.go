@@ -10,27 +10,27 @@ import (
 
 // Result is the outcome of one scenario execution.
 type Result struct {
-	Scenario          string        `json:"scenario"`
-	Seed              int64         `json:"seed"`
-	Nodes             int           `json:"nodes"`
-	LiveNodes         int           `json:"live_nodes"`
-	Channels          int           `json:"channels"`
-	Subscriptions     int           `json:"subscriptions"`
-	Converged         bool          `json:"converged"`
-	ConvergeTime      time.Duration `json:"converge_time_ns"`
-	MsgsToConverge    uint64        `json:"msgs_to_converge"`
-	Violations        []Violation   `json:"violations,omitempty"`
-	Deliveries        uint64        `json:"deliveries"`
-	Duplicates        uint64        `json:"duplicates"`
+	Scenario       string        `json:"scenario"`
+	Seed           int64         `json:"seed"`
+	Nodes          int           `json:"nodes"`
+	LiveNodes      int           `json:"live_nodes"`
+	Channels       int           `json:"channels"`
+	Subscriptions  int           `json:"subscriptions"`
+	Converged      bool          `json:"converged"`
+	ConvergeTime   time.Duration `json:"converge_time_ns"`
+	MsgsToConverge uint64        `json:"msgs_to_converge"`
+	Violations     []Violation   `json:"violations,omitempty"`
+	Deliveries     uint64        `json:"deliveries"`
+	Duplicates     uint64        `json:"duplicates"`
 	// DeliveryLatencyP50/P99 are detection-to-delivery percentiles in
 	// virtual time, estimated from the delivery log's histogram; zero
 	// when no delivery carried a detection timestamp.
 	DeliveryLatencyP50 time.Duration `json:"delivery_latency_p50_ns,omitempty"`
 	DeliveryLatencyP99 time.Duration `json:"delivery_latency_p99_ns,omitempty"`
-	LostChannels      int           `json:"lost_channels"`
-	PeakOwnerNotifies uint64        `json:"peak_owner_notifies"`
-	PeakOwnerMsgs     uint64        `json:"peak_owner_msgs"`
-	WallTime          time.Duration `json:"wall_time_ns"`
+	LostChannels       int           `json:"lost_channels"`
+	PeakOwnerNotifies  uint64        `json:"peak_owner_notifies"`
+	PeakOwnerMsgs      uint64        `json:"peak_owner_msgs"`
+	WallTime           time.Duration `json:"wall_time_ns"`
 }
 
 // Failed reports whether the scenario violated any invariant.

@@ -41,7 +41,7 @@ const (
 
 // Server tunables.
 const (
-	defaultQueueLen  = 256
+	defaultQueueLen   = 256
 	defaultLeaseEvery = 30 * time.Second
 	defaultHeartbeat  = 25 * time.Second
 	wsWriteTimeout    = 10 * time.Second
@@ -96,8 +96,8 @@ type Server struct {
 	http     *http.Server
 	listener net.Listener
 
-	sessionsWS  atomic.Int64
-	sessionsSSE atomic.Int64
+	sessionsWS    atomic.Int64
+	sessionsSSE   atomic.Int64
 	dropsSlow     atomic.Uint64 // notify events evicted or refused, full queue
 	dropsOversize atomic.Uint64 // notify events beyond the message bound
 	discSlow      atomic.Uint64 // sessions closed by PolicyDisconnect
@@ -114,10 +114,10 @@ type Server struct {
 type closeCause int
 
 const (
-	causeNone closeCause = iota
-	causeGone            // client went away or server shut down
-	causeSlow            // PolicyDisconnect on a full queue
-	causeDisplaced       // a newer login took the handle
+	causeNone      closeCause = iota
+	causeGone                 // client went away or server shut down
+	causeSlow                 // PolicyDisconnect on a full queue
+	causeDisplaced            // a newer login took the handle
 )
 
 // New builds a Server. Call Handler to mount it, or Serve to run it on

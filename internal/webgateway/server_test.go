@@ -568,9 +568,9 @@ func TestSSEWrongTokenConflicts(t *testing.T) {
 func TestCursorRoundTrip(t *testing.T) {
 	cursor := map[string]uint64{
 		"http://feeds.example/a?x=1": 42,
-		"plain":                     7,
-		"with,comma":                9,
-		"with:colon":                1,
+		"plain":                      7,
+		"with,comma":                 9,
+		"with:colon":                 1,
 	}
 	got := parseCursor(cursorString(cursor))
 	if len(got) != len(cursor) {

@@ -63,7 +63,7 @@ func roundTrip(t *testing.T, opcode byte, payload []byte) []byte {
 
 func TestFrameRoundTripLengths(t *testing.T) {
 	// Each of the three length encodings, at their boundaries.
-	for _, n := range []int{0, 1, 125, 126, 127, 1 << 16 - 1, 1 << 16, maxWSMessage} {
+	for _, n := range []int{0, 1, 125, 126, 127, 1<<16 - 1, 1 << 16, maxWSMessage} {
 		payload := bytes.Repeat([]byte{0xAB}, n)
 		if got := roundTrip(t, opBinary, payload); !bytes.Equal(got, payload) {
 			t.Fatalf("n=%d: payload mangled", n)
