@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -37,6 +38,7 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output JSON file (stdout JSON suppressed when set)")
+	allowVanish := flag.Bool("allow-vanish", false, "permit benchmarks recorded in the previous -o file to be absent from this run (intentional rename or removal)")
 	flag.Parse()
 
 	var report Report
@@ -75,10 +77,68 @@ func main() {
 		os.Stdout.Write(enc)
 		return
 	}
+	// Regression guard: a benchmark that was recorded last run but is
+	// absent now usually means a -bench filter stopped matching or the
+	// benchmark was deleted by accident — fail instead of silently
+	// shrinking the recorded set. Intentional renames pass -allow-vanish.
+	if !*allowVanish {
+		if gone := vanishedBenchmarks(*out, report); len(gone) > 0 {
+			log.Fatalf("bench2json: %d benchmark(s) recorded in %s are missing from this run:\n  %s\n(intentional rename or removal? rerun with -allow-vanish)",
+				len(gone), *out, strings.Join(gone, "\n  "))
+		}
+	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		log.Fatalf("bench2json: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "bench2json: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// benchKey identifies a benchmark across runs: package plus name with
+// the trailing -<GOMAXPROCS> suffix stripped, so recording on a machine
+// with a different core count does not read as a disappearance.
+func benchKey(pkg, name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if pkg == "" {
+		return name
+	}
+	return pkg + " " + name
+}
+
+// vanishedBenchmarks compares the report about to be written against the
+// previous report at path, returning the sorted keys present before but
+// absent now. A missing or unparseable previous file guards nothing.
+func vanishedBenchmarks(path string, next Report) []string {
+	prev, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var old Report
+	if json.Unmarshal(prev, &old) != nil {
+		return nil
+	}
+	have := make(map[string]bool, len(next.Benchmarks))
+	for _, b := range next.Benchmarks {
+		have[benchKey(b.Package, b.Name)] = true
+	}
+	gone := make(map[string]bool)
+	for _, b := range old.Benchmarks {
+		if k := benchKey(b.Package, b.Name); !have[k] {
+			gone[k] = true
+		}
+	}
+	if len(gone) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(gone))
+	for k := range gone {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // parseBenchLine parses one result line:

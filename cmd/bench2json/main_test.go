@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkWireEncode/1k-8   12345   678.9 ns/op   1024 B/op   3 allocs/op")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if b.Name != "BenchmarkWireEncode/1k-8" || b.Iterations != 12345 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.Metrics["ns/op"] != 678.9 || b.Metrics["B/op"] != 1024 || b.Metrics["allocs/op"] != 3 {
+		t.Fatalf("metrics %+v", b.Metrics)
+	}
+	if _, ok := parseBenchLine("BenchmarkBroken   notanumber ns/op"); ok {
+		t.Fatal("parsed a malformed line")
+	}
+}
+
+func TestBenchKeyStripsGOMAXPROCS(t *testing.T) {
+	cases := map[[2]string]string{
+		{"corona/internal/core", "BenchmarkFanout-8"}:  "corona/internal/core BenchmarkFanout",
+		{"corona/internal/core", "BenchmarkFanout-16"}: "corona/internal/core BenchmarkFanout",
+		{"", "BenchmarkFanout/sub-case-4"}:             "BenchmarkFanout/sub-case",
+		{"p", "BenchmarkNoSuffix"}:                     "p BenchmarkNoSuffix",
+		{"p", "Benchmark-name-notanum"}:                "p Benchmark-name-notanum",
+	}
+	for in, want := range cases {
+		if got := benchKey(in[0], in[1]); got != want {
+			t.Errorf("benchKey(%q, %q) = %q, want %q", in[0], in[1], got, want)
+		}
+	}
+}
+
+func writeReport(t *testing.T, path string, names ...string) {
+	t.Helper()
+	r := Report{}
+	for _, n := range names {
+		r.Benchmarks = append(r.Benchmarks, Benchmark{Name: n, Package: "p", Iterations: 1})
+	}
+	enc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVanishedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+
+	next := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", Package: "p"},
+		{Name: "BenchmarkB-8", Package: "p"},
+	}}
+
+	// No previous file: nothing vanishes.
+	if gone := vanishedBenchmarks(path, next); gone != nil {
+		t.Fatalf("no previous file, got %v", gone)
+	}
+
+	// Previous run recorded A, B, C at a different GOMAXPROCS: only C is
+	// gone, and the differing -N suffix must not count as a vanishing.
+	writeReport(t, path, "BenchmarkA-16", "BenchmarkB-16", "BenchmarkC-16")
+	gone := vanishedBenchmarks(path, next)
+	if len(gone) != 1 || gone[0] != "p BenchmarkC" {
+		t.Fatalf("want [p BenchmarkC], got %v", gone)
+	}
+
+	// Superset run: nothing vanishes.
+	writeReport(t, path, "BenchmarkA-16")
+	if gone := vanishedBenchmarks(path, next); gone != nil {
+		t.Fatalf("superset run, got %v", gone)
+	}
+
+	// Unparseable previous file guards nothing rather than blocking the
+	// run.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if gone := vanishedBenchmarks(path, next); gone != nil {
+		t.Fatalf("corrupt previous file, got %v", gone)
+	}
+}
